@@ -1,0 +1,59 @@
+// Ablation: what does the *degree* order buy over plain symmetry breaking?
+// DB with an id-based anchor order still partitions matches by a unique
+// highest node (correct counts), but the anchor no longer concentrates on
+// hubs. Section 9's analysis says the degree order is the asymptotic win.
+//
+// Shape to verify: degree-ordered DB does significantly less work than
+// id-ordered DB on heavy-tailed graphs, and about the same on low-skew
+// graphs (roadNetCA).
+
+#include "common.hpp"
+
+int main() {
+  using namespace ccbt;
+  using namespace ccbt::bench;
+  print_header("Ablation — DB anchor ordering (degree vs id)",
+               "total join ops (millions), 512 virtual ranks");
+
+  const std::vector<std::string> graph_names{"enron", "epinions", "slashdot",
+                                             "condMat", "roadNetCA"};
+  const std::vector<std::string> query_names{"glet1", "glet2", "wiki",
+                                             "youtube", "dros"};
+  TextTable t({"graph", "query", "DB(degree)", "DB(id)", "id/degree"});
+  for (const std::string& gname : graph_names) {
+    const CsrGraph g = make_workload(gname, bench_scale());
+    for (const std::string& qname : query_names) {
+      const QueryGraph q = named_query(qname);
+      const Plan plan = make_plan(q);
+      ExecOptions deg_opts;
+      deg_opts.algo = Algo::kDB;
+      deg_opts.sim_ranks = 512;
+      deg_opts.max_table_entries = bench_budget();
+      ExecOptions id_opts = deg_opts;
+      id_opts.order_by_id = true;
+      std::string deg_cell = "DNF", id_cell = "DNF", ratio = "-";
+      try {
+        CountingSession deg_session(g, q, plan, deg_opts);
+        CountingSession id_session(g, q, plan, id_opts);
+        const ExecStats deg_stats = deg_session.count_colorful_seeded(7);
+        const ExecStats id_stats = id_session.count_colorful_seeded(7);
+        if (deg_stats.colorful != id_stats.colorful) {
+          ratio = "MISMATCH";
+        } else {
+          deg_cell = TextTable::num(deg_stats.total_ops / 1e6, 2);
+          id_cell = TextTable::num(id_stats.total_ops / 1e6, 2);
+          ratio = TextTable::num(static_cast<double>(id_stats.total_ops) /
+                                     std::max<std::uint64_t>(
+                                         deg_stats.total_ops, 1),
+                                 2);
+        }
+      } catch (const BudgetExceeded&) {
+      }
+      t.add_row({gname, qname, deg_cell, id_cell, ratio});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "(id/degree >> 1 on skewed graphs isolates the value of the "
+               "degree information itself)\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Regenerates Figure 9: average DB execution time per graph (across the
+// ten queries) and per query (across the ten graphs), plus the Section 8.2
+// remark that a 12-vertex complete binary tree is far cheaper than the
+// 10-vertex brain3.
+//
+// Shape to verify: high-skew graphs (epinions, slashdot, enron) and
+// long-cycle queries (brain2, brain3) dominate; roadNetCA and the small
+// graphlets are fastest; the tree query is cheap despite having more nodes.
+
+#include <map>
+
+#include "common.hpp"
+
+int main() {
+  using namespace ccbt;
+  using namespace ccbt::bench;
+  print_header("Figure 9 — average DB execution time",
+               "wall seconds (real, threaded) and simulated makespan at 512 "
+               "virtual ranks");
+
+  const auto graphs = load_grid(bench_scale());
+  const auto queries = figure8_queries();
+
+  std::map<std::string, std::vector<double>> per_graph_wall, per_query_wall;
+  std::map<std::string, std::vector<double>> per_graph_sim, per_query_sim;
+
+  for (const auto& [gname, g] : graphs) {
+    for (const QueryGraph& q : queries) {
+      const Plan plan = make_plan(q);
+      // One run yields both metrics; the load-model overhead inflates the
+      // wall time uniformly across cells, so relative shapes survive.
+      const CellResult r = run_cell(g, q, plan, Algo::kDB, 512, 7);
+      if (!r.ok) continue;
+      per_graph_wall[gname].push_back(r.wall);
+      per_query_wall[q.name()].push_back(r.wall);
+      per_graph_sim[gname].push_back(r.sim);
+      per_query_sim[q.name()].push_back(r.sim);
+    }
+  }
+
+  TextTable tg({"graph", "avg wall (s)", "avg sim (Mops)"});
+  for (const auto& [gname, g] : graphs) {
+    tg.add_row({gname, TextTable::num(summarize(per_graph_wall[gname]).mean, 3),
+                TextTable::num(summarize(per_graph_sim[gname]).mean / 1e6, 3)});
+  }
+  tg.print(std::cout);
+
+  std::cout << "\n";
+  TextTable tq({"query", "avg wall (s)", "avg sim (Mops)"});
+  for (const QueryGraph& q : queries) {
+    tq.add_row(
+        {q.name(), TextTable::num(summarize(per_query_wall[q.name()]).mean, 3),
+         TextTable::num(summarize(per_query_sim[q.name()]).mean / 1e6, 3)});
+  }
+  tq.print(std::cout);
+
+  // Section 8.2: 12-vertex complete binary tree vs brain3.
+  std::cout << "\nSection 8.2 remark — tree query vs brain3 (avg across "
+               "graphs)\n";
+  std::vector<double> tree_wall;
+  const QueryGraph tree12 = q_complete_binary_tree(12);
+  const Plan tree_plan = make_plan(tree12);
+  for (const auto& [gname, g] : graphs) {
+    const CellResult r = run_cell(g, tree12, tree_plan, Algo::kDB, 512, 7);
+    if (r.ok) tree_wall.push_back(r.wall);
+  }
+  TextTable tr({"query", "nodes", "avg wall (s)"});
+  tr.add_row({"binary_tree12", "12",
+              TextTable::num(summarize(tree_wall).mean, 3)});
+  tr.add_row({"brain3", "10",
+              TextTable::num(summarize(per_query_wall["brain3"]).mean, 3)});
+  tr.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Regenerates Figure 12: the average speedup of the DB algorithm at 512
+// virtual ranks relative to 32 ranks, per query (averaged over graphs)
+// and per graph (averaged over queries).
+//
+// Shape to verify: speedups land well below the ideal 16x but mostly in
+// the upper half (the paper reports 7.4x-15.8x); low-skew inputs scale
+// best, hub-dominated ones lose some parallelism to the residual max-rank
+// load.
+
+#include <map>
+
+#include "common.hpp"
+
+int main() {
+  using namespace ccbt;
+  using namespace ccbt::bench;
+  print_header("Figure 12 — DB speedup, 512 vs 32 virtual ranks",
+               "speedup = sim_time@32 / sim_time@512 (ideal = 16)");
+
+  const auto graphs = load_grid(bench_scale());
+  const auto queries = figure8_queries();
+  std::map<std::string, std::vector<double>> by_query, by_graph;
+
+  for (const auto& [gname, g] : graphs) {
+    for (const QueryGraph& q : queries) {
+      if (q.name() == "brain3") continue;  // double-run cost cap
+      const Plan plan = make_plan(q);
+      const CellResult r32 = run_cell(g, q, plan, Algo::kDB, 32, 7);
+      const CellResult r512 = run_cell(g, q, plan, Algo::kDB, 512, 7);
+      if (!r32.ok || !r512.ok || r512.sim == 0.0) continue;
+      const double speedup = r32.sim / r512.sim;
+      by_query[q.name()].push_back(speedup);
+      by_graph[gname].push_back(speedup);
+    }
+  }
+
+  TextTable tq({"query", "avg speedup (ideal 16)"});
+  for (const QueryGraph& q : queries) {
+    if (q.name() == "brain3") continue;
+    tq.add_row({q.name(),
+                TextTable::num(summarize(by_query[q.name()]).mean, 2)});
+  }
+  tq.print(std::cout);
+  std::cout << "\n";
+  TextTable tg({"graph", "avg speedup (ideal 16)"});
+  for (const auto& [gname, g] : graphs) {
+    tg.add_row({gname, TextTable::num(summarize(by_graph[gname]).mean, 2)});
+  }
+  tg.print(std::cout);
+  return 0;
+}

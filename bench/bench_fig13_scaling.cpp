@@ -1,0 +1,72 @@
+// Regenerates Figure 13: strong scaling of DB on the enron stand-in
+// (speedup vs 32 ranks as ranks double to 512, per query) and weak
+// scaling on R-MAT graphs (fixed vertices per rank, growing rank count;
+// execution metric should stay near flat).
+//
+// Shape to verify: strong-scaling curves rise with ranks but fall short
+// of ideal; weak-scaling per-rank work stays roughly constant.
+
+#include "common.hpp"
+
+int main() {
+  using namespace ccbt;
+  using namespace ccbt::bench;
+  print_header("Figure 13 — strong and weak scaling of DB",
+               "strong: enron stand-in; weak: R-MAT, fixed vertices/rank");
+
+  const std::vector<std::uint32_t> rank_grid{32, 64, 128, 256, 512};
+
+  // ---- Strong scaling.
+  std::cout << "\nStrong scaling (speedup vs 32 ranks; ideal = ranks/32)\n";
+  const CsrGraph enron = make_workload("enron", bench_scale());
+  std::vector<std::string> header{"query"};
+  for (auto r : rank_grid) header.push_back(std::to_string(r));
+  TextTable ts(header);
+  for (const QueryGraph& q : figure8_queries()) {
+    if (q.name() == "brain3" || q.name() == "brain2") continue;  // time cap
+    const Plan plan = make_plan(q);
+    std::vector<std::string> row{q.name()};
+    double base = 0.0;
+    for (std::uint32_t ranks : rank_grid) {
+      const CellResult r = run_cell(enron, q, plan, Algo::kDB, ranks, 7);
+      if (!r.ok || r.sim == 0.0) {
+        row.push_back("DNF");
+        continue;
+      }
+      if (ranks == 32) base = r.sim;
+      row.push_back(TextTable::num(base / r.sim, 2));
+    }
+    ts.add_row(std::move(row));
+  }
+  ts.print(std::cout);
+
+  // ---- Weak scaling: the paper fixes 1K vertices per rank with edge
+  // factor 16; we fix vertices/rank at a scaled value and report the
+  // simulated per-phase makespan, which should stay near constant.
+  std::cout << "\nWeak scaling (R-MAT, ~128 vertices/rank, edge factor 8; "
+               "sim makespan normalized to 32 ranks)\n";
+  TextTable tw({"query", "32", "64", "128", "256"});
+  for (const char* qname : {"glet1", "glet2", "youtube", "wiki", "dros"}) {
+    const QueryGraph q = named_query(qname);
+    const Plan plan = make_plan(q);
+    std::vector<std::string> row{qname};
+    double base = 0.0;
+    for (std::uint32_t ranks : {32u, 64u, 128u, 256u}) {
+      RmatParams p;
+      p.scale = 12 + (ranks == 64) + 2 * (ranks == 128) + 3 * (ranks == 256);
+      p.edge_factor = 8;
+      const CsrGraph g = rmat(p, 5);
+      const CellResult r = run_cell(g, q, plan, Algo::kDB, ranks, 7);
+      if (!r.ok || r.sim == 0.0) {
+        row.push_back("DNF");
+        continue;
+      }
+      if (ranks == 32) base = r.sim;
+      row.push_back(TextTable::num(r.sim / base, 2));
+    }
+    tw.add_row(std::move(row));
+  }
+  tw.print(std::cout);
+  std::cout << "(weak scaling: values near 1.0 = flat, as in the paper)\n";
+  return 0;
+}

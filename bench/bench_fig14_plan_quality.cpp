@@ -1,0 +1,58 @@
+// Regenerates Figure 14: quality of the Section 6 plan heuristic. For
+// each (graph, query) pair, every decomposition tree is executed and the
+// heuristic plan's simulated time is compared with the best plan's.
+//
+// Shape to verify: the heuristic picks the optimal plan for ~90% of
+// combinations and stays within a modest error elsewhere (paper: <=15%).
+
+#include "common.hpp"
+
+int main() {
+  using namespace ccbt;
+  using namespace ccbt::bench;
+  print_header("Figure 14 — heuristic plan vs optimal plan",
+               "error % of heuristic plan's sim time vs best enumerated "
+               "plan (512 virtual ranks)");
+
+  // A representative subset of graphs keeps the full plan enumeration
+  // affordable; every query's whole plan space is executed on each.
+  const std::vector<std::string> graph_names{"enron", "condMat", "roadNetCA"};
+  TextTable t({"graph", "query", "plans", "heuristic (Mops)", "best (Mops)",
+               "error %"});
+
+  int optimal_hits = 0, cells = 0;
+  double worst_error = 0.0;
+  for (const std::string& gname : graph_names) {
+    const CsrGraph g = make_workload(gname, bench_scale() * 0.5);
+    for (const QueryGraph& q : figure8_queries()) {
+      if (q.name() == "brain3" || q.name() == "brain2") continue;  // time cap
+      const auto plans = enumerate_plans(q);
+      const Plan heuristic = make_plan(q);
+      double heuristic_time = -1.0, best_time = -1.0;
+      for (const Plan& plan : plans) {
+        const CellResult r = run_cell(g, q, plan, Algo::kDB, 512, 7);
+        if (!r.ok) continue;
+        if (best_time < 0.0 || r.sim < best_time) best_time = r.sim;
+        if (Contractor::canonical_string(plan.tree) ==
+            Contractor::canonical_string(heuristic.tree)) {
+          heuristic_time = r.sim;
+        }
+      }
+      if (heuristic_time < 0.0 || best_time <= 0.0) continue;
+      const double error = 100.0 * (heuristic_time - best_time) / best_time;
+      ++cells;
+      optimal_hits += (error <= 0.5);
+      worst_error = std::max(worst_error, error);
+      t.add_row({gname, q.name(), TextTable::num(std::uint64_t(plans.size())),
+                 TextTable::num(heuristic_time / 1e6, 3),
+                 TextTable::num(best_time / 1e6, 3),
+                 TextTable::num(error, 1)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "summary: heuristic optimal on " << optimal_hits << "/" << cells
+            << " combinations ("
+            << TextTable::num(100.0 * optimal_hits / std::max(cells, 1), 0)
+            << "%), worst error " << TextTable::num(worst_error, 1) << "%\n";
+  return 0;
+}

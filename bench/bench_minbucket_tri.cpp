@@ -1,0 +1,66 @@
+// The MINBUCKET ancestry (Section 1, "Degree Based Approaches"): on
+// heavy-tailed graphs the naive per-vertex triangle enumeration wastes
+// wedge checks and concentrates work on the hubs; anchoring each triangle
+// at its lowest-degree vertex fixes both. This is the L=3 special case of
+// the paper's DB strategy and the intuition behind it.
+//
+// Shape to verify: identical triangle counts; MINBUCKET's total wedge
+// checks shrink on skewed graphs (and barely change on the road network);
+// the max-vertex work ("curse of the last reducer") collapses by orders
+// of magnitude on power-law graphs.
+
+#include "common.hpp"
+
+#include "ccbt/tri/triangles.hpp"
+
+int main() {
+  using namespace ccbt;
+  using namespace ccbt::bench;
+  print_header("MINBUCKET triangles — naive vs degree-ordered",
+               "total wedge checks and per-vertex max, per workload");
+
+  TextTable t({"graph", "triangles", "checks naive", "checks MB",
+               "check ratio", "maxload naive", "maxload MB", "maxload ratio"});
+
+  for (const auto& [name, g] : load_grid(bench_scale())) {
+    const DegreeOrder order(g);
+    const TriangleStats naive = count_triangles_naive(g);
+    const TriangleStats mb = count_triangles_minbucket(g, order);
+    if (naive.triangles != mb.triangles) {
+      t.add_row({name, "MISMATCH", "-", "-", "-", "-", "-", "-"});
+      continue;
+    }
+    auto ratio = [](std::uint64_t a, std::uint64_t b) {
+      return b == 0 ? 0.0 : static_cast<double>(a) / static_cast<double>(b);
+    };
+    t.add_row({name, TextTable::num(naive.triangles),
+               TextTable::num(naive.wedge_checks),
+               TextTable::num(mb.wedge_checks),
+               TextTable::num(ratio(naive.wedge_checks, mb.wedge_checks), 1),
+               TextTable::num(naive.max_vertex_checks),
+               TextTable::num(mb.max_vertex_checks),
+               TextTable::num(
+                   ratio(naive.max_vertex_checks, mb.max_vertex_checks), 1)});
+  }
+  t.print(std::cout);
+  std::cout << "(ratios > 1 mean the degree ordering wins; the maxload "
+               "ratio is the\n load-balancing effect the paper's DB "
+               "algorithm generalizes to cycles)\n";
+
+  // Colorful triangles across alpha: the same ordering pays off for the
+  // color-coding inner loop.
+  std::cout << "\n--- colorful triangles on Chung-Lu, varying skew ---\n";
+  TextTable t2({"alpha", "n", "colorful tris", "checks MB", "maxload MB"});
+  for (double alpha : {1.2, 1.5, 1.8}) {
+    const VertexId n = static_cast<VertexId>(20000 * bench_scale() * 10);
+    const CsrGraph g = chung_lu_power_law(n, alpha, 8.0, 7);
+    const DegreeOrder order(g);
+    const Coloring chi(g.num_vertices(), 3, 11);
+    const TriangleStats c = count_colorful_triangles(g, chi, order);
+    t2.add_row({TextTable::num(alpha, 1), TextTable::num(std::uint64_t{n}),
+                TextTable::num(c.triangles), TextTable::num(c.wedge_checks),
+                TextTable::num(c.max_vertex_checks)});
+  }
+  t2.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,93 @@
+// distributed_demo — the Section 7 machinery made visible: run the same
+// colorful count through the shared-memory engine (with the BSP load
+// model) and the virtual-MPI distributed engine, confirm they agree
+// operation-for-operation, and draw the per-rank load profile that
+// explains why DB scales and PS does not.
+//
+// Build & run:  ./examples/distributed_demo
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+
+#include "ccbt/core/ccbt.hpp"
+
+namespace {
+
+using namespace ccbt;
+
+void draw_load_profile(const std::string& label,
+                       const std::vector<std::uint64_t>& rank_ops) {
+  const std::uint64_t peak =
+      *std::max_element(rank_ops.begin(), rank_ops.end());
+  std::cout << label << " per-rank load (peak = " << peak << " ops):\n";
+  for (std::size_t r = 0; r < rank_ops.size(); ++r) {
+    const int width = peak == 0 ? 0
+                                : static_cast<int>(56.0 * rank_ops[r] / peak);
+    std::cout << "  rank " << (r < 10 ? " " : "") << r << " |"
+              << std::string(width, '#') << " " << rank_ops[r] << "\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace ccbt;
+
+  const std::uint32_t kRanks = 16;
+  const CsrGraph g = chung_lu_power_law(6'000, 1.5, 8.0, 11);
+  const QueryGraph q = named_query("ecoli1");
+  const Plan plan = make_plan(q);
+  const Coloring chi(g.num_vertices(), q.num_nodes(), 2026);
+  std::cout << "graph: " << g.num_vertices() << " vertices, "
+            << g.num_edges() << " edges, max degree " << g.max_degree()
+            << "\nquery: " << q.name() << " (k=" << q.num_nodes() << "), "
+            << kRanks << " virtual ranks\n\n";
+
+  for (Algo algo : {Algo::kPS, Algo::kDB}) {
+    ExecOptions opts;
+    opts.algo = algo;
+
+    // Shared-memory run with the BSP load model attached.
+    ExecOptions shared_opts = opts;
+    shared_opts.sim_ranks = kRanks;
+    CountingSession session(g, q, plan, shared_opts);
+    const ExecStats shared = session.count_colorful(chi);
+
+    // Physically sharded virtual-MPI run.
+    const DistStats dist = run_plan_distributed(g, plan.tree, chi, kRanks,
+                                                opts);
+
+    std::cout << "=== " << algo_name(algo) << " ===\n"
+              << "colorful matches: shared " << shared.colorful
+              << ", distributed " << dist.colorful
+              << (shared.colorful == dist.colorful ? "  [agree]\n"
+                                                   : "  [MISMATCH!]\n")
+              << "total ops:        shared " << shared.total_ops
+              << ", distributed " << dist.total_ops
+              << (shared.total_ops == dist.total_ops ? "  [agree]\n"
+                                                     : "  [MISMATCH!]\n")
+              << "load imbalance (max/avg): "
+              << (shared.avg_rank_ops > 0
+                      ? static_cast<double>(shared.max_rank_ops) /
+                            shared.avg_rank_ops
+                      : 0.0)
+              << "\ntransport: " << dist.transport.entries_sent
+              << " entries moved over " << dist.transport.supersteps
+              << " supersteps, "
+              << dist.transport.off_rank_bytes() / 1024 << " KiB off-rank\n";
+
+    // Re-run the shared engine just to harvest the per-rank profile.
+    LoadModel load(kRanks);
+    ExecContext cx{g, chi,
+                   DegreeOrder(g),
+                   BlockPartition(g.num_vertices(), kRanks), &load, opts};
+    run_plan(cx, plan.tree);
+    draw_load_profile(algo_name(algo), load.rank_ops());
+    std::cout << "\n";
+  }
+  std::cout << "The PS profile spikes at the ranks owning the hubs; DB's "
+               "is flat —\nthe load-balancing effect that drives Figures "
+               "11-13 of the paper.\n";
+  return 0;
+}

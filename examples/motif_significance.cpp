@@ -1,0 +1,67 @@
+// motif_significance — the network-motif methodology the paper's intro
+// cites (Milo et al.): a subgraph is a *motif* of a network when it
+// occurs significantly more often than in degree-matched random graphs.
+//
+//   1. build a "real" network with community structure (SBM stand-in);
+//   2. estimate each query's count with color coding (DB engine);
+//   3. build a null ensemble: Chung-Lu graphs whose expected degrees are
+//      the real network's observed degrees (degree-matched rewiring);
+//   4. report the z-score of the real count against the ensemble.
+//
+// Build & run:  ./examples/motif_significance
+
+#include <cmath>
+#include <iostream>
+
+#include "ccbt/core/ccbt.hpp"
+#include "ccbt/util/stats.hpp"
+#include "ccbt/util/text_table.hpp"
+
+int main() {
+  using namespace ccbt;
+
+  // A two-community network: communities breed triangles and short
+  // cycles, which is exactly what the null model lacks.
+  const CsrGraph real = stochastic_block({400, 400}, 0.030, 0.002, 7);
+  std::cout << "network: " << real.num_vertices() << " vertices, "
+            << real.num_edges() << " edges, max degree "
+            << real.max_degree() << "\n";
+
+  // Observed degrees become the null model's expected degrees.
+  std::vector<double> degrees(real.num_vertices());
+  for (VertexId v = 0; v < real.num_vertices(); ++v) {
+    degrees[v] = static_cast<double>(real.degree(v));
+  }
+
+  const int kNullSamples = 7;
+  EstimatorOptions est;
+  est.trials = 8;
+  est.seed = 2026;
+
+  TextTable table({"query", "real count", "null mean", "null sd", "z-score",
+                   "verdict"});
+  for (const char* name : {"triangle", "glet1", "glet2", "wiki", "cycle5"}) {
+    const QueryGraph q = named_query(name);
+    const double real_count = estimate_matches(real, q, est).occurrences;
+
+    std::vector<double> null_counts;
+    for (int s = 0; s < kNullSamples; ++s) {
+      const CsrGraph null_graph = chung_lu(degrees, 100 + s);
+      null_counts.push_back(
+          estimate_matches(null_graph, q, est).occurrences);
+    }
+    const Summary null_stats = summarize(null_counts);
+    const double z = null_stats.stddev > 0
+                         ? (real_count - null_stats.mean) / null_stats.stddev
+                         : 0.0;
+    table.add_row({name, TextTable::num(real_count, 0),
+                   TextTable::num(null_stats.mean, 0),
+                   TextTable::num(null_stats.stddev, 0),
+                   TextTable::num(z, 1),
+                   z > 2.0 ? "MOTIF" : (z < -2.0 ? "anti-motif" : "-")});
+  }
+  table.print(std::cout);
+  std::cout << "(|z| > 2: the structure is statistically over/under-"
+               "represented\n vs degree-matched random graphs)\n";
+  return 0;
+}

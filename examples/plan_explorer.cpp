@@ -1,0 +1,79 @@
+// Plan explorer: shows the Section 4 decomposition and the Section 6 plan
+// heuristic at work. For each named query it prints every decomposition
+// tree (blocks, cycle lengths, boundary counts, annotations) and marks
+// the heuristic's choice — the Figure 2 walk-through, programmatically.
+//
+// Build & run:  ./examples/plan_explorer
+
+#include <iostream>
+
+#include "ccbt/core/ccbt.hpp"
+#include "ccbt/decomp/decompose.hpp"
+
+namespace {
+
+using namespace ccbt;
+
+const char* kind_name(BlockKind k) {
+  switch (k) {
+    case BlockKind::kLeafEdge: return "leaf-edge";
+    case BlockKind::kCycle: return "cycle";
+    case BlockKind::kSingleton: return "singleton";
+  }
+  return "?";
+}
+
+void describe(const DecompTree& tree) {
+  for (std::size_t i = 0; i < tree.blocks.size(); ++i) {
+    const Block& b = tree.blocks[i];
+    std::cout << "    B" << i << ": " << kind_name(b.kind);
+    if (b.kind == BlockKind::kCycle) {
+      std::cout << " length " << b.length() << ", " << b.boundary_count()
+                << " boundary node(s)";
+    }
+    std::cout << ", nodes {";
+    for (std::size_t j = 0; j < b.nodes.size(); ++j) {
+      std::cout << (j ? "," : "") << int(b.nodes[j]);
+    }
+    std::cout << "}";
+    int annotations = 0;
+    for (int c : b.node_child) annotations += (c >= 0);
+    for (int c : b.edge_child) annotations += (c >= 0);
+    if (annotations > 0) std::cout << ", " << annotations << " annotation(s)";
+    if (static_cast<int>(i) == tree.root) std::cout << "  <- root";
+    std::cout << "\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace ccbt;
+
+  for (const char* name : {"satellite", "brain1", "brain2", "glet2"}) {
+    const QueryGraph q = named_query(name);
+    std::cout << "=== query '" << name << "' (" << q.num_nodes()
+              << " nodes, " << q.num_edges() << " edges) ===\n";
+    const Plan chosen = make_plan(q);
+    const std::string chosen_canon =
+        Contractor::canonical_string(chosen.tree);
+    const auto plans = enumerate_plans(q);
+    std::cout << plans.size() << " decomposition tree(s):\n";
+    for (std::size_t p = 0; p < plans.size(); ++p) {
+      const bool is_chosen =
+          Contractor::canonical_string(plans[p].tree) == chosen_canon;
+      std::cout << "  plan " << p << " [longest cycle "
+                << plans[p].features.longest_cycle << ", boundary "
+                << plans[p].features.total_boundary << ", annotations "
+                << plans[p].features.total_annotations << "]"
+                << (is_chosen ? "  ** heuristic choice **" : "") << "\n";
+      describe(plans[p].tree);
+    }
+    std::cout << "\n";
+  }
+  std::cout << "The heuristic prefers (i) the shortest longest-cycle, then\n"
+            << "(ii) fewest boundary nodes, then (iii) fewest annotations\n"
+            << "(Section 6); Figure 14's bench measures how close this is\n"
+            << "to the measured-optimal plan.\n";
+  return 0;
+}

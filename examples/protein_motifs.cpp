@@ -1,0 +1,45 @@
+// Protein-interaction motif profiling — the bioinformatics use case that
+// motivated color coding (Alon et al., and this paper's dros/ecoli/brain
+// queries). Counts all Figure 8 motifs on a synthetic PPI-like network
+// and prints a motif profile with per-motif concentrations.
+//
+// Build & run:  ./examples/protein_motifs
+
+#include <iostream>
+
+#include "ccbt/core/ccbt.hpp"
+#include "ccbt/util/text_table.hpp"
+
+int main() {
+  using namespace ccbt;
+
+  // PPI networks are small but heavy tailed: a few thousand proteins,
+  // hub chaperones with hundreds of partners.
+  const CsrGraph ppi = chung_lu_power_law(
+      /*n=*/6'000, /*alpha=*/1.75, /*avg_degree=*/6.5, /*seed=*/11);
+  std::cout << "synthetic PPI network: " << ppi.num_vertices()
+            << " proteins, " << ppi.num_edges() << " interactions\n\n";
+
+  TextTable table({"motif", "nodes", "est. occurrences", "cv",
+                   "time (s)"});
+  double total_seconds = 0.0;
+  for (const QueryGraph& motif : figure8_queries()) {
+    // Long-cycle brain motifs are the expensive tail; keep the demo brisk.
+    if (motif.name() == "brain2" || motif.name() == "brain3") continue;
+    EstimatorOptions opts;
+    opts.trials = 3;
+    opts.seed = 7;
+    const EstimatorResult r = estimate_matches(ppi, motif, opts);
+    total_seconds += r.total_wall_seconds;
+    table.add_row({motif.name(),
+                   TextTable::num(std::uint64_t(motif.num_nodes())),
+                   TextTable::num(r.occurrences, 0), TextTable::num(r.cv, 3),
+                   TextTable::num(r.total_wall_seconds, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nmotif profile computed in " << total_seconds
+            << " s total; occurrence = match count / automorphisms.\n"
+            << "Tree motifs of this size were FASCIA territory; the cyclic\n"
+            << "ones (glet2, wiki, brain1) need this paper's algorithm.\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Spam-campaign signature counting — the youtube query of Figure 8 comes
+// from network analysis of recurring spam campaigns. Campaign subgraphs
+// are overrepresented tailed-triangle patterns: this example compares the
+// motif's concentration in a "organic" social graph against one with an
+// injected campaign-like cluster.
+//
+// Build & run:  ./examples/spam_campaign
+
+#include <iostream>
+
+#include "ccbt/core/ccbt.hpp"
+
+namespace {
+
+// Normalized motif concentration: occurrences per (n choose k)-ish unit,
+// here simply occurrences / edges^2 to compare graphs of similar size.
+double concentration(const ccbt::EstimatorResult& r, const ccbt::CsrGraph& g) {
+  const double m = static_cast<double>(g.num_edges());
+  return r.occurrences / (m * m) * 1e6;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ccbt;
+
+  const QueryGraph campaign_motif = named_query("youtube");
+  std::cout << "campaign motif: tailed triangle with 2-hop fan-out ("
+            << campaign_motif.num_nodes() << " nodes)\n\n";
+
+  // Organic network: plain power-law social graph.
+  const CsrGraph organic =
+      chung_lu_power_law(12'000, 1.85, 7.0, /*seed=*/3);
+
+  // Compromised network: same backbone plus a dense campaign cluster —
+  // a clique-ish gadget of sock-puppet accounts all linked to two
+  // coordinators, which multiplies tailed-triangle counts.
+  EdgeList edges = organic.to_edges();
+  const VertexId base = organic.num_vertices();
+  const VertexId puppets = 40;
+  edges.num_vertices = base + puppets;
+  for (VertexId i = 0; i < puppets; ++i) {
+    edges.add(base + i, 0);  // coordinator A (highest-degree hub)
+    edges.add(base + i, 1);  // coordinator B
+    if (i > 0) edges.add(base + i, base + i - 1);  // puppet chain
+  }
+  const CsrGraph compromised = CsrGraph::from_edges(edges);
+
+  EstimatorOptions opts;
+  opts.trials = 4;
+  opts.seed = 99;
+  const EstimatorResult organic_r =
+      estimate_matches(organic, campaign_motif, opts);
+  const EstimatorResult compromised_r =
+      estimate_matches(compromised, campaign_motif, opts);
+
+  std::cout << "organic graph:      " << organic.num_edges() << " edges, "
+            << "motif occurrences ~ " << organic_r.occurrences
+            << " (concentration " << concentration(organic_r, organic)
+            << ")\n";
+  std::cout << "with campaign:      " << compromised.num_edges()
+            << " edges, motif occurrences ~ " << compromised_r.occurrences
+            << " (concentration "
+            << concentration(compromised_r, compromised) << ")\n";
+  const double lift = concentration(compromised_r, compromised) /
+                      concentration(organic_r, organic);
+  std::cout << "\nconcentration lift from the injected campaign: "
+            << lift << "x\n"
+            << (lift > 1.2 ? "=> flagged: motif census detects the campaign"
+                           : "=> below detection threshold")
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// treelet_profile — the bioinformatics workload the color-coding line of
+// work began with (Alon et al., FASCIA): profile a protein-interaction-
+// style network by the counts of EVERY tree topology of sizes 4-6 (2, 3
+// and 6 non-isomorphic trees respectively). The resulting "treelet
+// distribution" is a standard network fingerprint.
+//
+// Uses the dedicated tree DP, which is linear in the graph size per
+// query, so the whole profile costs seconds even with dozens of trees.
+//
+// Build & run:  ./examples/treelet_profile
+
+#include <iostream>
+
+#include "ccbt/core/ccbt.hpp"
+#include "ccbt/util/stats.hpp"
+#include "ccbt/util/text_table.hpp"
+
+int main() {
+  using namespace ccbt;
+
+  // Protein-interaction stand-in: heavy-tailed, ~10k interactions.
+  const CsrGraph g = chung_lu_power_law(4'000, 1.7, 5.0, 13);
+  std::cout << "network: " << g.num_vertices() << " proteins, "
+            << g.num_edges() << " interactions\n\n";
+
+  TextTable table({"treelet", "k", "aut", "est. occurrences", "cv"});
+  for (int k = 4; k <= 6; ++k) {
+    for (const QueryGraph& q : all_connected_queries(k, /*max_treewidth=*/1)) {
+      // Average scaled colorful counts over a few colorings (Section 2),
+      // with the counting itself done by the linear-time tree DP.
+      const int kTrials = 5;
+      const double scale = colorful_scale(k);
+      const std::uint64_t aut = count_automorphisms(q);
+      std::vector<double> estimates;
+      for (int t = 0; t < kTrials; ++t) {
+        const Coloring chi(g.num_vertices(), k,
+                           1000 + static_cast<std::uint64_t>(t));
+        const Count colorful = count_colorful_tree(g, q, chi);
+        estimates.push_back(scale * static_cast<double>(colorful) /
+                            static_cast<double>(aut));
+      }
+      const Summary s = summarize(estimates);
+      table.add_row({q.name(), std::to_string(k), std::to_string(aut),
+                     TextTable::num(s.mean, 0), TextTable::num(s.cv(), 2)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "(one row per non-isomorphic tree topology; occurrences = "
+               "matches / aut)\n";
+  return 0;
+}

@@ -1,0 +1,23 @@
+#pragma once
+// Umbrella header: the full public API of the ccbt library.
+
+#include "ccbt/core/color_coding.hpp"    // IWYU pragma: export
+#include "ccbt/core/estimator.hpp"       // IWYU pragma: export
+#include "ccbt/core/exact.hpp"           // IWYU pragma: export
+#include "ccbt/core/planted.hpp"         // IWYU pragma: export
+#include "ccbt/core/profile.hpp"         // IWYU pragma: export
+#include "ccbt/decomp/dot_export.hpp"    // IWYU pragma: export
+#include "ccbt/decomp/plan.hpp"          // IWYU pragma: export
+#include "ccbt/dist/dist_engine.hpp"     // IWYU pragma: export
+#include "ccbt/graph/generators.hpp"     // IWYU pragma: export
+#include "ccbt/graph/graph_stats.hpp"    // IWYU pragma: export
+#include "ccbt/graph/io.hpp"             // IWYU pragma: export
+#include "ccbt/query/automorphism.hpp"   // IWYU pragma: export
+#include "ccbt/query/catalog.hpp"        // IWYU pragma: export
+#include "ccbt/query/isomorphism.hpp"    // IWYU pragma: export
+#include "ccbt/query/random_tw2.hpp"     // IWYU pragma: export
+#include "ccbt/query/treewidth.hpp"      // IWYU pragma: export
+#include "ccbt/theory/bounds.hpp"        // IWYU pragma: export
+#include "ccbt/theory/path_census.hpp"   // IWYU pragma: export
+#include "ccbt/tree/tree_dp.hpp"         // IWYU pragma: export
+#include "ccbt/tri/triangles.hpp"        // IWYU pragma: export

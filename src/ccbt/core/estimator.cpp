@@ -1,0 +1,84 @@
+#include "ccbt/core/estimator.hpp"
+
+#include "ccbt/decomp/plan.hpp"
+#include "ccbt/query/automorphism.hpp"
+#include "ccbt/util/rng.hpp"
+#include "ccbt/util/stats.hpp"
+
+namespace ccbt {
+
+EstimatorResult estimate_matches(const CountingSession& session,
+                                 const EstimatorOptions& opts) {
+  EstimatorResult result;
+  const int k = session.query().num_nodes();
+  const double scale = colorful_scale(k);
+  Rng seeder(opts.seed);
+
+  for (int t = 0; t < opts.trials; ++t) {
+    const std::uint64_t trial_seed = seeder();
+    const ExecStats stats = session.count_colorful_seeded(trial_seed);
+    result.colorful_per_trial.push_back(stats.colorful);
+    result.estimate_per_trial.push_back(
+        static_cast<double>(stats.colorful) * scale);
+    result.total_wall_seconds += stats.wall_seconds;
+  }
+
+  const Summary summary = summarize(result.estimate_per_trial);
+  result.matches = summary.mean;
+  result.variance = summary.variance;
+  result.cv = summary.cv();
+  result.variance_over_mean =
+      summary.mean == 0.0 ? 0.0 : summary.variance / summary.mean;
+  result.automorphisms = count_automorphisms(session.query());
+  result.occurrences =
+      result.matches / static_cast<double>(result.automorphisms);
+  return result;
+}
+
+EstimatorResult estimate_matches(const CsrGraph& g, const QueryGraph& q,
+                                 const EstimatorOptions& opts) {
+  CountingSession session(g, q, make_plan(q), opts.exec);
+  return estimate_matches(session, opts);
+}
+
+AdaptiveResult estimate_matches_adaptive(const CountingSession& session,
+                                         const AdaptiveOptions& opts) {
+  AdaptiveResult out;
+  const int k = session.query().num_nodes();
+  const double scale = colorful_scale(k);
+  Rng seeder(opts.seed);
+  EstimatorResult& r = out.estimate;
+
+  for (int t = 0; t < opts.max_trials; ++t) {
+    const ExecStats stats = session.count_colorful_seeded(seeder());
+    r.colorful_per_trial.push_back(stats.colorful);
+    r.estimate_per_trial.push_back(static_cast<double>(stats.colorful) *
+                                   scale);
+    r.total_wall_seconds += stats.wall_seconds;
+    out.trials_used = t + 1;
+    if (out.trials_used < opts.min_trials) continue;
+    if (summarize(r.estimate_per_trial).cv() <= opts.target_cv) {
+      out.converged = true;
+      break;
+    }
+  }
+
+  const Summary summary = summarize(r.estimate_per_trial);
+  r.matches = summary.mean;
+  r.variance = summary.variance;
+  r.cv = summary.cv();
+  r.variance_over_mean =
+      summary.mean == 0.0 ? 0.0 : summary.variance / summary.mean;
+  r.automorphisms = count_automorphisms(session.query());
+  r.occurrences = r.matches / static_cast<double>(r.automorphisms);
+  return out;
+}
+
+AdaptiveResult estimate_matches_adaptive(const CsrGraph& g,
+                                         const QueryGraph& q,
+                                         const AdaptiveOptions& opts) {
+  CountingSession session(g, q, make_plan(q), opts.exec);
+  return estimate_matches_adaptive(session, opts);
+}
+
+}  // namespace ccbt

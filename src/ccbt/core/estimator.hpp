@@ -1,0 +1,68 @@
+#pragma once
+// Approximate subgraph counting via repeated colorful counts (Section 2):
+// (k^k / k!) * E[colorful] equals the exact number of matches, so the mean
+// over independent colorings converges to it. The coefficient of variation
+// over trials is the precision metric of Section 8.6 / Figure 15.
+
+#include <cstdint>
+#include <vector>
+
+#include "ccbt/core/color_coding.hpp"
+
+namespace ccbt {
+
+struct EstimatorOptions {
+  int trials = 10;
+  std::uint64_t seed = 1;
+  ExecOptions exec;
+};
+
+struct EstimatorResult {
+  /// Estimated number of matches (injective mappings), mean over trials.
+  double matches = 0.0;
+
+  /// Estimated number of occurrences (= matches / aut(Q)).
+  double occurrences = 0.0;
+
+  std::uint64_t automorphisms = 1;
+  double variance = 0.0;       // sample variance of per-trial estimates
+  double cv = 0.0;             // stddev / mean (0 when the mean is 0)
+  double variance_over_mean = 0.0;  // the paper's Fig 15 ratio
+  std::vector<Count> colorful_per_trial;
+  std::vector<double> estimate_per_trial;
+  double total_wall_seconds = 0.0;
+};
+
+EstimatorResult estimate_matches(const CsrGraph& g, const QueryGraph& q,
+                                 const EstimatorOptions& opts = {});
+
+/// Estimator over a pre-built session (lets callers reuse plans).
+EstimatorResult estimate_matches(const CountingSession& session,
+                                 const EstimatorOptions& opts);
+
+/// Adaptive stopping for the Section 8.6 workflow ("82% of combinations
+/// reach cv <= 0.1 within three trials; 91% within ten"): keep adding
+/// trials until the coefficient of variation of the per-trial estimates
+/// falls to `target_cv`, bounded by [min_trials, max_trials].
+struct AdaptiveOptions {
+  double target_cv = 0.1;
+  int min_trials = 3;
+  int max_trials = 50;
+  std::uint64_t seed = 1;
+  ExecOptions exec;
+};
+
+struct AdaptiveResult {
+  EstimatorResult estimate;
+  int trials_used = 0;
+  bool converged = false;  // hit target_cv before max_trials
+};
+
+AdaptiveResult estimate_matches_adaptive(const CountingSession& session,
+                                         const AdaptiveOptions& opts = {});
+
+AdaptiveResult estimate_matches_adaptive(const CsrGraph& g,
+                                         const QueryGraph& q,
+                                         const AdaptiveOptions& opts = {});
+
+}  // namespace ccbt

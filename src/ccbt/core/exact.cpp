@@ -1,0 +1,99 @@
+#include "ccbt/core/exact.hpp"
+
+#include <array>
+#include <bit>
+#include <vector>
+
+#include "ccbt/util/error.hpp"
+
+namespace ccbt {
+
+namespace {
+
+/// Backtracking match enumerator. Query nodes are assigned in an order
+/// where each node (after the first) has at least one earlier neighbor,
+/// so candidates always come from some mapped neighbor's adjacency list.
+struct MatchSearch {
+  const CsrGraph& g;
+  const QueryGraph& q;
+  const Coloring* chi;  // nullptr = ordinary (non-colorful) counting
+  std::vector<QNode> order;
+  std::array<VertexId, kMaxQueryNodes> image{};
+  Signature used_colors = 0;
+  Count count = 0;
+
+  MatchSearch(const CsrGraph& graph, const QueryGraph& query,
+              const Coloring* coloring)
+      : g(graph), q(query), chi(coloring), order(query.connected_order()) {
+    if (static_cast<int>(order.size()) != query.num_nodes()) {
+      throw Error("exact counter requires a connected query");
+    }
+    image.fill(kNoVertex);
+  }
+
+  bool consistent(QNode a, VertexId u) const {
+    // Injectivity.
+    for (int c = 0; c < q.num_nodes(); ++c) {
+      if (image[c] == u) return false;
+    }
+    // Every mapped query neighbor must be a data-graph neighbor.
+    std::uint32_t nbrs = q.neighbors(a);
+    while (nbrs != 0) {
+      const int b = std::countr_zero(nbrs);
+      nbrs &= nbrs - 1;
+      if (image[b] != kNoVertex && !g.has_edge(u, image[b])) return false;
+    }
+    return true;
+  }
+
+  void run(std::size_t depth) {
+    if (depth == order.size()) {
+      ++count;
+      return;
+    }
+    const QNode a = order[depth];
+    if (depth == 0) {
+      for (VertexId u = 0; u < g.num_vertices(); ++u) try_assign(a, u, depth);
+      return;
+    }
+    // Candidates: neighbors of the first mapped query-neighbor of a.
+    std::uint32_t nbrs = q.neighbors(a);
+    VertexId pivot = kNoVertex;
+    while (nbrs != 0) {
+      const int b = std::countr_zero(nbrs);
+      nbrs &= nbrs - 1;
+      if (image[b] != kNoVertex) {
+        pivot = image[b];
+        break;
+      }
+    }
+    for (VertexId u : g.neighbors(pivot)) try_assign(a, u, depth);
+  }
+
+  void try_assign(QNode a, VertexId u, std::size_t depth) {
+    if (chi != nullptr && (used_colors & chi->bit(u)) != 0) return;
+    if (!consistent(a, u)) return;
+    image[a] = u;
+    if (chi != nullptr) used_colors |= chi->bit(u);
+    run(depth + 1);
+    if (chi != nullptr) used_colors &= ~chi->bit(u);
+    image[a] = kNoVertex;
+  }
+};
+
+}  // namespace
+
+Count count_matches_exact(const CsrGraph& g, const QueryGraph& q) {
+  MatchSearch search(g, q, nullptr);
+  search.run(0);
+  return search.count;
+}
+
+Count count_colorful_exact(const CsrGraph& g, const QueryGraph& q,
+                           const Coloring& chi) {
+  MatchSearch search(g, q, &chi);
+  search.run(0);
+  return search.count;
+}
+
+}  // namespace ccbt

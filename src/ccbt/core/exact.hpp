@@ -1,0 +1,19 @@
+#pragma once
+// Exact (exponential-time) counters used as correctness oracles in tests
+// and to calibrate the estimator experiments on small graphs.
+
+#include "ccbt/graph/coloring.hpp"
+#include "ccbt/graph/csr_graph.hpp"
+#include "ccbt/query/query_graph.hpp"
+
+namespace ccbt {
+
+/// Number of matches: injective, edge-preserving mappings V(Q) -> V(G)
+/// (non-induced subgraph semantics, Section 2).
+Count count_matches_exact(const CsrGraph& g, const QueryGraph& q);
+
+/// Number of colorful matches under coloring chi.
+Count count_colorful_exact(const CsrGraph& g, const QueryGraph& q,
+                           const Coloring& chi);
+
+}  // namespace ccbt

@@ -1,0 +1,43 @@
+#include "ccbt/core/planted.hpp"
+
+#include "ccbt/graph/edge_list.hpp"
+#include "ccbt/query/automorphism.hpp"
+#include "ccbt/util/error.hpp"
+#include "ccbt/util/rng.hpp"
+
+namespace ccbt {
+
+PlantedGraph plant_copies(const QueryGraph& q, int copies,
+                          VertexId host_vertices, std::size_t noise_edges,
+                          std::uint64_t seed) {
+  if (copies < 0) throw Error("plant_copies: copies must be >= 0");
+  const int k = q.num_nodes();
+  EdgeList list;
+  list.num_vertices =
+      host_vertices + static_cast<VertexId>(copies) * static_cast<VertexId>(k);
+
+  // Noise edges confined to the host block [0, host_vertices).
+  Rng rng(seed);
+  for (std::size_t e = 0; e < noise_edges && host_vertices >= 2; ++e) {
+    const auto u = static_cast<VertexId>(rng.below(host_vertices));
+    const auto v = static_cast<VertexId>(rng.below(host_vertices));
+    if (u != v) list.add(u, v);
+  }
+
+  // Each copy occupies its own fresh vertex block after the host.
+  for (int c = 0; c < copies; ++c) {
+    const VertexId base = host_vertices + static_cast<VertexId>(c * k);
+    for (const auto& [a, b] : q.edge_pairs()) {
+      list.add(base + static_cast<VertexId>(a),
+               base + static_cast<VertexId>(b));
+    }
+  }
+
+  PlantedGraph out;
+  out.graph = CsrGraph::from_edges(list);
+  out.planted_matches =
+      static_cast<Count>(copies) * count_automorphisms(q);
+  return out;
+}
+
+}  // namespace ccbt

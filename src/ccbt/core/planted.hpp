@@ -1,0 +1,37 @@
+#pragma once
+// Planted-motif workloads: data graphs with a known ground-truth number
+// of query occurrences.
+//
+// `plant_copies` embeds vertex-disjoint copies of a query into a host
+// graph on fresh vertices. On an edgeless host the exact match count is
+// copies * aut(Q) by construction, giving an end-to-end ground truth for
+// the estimator without running the exponential oracle; on a noisy host
+// the planted copies are a lower bound. This is the validation harness
+// for the Section 8.6 precision experiments.
+
+#include <cstdint>
+
+#include "ccbt/graph/csr_graph.hpp"
+#include "ccbt/query/query_graph.hpp"
+
+namespace ccbt {
+
+struct PlantedGraph {
+  CsrGraph graph;
+
+  /// Number of injective matches contributed by the planted copies alone
+  /// (= copies * aut(Q)); equals the total when the host had no edges and
+  /// no copies touch, which plant_copies guarantees.
+  Count planted_matches = 0;
+};
+
+/// Append `copies` vertex-disjoint embeddings of `q` to a host of
+/// `host_vertices` isolated vertices, then `noise_edges` random extra
+/// edges among the host vertices only (never touching planted copies, so
+/// planted_matches stays exact for queries with no match inside the
+/// noise part... callers wanting a pure ground truth pass noise_edges=0).
+PlantedGraph plant_copies(const QueryGraph& q, int copies,
+                          VertexId host_vertices, std::size_t noise_edges,
+                          std::uint64_t seed);
+
+}  // namespace ccbt

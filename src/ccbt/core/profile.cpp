@@ -1,0 +1,83 @@
+#include "ccbt/core/profile.hpp"
+
+#include <memory>
+
+#include "ccbt/core/color_coding.hpp"
+#include "ccbt/query/automorphism.hpp"
+#include "ccbt/query/isomorphism.hpp"
+#include "ccbt/query/treewidth.hpp"
+#include "ccbt/tree/tree_dp.hpp"
+#include "ccbt/util/error.hpp"
+#include "ccbt/util/rng.hpp"
+#include "ccbt/util/stats.hpp"
+
+namespace ccbt {
+
+std::vector<ProfileEntry> motif_profile(const CsrGraph& g,
+                                        const std::vector<QueryGraph>& family,
+                                        const ProfileOptions& opts) {
+  if (family.empty()) return {};
+  const int k = family.front().num_nodes();
+  for (const QueryGraph& q : family) {
+    if (q.num_nodes() != k) {
+      throw Error("motif_profile: family members must share a node count");
+    }
+  }
+  const double scale = colorful_scale(k);
+
+  // One reusable solver per query: a session for cyclic queries, the
+  // treelet DP for trees.
+  struct Solver {
+    bool is_tree = false;
+    std::unique_ptr<CountingSession> session;  // cyclic queries only
+  };
+  std::vector<Solver> solvers;
+  solvers.reserve(family.size());
+  for (const QueryGraph& q : family) {
+    Solver s;
+    s.is_tree = q.num_edges() == k - 1;  // connected is validated below
+    if (!s.is_tree) {
+      s.session = std::make_unique<CountingSession>(g, q, make_plan(q),
+                                                    opts.exec);
+    } else {
+      validate_query(q);
+    }
+    solvers.push_back(std::move(s));
+  }
+
+  // Shared colorings: trial t uses one coloring for the whole family.
+  std::vector<std::vector<double>> estimates(family.size());
+  Rng seeder(opts.seed);
+  for (int t = 0; t < opts.trials; ++t) {
+    const Coloring chi(g.num_vertices(), k, seeder());
+    for (std::size_t i = 0; i < family.size(); ++i) {
+      const Count colorful =
+          solvers[i].is_tree
+              ? count_colorful_tree(g, family[i], chi)
+              : solvers[i].session->count_colorful(chi).colorful;
+      estimates[i].push_back(scale * static_cast<double>(colorful));
+    }
+  }
+
+  std::vector<ProfileEntry> out;
+  out.reserve(family.size());
+  for (std::size_t i = 0; i < family.size(); ++i) {
+    ProfileEntry e;
+    e.query = family[i];
+    e.automorphisms = count_automorphisms(family[i]);
+    const Summary s = summarize(estimates[i]);
+    e.matches = s.mean;
+    e.cv = s.cv();
+    e.occurrences = e.matches / static_cast<double>(e.automorphisms);
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::vector<ProfileEntry> graphlet_profile(const CsrGraph& g, int k,
+                                           const ProfileOptions& opts,
+                                           int max_treewidth) {
+  return motif_profile(g, all_connected_queries(k, max_treewidth), opts);
+}
+
+}  // namespace ccbt

@@ -1,0 +1,45 @@
+#pragma once
+// Motif profiles: estimate a whole family of same-size queries at once.
+//
+// The classification applications behind the paper's wiki and youtube
+// queries ([32], [24]) fingerprint a network by the counts of *every*
+// motif in a family. Color coding makes the family case cheap: one
+// k-coloring is valid for every k-node query, so each trial draws a
+// single coloring shared across the family, and per-query plans are
+// built once and reused across trials. Tree queries are dispatched to
+// the linear-time treelet DP, cyclic ones to the DB engine.
+
+#include <vector>
+
+#include "ccbt/core/estimator.hpp"
+#include "ccbt/graph/csr_graph.hpp"
+#include "ccbt/query/query_graph.hpp"
+
+namespace ccbt {
+
+struct ProfileOptions {
+  int trials = 3;
+  std::uint64_t seed = 1;
+  ExecOptions exec;
+};
+
+struct ProfileEntry {
+  QueryGraph query;
+  double matches = 0.0;      // estimated injective mappings
+  double occurrences = 0.0;  // matches / aut
+  double cv = 0.0;           // precision across trials
+  std::uint64_t automorphisms = 1;
+};
+
+/// Profile an explicit family; every query must have the same node count.
+std::vector<ProfileEntry> motif_profile(const CsrGraph& g,
+                                        const std::vector<QueryGraph>& family,
+                                        const ProfileOptions& opts = {});
+
+/// The canonical families: all connected treewidth<=2 queries (or all
+/// trees with max_treewidth=1) on k nodes, 3 <= k <= 6.
+std::vector<ProfileEntry> graphlet_profile(const CsrGraph& g, int k,
+                                           const ProfileOptions& opts = {},
+                                           int max_treewidth = 2);
+
+}  // namespace ccbt

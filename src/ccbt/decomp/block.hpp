@@ -1,0 +1,57 @@
+#pragma once
+// Blocks and decomposition trees (Section 4.1).
+//
+// A block is either a leaf edge or a contractible cycle (an induced cycle
+// of the working query with at most two boundary nodes); the singleton
+// kind covers the degenerate root left when the last contraction consumes
+// everything but one node. Blocks carry annotations: child blocks hanging
+// off their nodes (unary projection tables) or their edges (binary
+// projection tables standing in for contracted substructures).
+
+#include <cstdint>
+#include <vector>
+
+#include "ccbt/graph/types.hpp"
+
+namespace ccbt {
+
+enum class BlockKind : std::uint8_t { kLeafEdge, kCycle, kSingleton };
+
+struct Block {
+  BlockKind kind = BlockKind::kCycle;
+
+  /// Cycle order a0..a(L-1); {boundary, leaf} for leaf edges; {node} for
+  /// the singleton root. Values are original query-node ids.
+  std::vector<QNode> nodes;
+
+  /// Positions (indices into `nodes`) of the boundary nodes, ascending.
+  /// Empty for the root.
+  std::vector<int> boundary_pos;
+
+  /// Per node position: child block index annotating it, or -1.
+  std::vector<int> node_child;
+
+  /// Per edge: child block index annotating it, or -1 when the edge is an
+  /// original query edge checked against the data graph. For cycles, edge
+  /// i connects nodes[i] and nodes[(i+1)%L]; leaf edges have one edge.
+  std::vector<int> edge_child;
+
+  /// True when the child's stored boundary order is (nodes[i+1], nodes[i])
+  /// rather than (nodes[i], nodes[i+1]); the solver then uses the child's
+  /// transposed table.
+  std::vector<bool> edge_child_flip;
+
+  int length() const { return static_cast<int>(nodes.size()); }
+  int boundary_count() const { return static_cast<int>(boundary_pos.size()); }
+};
+
+struct DecompTree {
+  int k = 0;  // number of query nodes
+
+  /// Topological order: children precede their parents; the root is last.
+  std::vector<Block> blocks;
+  int root = -1;
+  std::vector<int> parent;  // parent block index, -1 for the root
+};
+
+}  // namespace ccbt

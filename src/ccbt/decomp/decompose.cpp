@@ -1,0 +1,346 @@
+#include "ccbt/decomp/decompose.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <functional>
+
+#include "ccbt/query/treewidth.hpp"
+#include "ccbt/util/error.hpp"
+
+namespace ccbt {
+
+namespace {
+
+std::pair<int, int> edge_key(QNode a, QNode b) {
+  return a < b ? std::pair<int, int>{a, b} : std::pair<int, int>{b, a};
+}
+
+}  // namespace
+
+Contractor::Contractor(const QueryGraph& q) : q_(q) {
+  validate_query(q);
+  alive_ = (std::uint32_t{1} << q.num_nodes()) - 1;
+  node_annot_.fill(-1);
+  tree_.k = q.num_nodes();
+}
+
+int Contractor::alive_count() const { return std::popcount(alive_); }
+
+bool Contractor::done() const { return root_done_ || alive_count() <= 1; }
+
+const Contractor::EdgeAnnot* Contractor::edge_annotation(QNode a,
+                                                         QNode b) const {
+  const auto it = edge_annot_.find(edge_key(a, b));
+  return it == edge_annot_.end() ? nullptr : &it->second;
+}
+
+void Contractor::for_each_chordless_cycle(
+    const std::function<void(const std::vector<QNode>&)>& fn) const {
+  // Enumerate each chordless cycle once: the start node is the smallest on
+  // the cycle and the second node is smaller than the last (canonical
+  // direction). Extensions may not be adjacent to any interior path node;
+  // adjacency to the start closes the cycle (a longer continuation would
+  // carry a chord).
+  const int n = q_.num_nodes();
+  std::vector<QNode> path;
+  std::uint32_t on_path = 0;
+
+  std::function<void(QNode)> extend = [&](QNode start) {
+    const QNode last = path.back();
+    const std::uint32_t nbrs = q_.neighbors(last) & alive_;
+    for (int w = start + 1; w < n; ++w) {
+      if (!((nbrs >> w) & 1u) || ((on_path >> w) & 1u)) continue;
+      const std::uint32_t w_adj = q_.neighbors(static_cast<QNode>(w)) & alive_;
+      // Interior adjacency (anything on the path except `last` and the
+      // start) would create a chord.
+      const std::uint32_t interior =
+          on_path & ~(std::uint32_t{1} << last) & ~(std::uint32_t{1} << start);
+      if ((w_adj & interior) != 0) continue;
+      const bool first_step = path.size() == 1;
+      const bool closes = !first_step && ((w_adj >> start) & 1u) != 0;
+      if (closes) {
+        if (path[1] < static_cast<QNode>(w)) {
+          path.push_back(static_cast<QNode>(w));
+          fn(path);
+          path.pop_back();
+        }
+        continue;  // extending past w would leave the chord (w, start)
+      }
+      {
+        path.push_back(static_cast<QNode>(w));
+        on_path |= std::uint32_t{1} << w;
+        extend(start);
+        on_path &= ~(std::uint32_t{1} << w);
+        path.pop_back();
+      }
+    }
+  };
+
+  for (int s = 0; s < n; ++s) {
+    if (!((alive_ >> s) & 1u)) continue;
+    path.assign(1, static_cast<QNode>(s));
+    on_path = std::uint32_t{1} << s;
+    extend(static_cast<QNode>(s));
+  }
+}
+
+std::vector<QNode> Contractor::boundary_of_cycle(
+    const std::vector<QNode>& cyc) const {
+  std::uint32_t in_cycle = 0;
+  for (QNode a : cyc) in_cycle |= std::uint32_t{1} << a;
+  std::vector<QNode> boundary;
+  for (QNode a : cyc) {
+    if ((q_.neighbors(a) & alive_ & ~in_cycle) != 0) boundary.push_back(a);
+  }
+  return boundary;
+}
+
+std::string Contractor::block_signature(const Candidate& c) const {
+  // The signature captures everything that determines the post-contraction
+  // state: boundary node identities, the block kind, and the canonical
+  // (rotation/reflection-minimal) sequence of per-position annotations.
+  auto canon_of = [this](int block) -> std::string {
+    return block < 0 ? std::string("-") : block_canon_[block];
+  };
+  std::string sig;
+  if (c.kind == BlockKind::kLeafEdge) {
+    const QNode a = c.nodes[0], b = c.nodes[1];
+    const EdgeAnnot* ea = edge_annotation(a, b);
+    sig = "L:" + std::to_string(a) + ":" +
+          canon_of(node_annot_[a]) + ";" + canon_of(node_annot_[b]) + ";" +
+          canon_of(ea ? ea->block : -1);
+    return sig;
+  }
+  const int L = static_cast<int>(c.nodes.size());
+  std::vector<bool> is_boundary(L, false);
+  for (int p : c.boundary_pos) is_boundary[p] = true;
+  std::string best;
+  for (int rot = 0; rot < L; ++rot) {
+    for (int dir : {+1, -1}) {
+      std::string s = "C" + std::to_string(L) + ":";
+      for (int i = 0; i < L; ++i) {
+        const int pos = ((rot + dir * i) % L + L) % L;
+        const int nxt = ((rot + dir * (i + 1)) % L + L) % L;
+        const QNode u = c.nodes[pos], v = c.nodes[nxt];
+        const EdgeAnnot* ea = edge_annotation(u, v);
+        s += is_boundary[pos] ? "B" : "n";
+        s += std::to_string(c.nodes[pos]);  // boundary ids must match
+        s += "(" + canon_of(node_annot_[u]) + "|" +
+             canon_of(ea ? ea->block : -1) + ")";
+      }
+      if (best.empty() || s < best) best = s;
+    }
+  }
+  return best;
+}
+
+std::vector<Contractor::Candidate> Contractor::candidates() const {
+  std::vector<Candidate> out;
+  const int n = q_.num_nodes();
+
+  // Leaf edges: alive nodes of degree one in the working query.
+  for (int b = 0; b < n; ++b) {
+    if (!((alive_ >> b) & 1u)) continue;
+    const std::uint32_t nbrs = q_.neighbors(static_cast<QNode>(b)) & alive_;
+    if (std::popcount(nbrs) != 1) continue;
+    const int a = std::countr_zero(nbrs);
+    // Skip the two-node case where both endpoints have degree one unless b
+    // is the higher id (pick one orientation deterministically).
+    if (std::popcount(q_.neighbors(static_cast<QNode>(a)) & alive_) == 1 &&
+        a > b) {
+      continue;
+    }
+    Candidate c;
+    c.kind = BlockKind::kLeafEdge;
+    c.nodes = {static_cast<QNode>(a), static_cast<QNode>(b)};
+    c.boundary_pos = {0};
+    out.push_back(std::move(c));
+  }
+
+  // Contractible cycles: chordless with at most two boundary nodes.
+  for_each_chordless_cycle([&](const std::vector<QNode>& cyc) {
+    const std::vector<QNode> boundary = boundary_of_cycle(cyc);
+    if (boundary.size() > 2) return;
+    Candidate c;
+    c.kind = BlockKind::kCycle;
+    c.nodes = cyc;
+    for (int i = 0; i < static_cast<int>(cyc.size()); ++i) {
+      if (std::find(boundary.begin(), boundary.end(), cyc[i]) !=
+          boundary.end()) {
+        c.boundary_pos.push_back(i);
+      }
+    }
+    out.push_back(std::move(c));
+  });
+
+  for (auto& c : out) c.signature = block_signature(c);
+
+  // Deterministic order, then drop symmetric duplicates.
+  std::sort(out.begin(), out.end(), [](const Candidate& x, const Candidate& y) {
+    return x.signature < y.signature;
+  });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const Candidate& x, const Candidate& y) {
+                          return x.signature == y.signature;
+                        }),
+            out.end());
+  return out;
+}
+
+void Contractor::contract(const Candidate& c) {
+  const int id = static_cast<int>(tree_.blocks.size());
+  // The canonical string must reflect the *pre*-contraction annotations.
+  const std::string canon =
+      c.signature.empty() ? block_signature(c) : c.signature;
+  Block blk;
+  blk.kind = c.kind;
+  blk.nodes = c.nodes;
+  blk.boundary_pos = c.boundary_pos;
+  const int L = blk.length();
+  blk.node_child.assign(L, -1);
+  const int num_edges = (c.kind == BlockKind::kLeafEdge) ? 1 : L;
+  blk.edge_child.assign(num_edges, -1);
+  blk.edge_child_flip.assign(num_edges, false);
+
+  // Inherit annotations from the working query (they become children).
+  std::vector<int> children;
+  for (int i = 0; i < L; ++i) {
+    blk.node_child[i] = node_annot_[blk.nodes[i]];
+    if (blk.node_child[i] >= 0) children.push_back(blk.node_child[i]);
+  }
+  for (int i = 0; i < num_edges; ++i) {
+    const QNode u = blk.nodes[i];
+    const QNode v = blk.nodes[(i + 1) % L];
+    if (const EdgeAnnot* ea = edge_annotation(u, v)) {
+      blk.edge_child[i] = ea->block;
+      blk.edge_child_flip[i] = (ea->first != u);
+      children.push_back(ea->block);
+    }
+  }
+
+  // Remove the block from the working query.
+  if (c.kind == BlockKind::kLeafEdge) {
+    const QNode a = blk.nodes[0], b = blk.nodes[1];
+    q_.remove_edge(a, b);
+    edge_annot_.erase(edge_key(a, b));
+    alive_ &= ~(std::uint32_t{1} << b);
+    node_annot_[b] = -1;
+    node_annot_[a] = id;  // Case 3: annotate the boundary node
+  } else {
+    std::uint32_t in_cycle = 0;
+    for (QNode a : blk.nodes) in_cycle |= std::uint32_t{1} << a;
+    for (int i = 0; i < L; ++i) {
+      const QNode u = blk.nodes[i];
+      const QNode v = blk.nodes[(i + 1) % L];
+      q_.remove_edge(u, v);
+      edge_annot_.erase(edge_key(u, v));
+    }
+    for (QNode a : blk.nodes) node_annot_[a] = -1;
+    switch (blk.boundary_count()) {
+      case 0:  // the cycle is the entire remaining query: it is the root
+        alive_ &= ~in_cycle;
+        root_done_ = true;
+        break;
+      case 1: {  // Case 1
+        const QNode a = blk.nodes[blk.boundary_pos[0]];
+        alive_ &= ~(in_cycle & ~(std::uint32_t{1} << a));
+        node_annot_[a] = id;
+        break;
+      }
+      case 2: {  // Case 2: contract to an annotated edge (a,b)
+        const QNode a = blk.nodes[blk.boundary_pos[0]];
+        const QNode b = blk.nodes[blk.boundary_pos[1]];
+        alive_ &= ~(in_cycle & ~(std::uint32_t{1} << a) &
+                    ~(std::uint32_t{1} << b));
+        q_.add_edge(a, b);
+        edge_annot_[edge_key(a, b)] = EdgeAnnot{id, a};
+        break;
+      }
+      default:
+        throw Error("contract: cycle with more than two boundary nodes");
+    }
+  }
+
+  tree_.blocks.push_back(std::move(blk));
+  tree_.parent.push_back(-1);
+  for (int child : children) tree_.parent[child] = id;
+  block_canon_.push_back(canon);
+  if (root_done_) tree_.root = id;
+}
+
+DecompTree Contractor::finish() {
+  while (!done()) {
+    const auto cands = candidates();
+    if (cands.empty()) {
+      throw UnsupportedQuery(
+          "decomposition stuck: no contractible block (treewidth > 2?)");
+    }
+    contract(cands.front());
+  }
+  if (!root_done_) {
+    // A single node remains; install the singleton root.
+    const int a = std::countr_zero(alive_);
+    Block blk;
+    blk.kind = BlockKind::kSingleton;
+    blk.nodes = {static_cast<QNode>(a)};
+    blk.node_child = {node_annot_[a]};
+    const int id = static_cast<int>(tree_.blocks.size());
+    tree_.blocks.push_back(std::move(blk));
+    tree_.parent.push_back(-1);
+    if (node_annot_[a] >= 0) tree_.parent[node_annot_[a]] = id;
+    block_canon_.push_back("S");
+    tree_.root = id;
+    root_done_ = true;
+  }
+  return tree_;
+}
+
+std::string Contractor::canonical_string(const DecompTree& tree) {
+  // Recursive canonical serialization: each block renders its per-position
+  // annotation canonical strings, minimized over cycle rotations and
+  // reflections; children render before parents.
+  std::vector<std::string> canon(tree.blocks.size());
+  for (std::size_t i = 0; i < tree.blocks.size(); ++i) {
+    const Block& b = tree.blocks[i];
+    auto child_str = [&](int c) {
+      return c < 0 ? std::string("-") : canon[c];
+    };
+    if (b.kind == BlockKind::kSingleton) {
+      canon[i] = "S(" + child_str(b.node_child[0]) + ")";
+      continue;
+    }
+    if (b.kind == BlockKind::kLeafEdge) {
+      canon[i] = "L(" + child_str(b.node_child[0]) + ";" +
+                 child_str(b.node_child[1]) + ";" +
+                 child_str(b.edge_child[0]) + ")";
+      continue;
+    }
+    const int L = b.length();
+    std::vector<bool> is_boundary(L, false);
+    for (int p : b.boundary_pos) is_boundary[p] = true;
+    std::string best;
+    for (int rot = 0; rot < L; ++rot) {
+      for (int dir : {+1, -1}) {
+        std::string s = "C" + std::to_string(L) + "[";
+        for (int t = 0; t < L; ++t) {
+          const int pos = ((rot + dir * t) % L + L) % L;
+          const int eidx = dir > 0 ? pos : ((pos - 1) % L + L) % L;
+          s += is_boundary[pos] ? "B" : "n";
+          s += "(" + child_str(b.node_child[pos]) + "|" +
+               child_str(b.edge_child[eidx]) + ")";
+        }
+        s += "]";
+        if (best.empty() || s < best) best = s;
+      }
+    }
+    canon[i] = best;
+  }
+  return tree.root >= 0 ? canon[tree.root] : std::string();
+}
+
+DecompTree decompose_default(const QueryGraph& q) {
+  Contractor c(q);
+  return c.finish();
+}
+
+}  // namespace ccbt

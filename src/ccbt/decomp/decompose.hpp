@@ -1,0 +1,82 @@
+#pragma once
+// The contraction process of Section 4.1.
+//
+// Contractor maintains the working query Q together with node/edge
+// annotations. Each step selects a block candidate (leaf edge or
+// contractible cycle), removes it from Q per Cases 1-3, and appends the
+// corresponding node to the decomposition tree. Lemma 4.1 guarantees a
+// candidate exists at every step for treewidth-2 queries; Contractor
+// throws UnsupportedQuery otherwise.
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ccbt/decomp/block.hpp"
+#include "ccbt/query/query_graph.hpp"
+
+namespace ccbt {
+
+class Contractor {
+ public:
+  explicit Contractor(const QueryGraph& q);
+
+  struct Candidate {
+    BlockKind kind = BlockKind::kCycle;
+    std::vector<QNode> nodes;     // cycle order / {boundary, leaf}
+    std::vector<int> boundary_pos;
+    /// Symmetry key: candidates with equal signatures lead to isomorphic
+    /// post-contraction states and need only be explored once.
+    std::string signature;
+  };
+
+  /// All contractible blocks of the current working query, deterministic
+  /// order, deduplicated by signature.
+  std::vector<Candidate> candidates() const;
+
+  /// Apply one contraction (Cases 1-3 of Section 4.1, plus the
+  /// zero-boundary root case).
+  void contract(const Candidate& c);
+
+  /// True once the working query is a single (possibly annotated) node or
+  /// fully consumed by a root cycle.
+  bool done() const;
+
+  /// Finalize: installs the singleton root if the last contraction left a
+  /// node, and returns the tree.
+  DecompTree finish();
+
+  /// Canonical serialization of a finished tree, used for deduplication
+  /// during enumeration.
+  static std::string canonical_string(const DecompTree& tree);
+
+  int alive_count() const;
+
+ private:
+  struct EdgeAnnot {
+    int block = -1;
+    QNode first = 0;  // query node that is the child's first boundary
+  };
+
+  std::string block_signature(const Candidate& c) const;
+  void for_each_chordless_cycle(
+      const std::function<void(const std::vector<QNode>&)>& fn) const;
+  std::vector<QNode> boundary_of_cycle(const std::vector<QNode>& cyc) const;
+  const EdgeAnnot* edge_annotation(QNode a, QNode b) const;
+
+  QueryGraph q_;
+  std::uint32_t alive_ = 0;
+  std::array<int, kMaxQueryNodes> node_annot_;
+  std::map<std::pair<int, int>, EdgeAnnot> edge_annot_;
+  DecompTree tree_;
+  std::vector<std::string> block_canon_;  // canonical string per built block
+  bool root_done_ = false;
+};
+
+/// Build one decomposition tree with the first-candidate policy.
+DecompTree decompose_default(const QueryGraph& q);
+
+}  // namespace ccbt

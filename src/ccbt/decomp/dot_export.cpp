@@ -1,0 +1,71 @@
+#include "ccbt/decomp/dot_export.hpp"
+
+#include <sstream>
+
+namespace ccbt {
+
+namespace {
+
+const char* kind_name(BlockKind k) {
+  switch (k) {
+    case BlockKind::kLeafEdge: return "leaf";
+    case BlockKind::kCycle: return "cycle";
+    case BlockKind::kSingleton: return "singleton";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string query_to_dot(const QueryGraph& q) {
+  std::ostringstream os;
+  os << "graph \"" << (q.name().empty() ? "query" : q.name()) << "\" {\n"
+     << "  node [shape=circle];\n";
+  for (int a = 0; a < q.num_nodes(); ++a) os << "  n" << a << ";\n";
+  for (const auto& [a, b] : q.edge_pairs()) {
+    os << "  n" << a << " -- n" << b << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string decomp_tree_to_dot(const DecompTree& tree) {
+  std::ostringstream os;
+  os << "digraph decomposition {\n"
+     << "  node [shape=box, fontname=\"monospace\"];\n"
+     << "  rankdir=BT;\n";
+  for (std::size_t i = 0; i < tree.blocks.size(); ++i) {
+    const Block& b = tree.blocks[i];
+    os << "  b" << i << " [label=\"B" << i << " " << kind_name(b.kind)
+       << "\\nnodes:";
+    for (QNode a : b.nodes) os << " " << static_cast<int>(a);
+    os << "\\nboundary:";
+    if (b.boundary_pos.empty()) os << " (root)";
+    for (int p : b.boundary_pos) os << " " << static_cast<int>(b.nodes[p]);
+    os << "\"";
+    if (static_cast<int>(i) == tree.root) os << ", style=bold";
+    os << "];\n";
+  }
+  for (std::size_t i = 0; i < tree.blocks.size(); ++i) {
+    const Block& b = tree.blocks[i];
+    for (std::size_t p = 0; p < b.node_child.size(); ++p) {
+      if (b.node_child[p] >= 0) {
+        os << "  b" << b.node_child[p] << " -> b" << i
+           << " [label=\"node " << static_cast<int>(b.nodes[p]) << "\"];\n";
+      }
+    }
+    for (std::size_t e = 0; e < b.edge_child.size(); ++e) {
+      if (b.edge_child[e] >= 0) {
+        os << "  b" << b.edge_child[e] << " -> b" << i << " [label=\"edge "
+           << static_cast<int>(b.nodes[e]) << "-"
+           << static_cast<int>(
+                  b.nodes[(e + 1) % b.nodes.size()])
+           << (b.edge_child_flip[e] ? " (flip)" : "") << "\"];\n";
+      }
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace ccbt

@@ -1,0 +1,21 @@
+#pragma once
+// Graphviz DOT rendering of queries and decomposition trees — the
+// debugging/teaching view of the Section 4 contraction process (what
+// Figure 2 of the paper shows for the Satellite query).
+
+#include <string>
+
+#include "ccbt/decomp/block.hpp"
+#include "ccbt/query/query_graph.hpp"
+
+namespace ccbt {
+
+/// The query graph as an undirected DOT graph.
+std::string query_to_dot(const QueryGraph& q);
+
+/// The decomposition tree as a DOT digraph: one box per block showing
+/// its kind, node sequence, boundary positions and annotation edges to
+/// its children.
+std::string decomp_tree_to_dot(const DecompTree& tree);
+
+}  // namespace ccbt

@@ -1,0 +1,43 @@
+#include "ccbt/decomp/plan.hpp"
+
+#include <algorithm>
+
+#include "ccbt/util/error.hpp"
+
+namespace ccbt {
+
+PlanFeatures features_of(const DecompTree& tree) {
+  PlanFeatures f;
+  for (const Block& b : tree.blocks) {
+    if (b.kind == BlockKind::kCycle) {
+      f.longest_cycle = std::max(f.longest_cycle, b.length());
+    }
+    f.total_boundary += b.boundary_count();
+    for (int c : b.node_child) f.total_annotations += (c >= 0) ? 1 : 0;
+    for (int c : b.edge_child) f.total_annotations += (c >= 0) ? 1 : 0;
+  }
+  return f;
+}
+
+std::vector<Plan> enumerate_plans(const QueryGraph& q,
+                                  const EnumLimits& limits) {
+  std::vector<Plan> plans;
+  for (DecompTree& tree : enumerate_decompositions(q, limits)) {
+    PlanFeatures f = features_of(tree);
+    plans.push_back(Plan{std::move(tree), f});
+  }
+  return plans;
+}
+
+Plan make_plan(const QueryGraph& q, const EnumLimits& limits) {
+  std::vector<Plan> plans = enumerate_plans(q, limits);
+  if (plans.empty()) {
+    throw UnsupportedQuery("make_plan: no decomposition tree found");
+  }
+  auto best = std::min_element(
+      plans.begin(), plans.end(),
+      [](const Plan& a, const Plan& b) { return a.features < b.features; });
+  return std::move(*best);
+}
+
+}  // namespace ccbt

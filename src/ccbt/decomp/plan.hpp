@@ -1,0 +1,51 @@
+#pragma once
+// Query plans and the plan-selection heuristic of Section 6.
+//
+// The paper's study found execution time is driven by, in decreasing
+// order of importance: (i) the length of the longest cycle block,
+// (ii) the number of boundary nodes, (iii) the number of node/edge
+// annotations. The heuristic enumerates the (small) space of decomposition
+// trees for a query and picks the lexicographic minimum of these features.
+
+#include <cstddef>
+#include <vector>
+
+#include "ccbt/decomp/block.hpp"
+#include "ccbt/decomp/tree_enum.hpp"
+#include "ccbt/query/query_graph.hpp"
+
+namespace ccbt {
+
+struct PlanFeatures {
+  int longest_cycle = 0;
+  int total_boundary = 0;
+  int total_annotations = 0;
+
+  friend bool operator<(const PlanFeatures& a, const PlanFeatures& b) {
+    if (a.longest_cycle != b.longest_cycle) {
+      return a.longest_cycle < b.longest_cycle;
+    }
+    if (a.total_boundary != b.total_boundary) {
+      return a.total_boundary < b.total_boundary;
+    }
+    return a.total_annotations < b.total_annotations;
+  }
+  friend bool operator==(const PlanFeatures&, const PlanFeatures&) = default;
+};
+
+struct Plan {
+  DecompTree tree;
+  PlanFeatures features;
+};
+
+PlanFeatures features_of(const DecompTree& tree);
+
+/// All distinct plans (decomposition trees + features), enumeration caps
+/// as in tree_enum.
+std::vector<Plan> enumerate_plans(const QueryGraph& q,
+                                  const EnumLimits& limits = {});
+
+/// The heuristic-selected plan (Section 6).
+Plan make_plan(const QueryGraph& q, const EnumLimits& limits = {});
+
+}  // namespace ccbt

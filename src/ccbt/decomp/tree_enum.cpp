@@ -1,0 +1,46 @@
+#include "ccbt/decomp/tree_enum.hpp"
+
+#include <set>
+#include <string>
+
+namespace ccbt {
+
+namespace {
+
+struct EnumState {
+  const EnumLimits& limits;
+  std::vector<DecompTree> trees;
+  std::set<std::string> seen;
+  std::size_t steps = 0;
+
+  void walk(Contractor contractor) {
+    if (trees.size() >= limits.max_trees || steps >= limits.max_steps) return;
+    ++steps;
+    if (contractor.done()) {
+      DecompTree tree = contractor.finish();
+      if (seen.insert(Contractor::canonical_string(tree)).second) {
+        trees.push_back(std::move(tree));
+      }
+      return;
+    }
+    for (const auto& cand : contractor.candidates()) {
+      if (trees.size() >= limits.max_trees || steps >= limits.max_steps) {
+        return;
+      }
+      Contractor next = contractor;  // states are small; copying is cheap
+      next.contract(cand);
+      walk(std::move(next));
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<DecompTree> enumerate_decompositions(const QueryGraph& q,
+                                                 const EnumLimits& limits) {
+  EnumState state{limits, {}, {}, 0};
+  state.walk(Contractor(q));
+  return state.trees;
+}
+
+}  // namespace ccbt

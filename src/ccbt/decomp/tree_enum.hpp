@@ -1,0 +1,24 @@
+#pragma once
+// Enumeration of decomposition trees.
+//
+// A query admits many decomposition trees (Section 6 reports up to 13x
+// runtime difference between them). The enumerator explores every
+// contraction order, pruning symmetric candidates (equal signatures) and
+// deduplicating finished trees by canonical serialization.
+
+#include <cstddef>
+#include <vector>
+
+#include "ccbt/decomp/decompose.hpp"
+
+namespace ccbt {
+
+struct EnumLimits {
+  std::size_t max_trees = 512;   // distinct trees to return
+  std::size_t max_steps = 50000; // contraction states to explore
+};
+
+std::vector<DecompTree> enumerate_decompositions(const QueryGraph& q,
+                                                 const EnumLimits& limits = {});
+
+}  // namespace ccbt

@@ -1,0 +1,21 @@
+#include "ccbt/engine/cycle_solver.hpp"
+
+#include "ccbt/engine/split_plan.hpp"
+#include "ccbt/util/error.hpp"
+
+namespace ccbt {
+
+ProjTable solve_cycle(const ExecContext& cx, const Block& blk,
+                      TablePool& pool) {
+  AccumMap sink;
+  for (const SplitPlan& plan : splits_for(blk, cx.opts.algo)) {
+    ProjTable plus = build_path(cx, blk, pool, plan.plus);
+    ProjTable minus = build_path(cx, blk, pool, plan.minus);
+    merge_halves(cx, plus, minus, plan.merge, sink);
+  }
+  // The merge spec emitted exactly the boundary slots, so the accumulated
+  // keys already project to the block's boundary images.
+  return ProjTable::from_map(blk.boundary_count(), std::move(sink));
+}
+
+}  // namespace ccbt

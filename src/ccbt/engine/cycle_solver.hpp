@@ -1,0 +1,15 @@
+#pragma once
+// Cycle-block solving (Section 5): PS, PS-EVEN and DB strategies.
+
+#include "ccbt/decomp/block.hpp"
+#include "ccbt/engine/path_builder.hpp"
+
+namespace ccbt {
+
+/// Compute the projection table of a (possibly annotated) cycle block.
+/// Output arity equals the block's boundary count; keys are ordered
+/// (nodes[boundary_pos[0]], nodes[boundary_pos[1]]).
+ProjTable solve_cycle(const ExecContext& cx, const Block& blk,
+                      TablePool& pool);
+
+}  // namespace ccbt

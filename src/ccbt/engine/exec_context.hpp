@@ -1,0 +1,72 @@
+#pragma once
+// Execution context shared by all engine primitives.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "ccbt/engine/load_model.hpp"
+#include "ccbt/graph/coloring.hpp"
+#include "ccbt/graph/csr_graph.hpp"
+#include "ccbt/graph/degree_order.hpp"
+#include "ccbt/graph/partition.hpp"
+
+namespace ccbt {
+
+/// Which cycle-solving strategy to run (Section 5).
+enum class Algo : std::uint8_t {
+  kPS,      // baseline: split at the boundary nodes (Alon et al. DP)
+  kPSEven,  // ablation: split evenly at (p, diag(p)), track boundaries
+  kDB,      // degree-based: anchor at the highest node, split at diagonal
+};
+
+inline const char* algo_name(Algo a) {
+  switch (a) {
+    case Algo::kPS: return "PS";
+    case Algo::kPSEven: return "PS-EVEN";
+    case Algo::kDB: return "DB";
+  }
+  return "?";
+}
+
+struct ExecOptions {
+  Algo algo = Algo::kDB;
+
+  /// Virtual MPI ranks for the load model; 0 disables load accounting.
+  std::uint32_t sim_ranks = 0;
+
+  /// Abort with BudgetExceeded when any table grows beyond this (the
+  /// paper's PS runs hit exactly this wall — blank cells in Fig 10).
+  std::size_t max_table_entries = 80'000'000;
+
+  /// Ablation: anchor DB at the id order instead of the degree order
+  /// (isolates the value of degree information from symmetry breaking).
+  bool order_by_id = false;
+
+  /// Use OpenMP in the join primitives.
+  bool use_threads = true;
+};
+
+struct ExecContext {
+  const CsrGraph& g;
+  const Coloring& chi;
+  const DegreeOrder& order;
+  BlockPartition part;       // ownership map for the load model
+  LoadModel* load = nullptr;  // optional
+  ExecOptions opts;
+
+  std::uint32_t owner(VertexId v) const { return part.owner(v); }
+
+  void charge(VertexId at, std::uint64_t ops) const {
+    if (load != nullptr) load->add_ops(part.owner(at), ops);
+  }
+  void send(VertexId from, VertexId to, std::uint64_t n) const {
+    if (load != nullptr) {
+      load->add_comm(part.owner(from), part.owner(to), n);
+    }
+  }
+  void end_phase() const {
+    if (load != nullptr) load->end_phase();
+  }
+};
+
+}  // namespace ccbt

@@ -1,0 +1,57 @@
+#include "ccbt/engine/executor.hpp"
+
+#include <algorithm>
+
+#include "ccbt/engine/cycle_solver.hpp"
+#include "ccbt/engine/leaf_solver.hpp"
+#include "ccbt/engine/path_builder.hpp"
+#include "ccbt/util/error.hpp"
+#include "ccbt/util/timer.hpp"
+
+namespace ccbt {
+
+ExecStats run_plan(const ExecContext& cx, const DecompTree& tree) {
+  if (tree.root < 0) throw Error("run_plan: tree has no root");
+  Timer timer;
+  ExecStats stats;
+  TablePool pool(tree.blocks.size());
+
+  for (std::size_t i = 0; i < tree.blocks.size(); ++i) {
+    const Block& blk = tree.blocks[i];
+    const bool is_root = (static_cast<int>(i) == tree.root);
+
+    if (blk.kind == BlockKind::kSingleton) {
+      if (!is_root) throw Error("run_plan: singleton below the root");
+      if (blk.node_child[0] >= 0) {
+        stats.colorful = pool.get(blk.node_child[0]).total();
+      } else {
+        // Single-node query: every data vertex is a colorful match.
+        stats.colorful = cx.g.num_vertices();
+      }
+      break;
+    }
+
+    ProjTable table = (blk.kind == BlockKind::kLeafEdge)
+                          ? solve_leaf_edge(cx, blk, pool)
+                          : solve_cycle(cx, blk, pool);
+    stats.peak_table_entries =
+        std::max(stats.peak_table_entries, table.size());
+    if (is_root) {
+      stats.colorful = table.total();
+      break;
+    }
+    pool.store(static_cast<int>(i), std::move(table));
+  }
+
+  stats.wall_seconds = timer.seconds();
+  if (cx.load != nullptr) {
+    stats.sim_time = cx.load->sim_time();
+    stats.total_ops = cx.load->total_ops();
+    stats.max_rank_ops = cx.load->max_rank_ops();
+    stats.avg_rank_ops = cx.load->avg_rank_ops();
+    stats.total_comm = cx.load->total_comm();
+  }
+  return stats;
+}
+
+}  // namespace ccbt

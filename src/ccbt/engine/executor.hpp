@@ -1,0 +1,28 @@
+#pragma once
+// Bottom-up traversal of the decomposition tree (Fig 3, "Overall
+// Algorithm"): solve each block from its children's projection tables;
+// the root emits the number of colorful matches.
+
+#include "ccbt/decomp/block.hpp"
+#include "ccbt/engine/exec_context.hpp"
+
+namespace ccbt {
+
+struct ExecStats {
+  Count colorful = 0;
+  double wall_seconds = 0.0;
+  std::size_t peak_table_entries = 0;
+
+  // Filled when a LoadModel was attached.
+  double sim_time = 0.0;
+  std::uint64_t total_ops = 0;
+  std::uint64_t max_rank_ops = 0;
+  double avg_rank_ops = 0.0;
+  std::uint64_t total_comm = 0;
+};
+
+/// Count the colorful matches of the plan's query under cx.chi.
+/// Throws BudgetExceeded when a table outgrows the configured budget.
+ExecStats run_plan(const ExecContext& cx, const DecompTree& tree);
+
+}  // namespace ccbt

@@ -1,0 +1,37 @@
+#include "ccbt/engine/load_model.hpp"
+
+#include <algorithm>
+
+namespace ccbt {
+
+void LoadModel::end_phase() {
+  double makespan = 0.0;
+  for (std::size_t r = 0; r < phase_ops_.size(); ++r) {
+    const double work = static_cast<double>(phase_ops_[r]) +
+                        comm_cost_ * static_cast<double>(phase_recv_[r]);
+    makespan = std::max(makespan, work);
+    phase_ops_[r] = 0;
+    phase_recv_[r] = 0;
+  }
+  sim_time_ += makespan;
+}
+
+std::uint64_t LoadModel::total_ops() const {
+  std::uint64_t sum = 0;
+  for (auto v : total_ops_) sum += v;
+  return sum;
+}
+
+std::uint64_t LoadModel::max_rank_ops() const {
+  std::uint64_t best = 0;
+  for (auto v : total_ops_) best = std::max(best, v);
+  return best;
+}
+
+double LoadModel::avg_rank_ops() const {
+  if (total_ops_.empty()) return 0.0;
+  return static_cast<double>(total_ops()) /
+         static_cast<double>(total_ops_.size());
+}
+
+}  // namespace ccbt

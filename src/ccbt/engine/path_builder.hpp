@@ -1,0 +1,61 @@
+#pragma once
+// Generic path-table construction over a cycle block (Fig 7).
+//
+// A PathSpec describes one half of a split cycle: the sequence of node
+// positions from the anchor to the end, which cycle edge is crossed at
+// each step (and in which storage direction), which positions must be
+// *tracked* into extra key slots (interior boundary nodes of the DB
+// configurations), and which of the two shared endpoints' annotations this
+// path owns (P+ owns the end's, P- owns the anchor's — Section 5.2).
+
+#include <vector>
+
+#include "ccbt/decomp/block.hpp"
+#include "ccbt/engine/exec_context.hpp"
+#include "ccbt/engine/primitives.hpp"
+#include "ccbt/table/proj_table.hpp"
+
+namespace ccbt {
+
+/// Solved child tables, sealed kByV0, with cached transposes.
+class TablePool {
+ public:
+  explicit TablePool(std::size_t num_blocks) : tables_(num_blocks) {}
+
+  void store(int block, ProjTable table);
+  const ProjTable& get(int block) const { return tables_[block]; }
+
+  /// The child table with slot 0 = `from`'s image; transposes lazily.
+  const ProjTable& oriented(int block, bool transposed);
+
+  std::size_t total_entries() const;
+
+ private:
+  std::vector<ProjTable> tables_;
+  std::vector<ProjTable> transposed_;  // lazily filled, parallel to tables_
+  std::vector<bool> has_transposed_;
+};
+
+struct PathSpec {
+  /// Positions (indices into Block::nodes) visited, anchor first.
+  std::vector<int> positions;
+
+  /// edge_index[i] is the block edge crossed between positions[i] and
+  /// positions[i+1]; edge_forward[i] is true when that walk direction
+  /// matches the edge's storage direction nodes[e] -> nodes[e+1].
+  std::vector<int> edge_index;
+  std::vector<bool> edge_forward;
+
+  /// track_slot_at[i] >= 2: record positions[i]'s image in that key slot.
+  std::vector<int> track_slot_at;
+
+  bool include_start_annot = false;  // NodeJoin(anchor) — P- owns it
+  bool include_end_annot = false;    // NodeJoin(end)    — P+ owns it
+  bool anchor_higher = false;        // DB: anchor ≻ every cycle vertex
+};
+
+/// Build the projection table of one half-cycle path.
+ProjTable build_path(const ExecContext& cx, const Block& blk, TablePool& pool,
+                     const PathSpec& spec);
+
+}  // namespace ccbt

@@ -1,0 +1,242 @@
+#include "ccbt/engine/primitives.hpp"
+
+#include <string>
+
+#include "ccbt/util/error.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace ccbt {
+
+namespace {
+
+void check_budget(const ExecContext& cx, std::size_t size) {
+  if (size > cx.opts.max_table_entries) {
+    throw BudgetExceeded("projection table exceeded " +
+                         std::to_string(cx.opts.max_table_entries) +
+                         " entries");
+  }
+}
+
+/// Run `emit(index, map)` for every index in [0, n), accumulating into
+/// per-thread maps that are merged afterwards. Falls back to a single map
+/// when threading is disabled or load accounting is active (the load model
+/// is not thread safe and simulated runs must stay deterministic).
+template <typename Emit>
+AccumMap accumulate_over(const ExecContext& cx, std::size_t n, Emit&& emit) {
+#ifdef _OPENMP
+  if (cx.opts.use_threads && cx.load == nullptr && n > 4096) {
+    const int threads = omp_get_max_threads();
+    std::vector<AccumMap> maps(threads);
+    bool budget_hit = false;
+#pragma omp parallel num_threads(threads)
+    {
+      AccumMap& local = maps[omp_get_thread_num()];
+#pragma omp for schedule(dynamic, 512)
+      for (std::size_t i = 0; i < n; ++i) {
+        if (budget_hit) continue;
+        emit(i, local);
+        if (local.size() > cx.opts.max_table_entries) budget_hit = true;
+      }
+    }
+    if (budget_hit) check_budget(cx, cx.opts.max_table_entries + 1);
+    AccumMap merged(maps[0].size());
+    for (AccumMap& m : maps) {
+      for (const TableEntry& e : m.entries()) merged.add(e.key, e.cnt);
+      check_budget(cx, merged.size());
+    }
+    return merged;
+  }
+#endif
+  AccumMap map;
+  for (std::size_t i = 0; i < n; ++i) {
+    emit(i, map);
+    if ((i & 0xFFF) == 0) check_budget(cx, map.size());
+  }
+  check_budget(cx, map.size());
+  return map;
+}
+
+}  // namespace
+
+ProjTable init_path_from_graph(const ExecContext& cx, const ExtendOpts& o) {
+  const CsrGraph& g = cx.g;
+  AccumMap map = accumulate_over(
+      cx, g.num_vertices(), [&](std::size_t ui, AccumMap& sink) {
+        const auto u = static_cast<VertexId>(ui);
+        cx.charge(u, g.degree(u));
+        for (VertexId w : g.neighbors(u)) {
+          if (o.anchor_higher && !cx.order.higher(u, w)) continue;
+          if (cx.chi.color(u) == cx.chi.color(w)) continue;
+          TableKey key;
+          key.v[0] = u;
+          key.v[1] = w;
+          if (o.track_slot >= 0) key.v[o.track_slot] = w;
+          key.sig = cx.chi.bit(u) | cx.chi.bit(w);
+          sink.add(key, 1);
+          cx.send(u, w, 1);
+        }
+      });
+  cx.end_phase();
+  return ProjTable::from_map(2, std::move(map));
+}
+
+ProjTable init_path_from_child(const ExecContext& cx, const ProjTable& child,
+                               bool flip, const ExtendOpts& o) {
+  const auto entries = child.entries();
+  AccumMap map = accumulate_over(
+      cx, entries.size(), [&](std::size_t i, AccumMap& sink) {
+        const TableEntry& e = entries[i];
+        const VertexId a = e.key.v[flip ? 1 : 0];
+        const VertexId b = e.key.v[flip ? 0 : 1];
+        cx.charge(b, 1);
+        if (o.anchor_higher && !cx.order.higher(a, b)) return;
+        TableKey key;
+        key.v[0] = a;
+        key.v[1] = b;
+        if (o.track_slot >= 0) key.v[o.track_slot] = b;
+        key.sig = e.key.sig;
+        sink.add(key, e.cnt);
+      });
+  cx.end_phase();
+  return ProjTable::from_map(2, std::move(map));
+}
+
+ProjTable extend_with_graph(const ExecContext& cx, const ProjTable& path,
+                            const ExtendOpts& o) {
+  const CsrGraph& g = cx.g;
+  const auto entries = path.entries();
+  AccumMap map = accumulate_over(
+      cx, entries.size(), [&](std::size_t i, AccumMap& sink) {
+        const TableEntry& e = entries[i];
+        const VertexId v = e.key.v[1];
+        cx.charge(v, g.degree(v));
+        for (VertexId w : g.neighbors(v)) {
+          if (o.anchor_higher && !cx.order.higher(e.key.v[0], w)) continue;
+          const Signature w_bit = cx.chi.bit(w);
+          if ((e.key.sig & w_bit) != 0) continue;
+          TableKey key = e.key;
+          key.v[1] = w;
+          if (o.track_slot >= 0) key.v[o.track_slot] = w;
+          key.sig = e.key.sig | w_bit;
+          sink.add(key, e.cnt);
+          cx.send(v, w, 1);
+        }
+      });
+  cx.end_phase();
+  return ProjTable::from_map(path.arity(), std::move(map));
+}
+
+ProjTable extend_with_child(const ExecContext& cx, ProjTable& path,
+                            const ProjTable& child, const ExtendOpts& o) {
+  path.seal(SortOrder::kByV1);
+  const auto entries = path.entries();
+  AccumMap map = accumulate_over(
+      cx, entries.size(), [&](std::size_t i, AccumMap& sink) {
+        const TableEntry& e = entries[i];
+        const VertexId v = e.key.v[1];
+        const Signature v_bit = cx.chi.bit(v);
+        const auto group = child.group(0, v);
+        cx.charge(v, group.size());
+        for (const TableEntry& ce : group) {
+          if (!node_join_compatible(e.key.sig, ce.key.sig, v_bit)) continue;
+          const VertexId w = ce.key.v[1];
+          if (o.anchor_higher && !cx.order.higher(e.key.v[0], w)) continue;
+          TableKey key = e.key;
+          key.v[1] = w;
+          if (o.track_slot >= 0) key.v[o.track_slot] = w;
+          key.sig = e.key.sig | ce.key.sig;
+          sink.add(key, e.cnt * ce.cnt);
+          cx.send(v, w, 1);
+        }
+      });
+  cx.end_phase();
+  return ProjTable::from_map(path.arity(), std::move(map));
+}
+
+ProjTable node_join(const ExecContext& cx, const ProjTable& path,
+                    const ProjTable& child, int slot) {
+  const auto entries = path.entries();
+  AccumMap map = accumulate_over(
+      cx, entries.size(), [&](std::size_t i, AccumMap& sink) {
+        const TableEntry& e = entries[i];
+        const VertexId x = e.key.v[slot];
+        const Signature x_bit = cx.chi.bit(x);
+        const auto group = child.group(0, x);
+        cx.charge(x, group.size());
+        for (const TableEntry& ce : group) {
+          if (!node_join_compatible(e.key.sig, ce.key.sig, x_bit)) continue;
+          TableKey key = e.key;
+          key.sig = e.key.sig | ce.key.sig;
+          sink.add(key, e.cnt * ce.cnt);
+        }
+      });
+  cx.end_phase();
+  return ProjTable::from_map(path.arity(), std::move(map));
+}
+
+void merge_halves(const ExecContext& cx, ProjTable& plus, ProjTable& minus,
+                  const MergeSpec& spec, AccumMap& sink) {
+  plus.seal(SortOrder::kByV0V1);
+  minus.seal(SortOrder::kByV0V1);
+  const auto pe = plus.entries();
+  const auto me = minus.entries();
+  auto uv_less = [](const TableEntry& a, const TableEntry& b) {
+    return a.key.v[0] != b.key.v[0] ? a.key.v[0] < b.key.v[0]
+                                    : a.key.v[1] < b.key.v[1];
+  };
+  std::size_t pi = 0, mi = 0;
+  while (pi < pe.size() && mi < me.size()) {
+    if (uv_less(pe[pi], me[mi])) {
+      ++pi;
+      continue;
+    }
+    if (uv_less(me[mi], pe[pi])) {
+      ++mi;
+      continue;
+    }
+    // Same (u, v) group in both tables.
+    const VertexId u = pe[pi].key.v[0];
+    const VertexId v = pe[pi].key.v[1];
+    std::size_t pj = pi, mj = mi;
+    while (pj < pe.size() && pe[pj].key.v[0] == u && pe[pj].key.v[1] == v) ++pj;
+    while (mj < me.size() && me[mj].key.v[0] == u && me[mj].key.v[1] == v) ++mj;
+    const Signature uv_bits = cx.chi.bit(u) | cx.chi.bit(v);
+    cx.charge(v, (pj - pi) * (mj - mi));
+    for (std::size_t a = pi; a < pj; ++a) {
+      for (std::size_t b = mi; b < mj; ++b) {
+        if (!merge_compatible(pe[a].key.sig, me[b].key.sig, uv_bits)) continue;
+        TableKey key;
+        for (int s = 0; s < spec.out_arity; ++s) {
+          const MergeOut& src = spec.out[s];
+          key.v[s] = (src.side == 0 ? pe[a] : me[b]).key.v[src.slot];
+        }
+        key.sig = pe[a].key.sig | me[b].key.sig;
+        sink.add(key, pe[a].cnt * me[b].cnt);
+        if (spec.out_arity >= 2) cx.send(v, key.v[1], 1);
+      }
+    }
+    check_budget(cx, sink.size());
+    pi = pj;
+    mi = mj;
+  }
+  cx.end_phase();
+}
+
+ProjTable aggregate(const ExecContext& cx, const ProjTable& t, int new_arity) {
+  AccumMap map(t.size());
+  for (const TableEntry& e : t.entries()) {
+    TableKey key;
+    for (int s = 0; s < new_arity; ++s) key.v[s] = e.key.v[s];
+    key.sig = e.key.sig;
+    if (new_arity >= 1) cx.charge(key.v[0], 1);
+    map.add(key, e.cnt);
+  }
+  check_budget(cx, map.size());
+  cx.end_phase();
+  return ProjTable::from_map(new_arity, std::move(map));
+}
+
+}  // namespace ccbt

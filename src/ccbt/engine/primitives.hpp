@@ -1,0 +1,74 @@
+#pragma once
+// The engine's join primitives (Section 7, third layer).
+//
+// Path tables are keyed (slot0 = anchor image, slot1 = frontier image,
+// slots 2-3 = tracked boundary images, signature). Each primitive is one
+// bulk-synchronous phase of the virtual-rank load model:
+//   * init/extend with graph edges      — Procedure 1 of Figs 4 and 6;
+//   * init/extend with a child table    — EdgeJoin of Fig 7;
+//   * node_join with a unary child      — NodeJoin of Fig 7;
+//   * merge_halves                      — Procedure 2 of Figs 4 and 6.
+
+#include <array>
+
+#include "ccbt/engine/exec_context.hpp"
+#include "ccbt/table/proj_table.hpp"
+#include "ccbt/table/signature.hpp"
+
+namespace ccbt {
+
+struct ExtendOpts {
+  /// Also record the new frontier into this key slot (2 or 3); -1 = none.
+  int track_slot = -1;
+
+  /// DB constraint: the anchor must be strictly higher (u ≻ w) than the
+  /// newly matched cycle vertex.
+  bool anchor_higher = false;
+};
+
+/// Initial path table over all data-graph edges: one entry per ordered
+/// pair (u, w) of adjacent, distinctly colored vertices (u ≻ w when
+/// anchor_higher).
+ProjTable init_path_from_graph(const ExecContext& cx, const ExtendOpts& o);
+
+/// Initial path table from a child block's binary table. `flip` swaps the
+/// child's boundary orientation so slot 0 is the walk's starting node.
+ProjTable init_path_from_child(const ExecContext& cx, const ProjTable& child,
+                               bool flip, const ExtendOpts& o);
+
+/// Extend every path entry by one data-graph edge out of the frontier.
+ProjTable extend_with_graph(const ExecContext& cx, const ProjTable& path,
+                            const ExtendOpts& o);
+
+/// Extend through a child block's binary table (EdgeJoin): path frontier v
+/// joins child entries (v, w, sig2). `child` must be sealed kByV0 and
+/// already oriented (use TablePool::oriented).
+ProjTable extend_with_child(const ExecContext& cx, ProjTable& path,
+                            const ProjTable& child, const ExtendOpts& o);
+
+/// NodeJoin: multiply in a unary child at key slot `slot` (0 = anchor,
+/// 1 = frontier). `child` must be sealed kByV0.
+ProjTable node_join(const ExecContext& cx, const ProjTable& path,
+                    const ProjTable& child, int slot);
+
+/// Where each output key slot of a merge comes from.
+struct MergeOut {
+  int side = 0;  // 0 = plus path, 1 = minus path
+  int slot = 0;  // key slot within that path's table
+};
+
+struct MergeSpec {
+  int out_arity = 0;  // 0, 1, or 2 boundary images in the output key
+  std::array<MergeOut, 2> out{};
+};
+
+/// Join the two half-cycle tables on their shared (anchor, end) pair with
+/// the signature-compatibility test of Fig 6 Procedure 2, accumulating
+/// into `sink` (so the DB solver can sum over all anchor choices, Eq. 1).
+void merge_halves(const ExecContext& cx, ProjTable& plus, ProjTable& minus,
+                  const MergeSpec& spec, AccumMap& sink);
+
+/// Sum out all slots beyond the first new_arity (with phase accounting).
+ProjTable aggregate(const ExecContext& cx, const ProjTable& t, int new_arity);
+
+}  // namespace ccbt

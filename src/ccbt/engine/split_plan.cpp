@@ -1,0 +1,108 @@
+#include "ccbt/engine/split_plan.hpp"
+
+#include "ccbt/util/error.hpp"
+
+namespace ccbt {
+
+SplitPlan make_split(const Block& blk, int s, int e, bool anchor_higher) {
+  const int L = blk.length();
+  auto wrap = [L](int x) { return ((x % L) + L) % L; };
+
+  SplitPlan plan;
+  plan.plus.anchor_higher = anchor_higher;
+  plan.minus.anchor_higher = anchor_higher;
+  plan.plus.include_end_annot = true;     // P+ owns the end's annotation
+  plan.minus.include_start_annot = true;  // P- owns the anchor's annotation
+
+  const int len_plus = wrap(e - s);
+  const int len_minus = L - len_plus;
+  for (int i = 0; i <= len_plus; ++i) {
+    plan.plus.positions.push_back(wrap(s + i));
+    if (i < len_plus) {
+      plan.plus.edge_index.push_back(wrap(s + i));
+      plan.plus.edge_forward.push_back(true);
+    }
+  }
+  for (int i = 0; i <= len_minus; ++i) {
+    plan.minus.positions.push_back(wrap(s - i));
+    if (i < len_minus) {
+      plan.minus.edge_index.push_back(wrap(s - i - 1));
+      plan.minus.edge_forward.push_back(false);
+    }
+  }
+  plan.plus.track_slot_at.assign(plan.plus.positions.size(), -1);
+  plan.minus.track_slot_at.assign(plan.minus.positions.size(), -1);
+
+  // Boundary images in the output key, in the block's stored order.
+  plan.merge.out_arity = blk.boundary_count();
+  int next_slot_plus = 2, next_slot_minus = 2;
+  for (int b = 0; b < blk.boundary_count(); ++b) {
+    const int p = blk.boundary_pos[b];
+    if (p == s) {
+      plan.merge.out[b] = {0, 0};
+      continue;
+    }
+    if (p == e) {
+      plan.merge.out[b] = {0, 1};
+      continue;
+    }
+    // Interior: find it on one of the walks and track it.
+    auto locate = [&](PathSpec& spec, int& next_slot, int side) -> bool {
+      for (std::size_t i = 1; i + 1 < spec.positions.size(); ++i) {
+        if (spec.positions[i] == p) {
+          spec.track_slot_at[i] = next_slot;
+          plan.merge.out[b] = {side, next_slot};
+          ++next_slot;
+          return true;
+        }
+      }
+      return false;
+    };
+    if (!locate(plan.plus, next_slot_plus, 0) &&
+        !locate(plan.minus, next_slot_minus, 1)) {
+      throw Error("make_split: boundary position not on either path");
+    }
+  }
+  return plan;
+}
+
+std::vector<SplitPlan> splits_for(const Block& blk, Algo algo) {
+  if (blk.kind != BlockKind::kCycle || blk.length() < 3) {
+    throw Error("splits_for: not a cycle block");
+  }
+  const int L = blk.length();
+  auto wrap = [L](int x) { return ((x % L) + L) % L; };
+  const auto& bp = blk.boundary_pos;
+  std::vector<SplitPlan> out;
+
+  switch (algo) {
+    case Algo::kPS: {
+      // Baseline: split at the boundary nodes themselves (Fig 4); for one
+      // or zero boundaries, split at the boundary (or position 0) and its
+      // diagonal, then let the merge spec project the diagonal away.
+      const int s = bp.empty() ? 0 : bp[0];
+      const int e = (bp.size() == 2) ? bp[1] : wrap(s + L / 2);
+      out.push_back(make_split(blk, s, e, false));
+      break;
+    }
+    case Algo::kPSEven: {
+      // Ablation (Section 5.1 discussion): always split evenly at the
+      // first boundary's diagonal, recording interior boundaries.
+      const int s = bp.empty() ? 0 : bp[0];
+      const int e = wrap(s + L / 2);
+      out.push_back(make_split(blk, s, e, false));
+      break;
+    }
+    case Algo::kDB: {
+      // Degree-based: partition matches by the highest cycle node h
+      // (Eq. 1), split at (h, diag(h)), count only high-starting paths.
+      for (int h = 0; h < L; ++h) {
+        out.push_back(make_split(blk, h, wrap(h + L / 2), true));
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace ccbt

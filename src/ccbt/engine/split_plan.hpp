@@ -1,0 +1,35 @@
+#pragma once
+// Cycle split plans shared by the shared-memory and distributed solvers.
+//
+// A SplitPlan lays out the two half-cycle walks for a split at (anchor s,
+// end e) together with the merge spec that projects the block's boundary
+// images out of the path keys (anchor -> slot 0, end -> slot 1, interior
+// boundary -> tracked slot on whichever path contains it). Section 5
+// defines the split choices: PS splits at the boundary nodes, PS-EVEN and
+// DB split a node against its diagonal; DB additionally enumerates every
+// anchor choice and restricts to high-starting paths.
+
+#include <vector>
+
+#include "ccbt/decomp/block.hpp"
+#include "ccbt/engine/exec_context.hpp"
+#include "ccbt/engine/path_builder.hpp"
+#include "ccbt/engine/primitives.hpp"
+
+namespace ccbt {
+
+struct SplitPlan {
+  PathSpec plus;
+  PathSpec minus;
+  MergeSpec merge;
+};
+
+/// Split `blk` at anchor position s and end position e; `anchor_higher`
+/// imposes the DB high-starting constraint on both walks.
+SplitPlan make_split(const Block& blk, int s, int e, bool anchor_higher);
+
+/// The sequence of splits an algorithm solves for this block: one split
+/// for PS/PS-EVEN, L splits (one per anchor choice, Eq. 1) for DB.
+std::vector<SplitPlan> splits_for(const Block& blk, Algo algo);
+
+}  // namespace ccbt

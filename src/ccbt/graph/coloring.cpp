@@ -1,0 +1,3 @@
+// Coloring is header-only; this translation unit exists so the header is
+// compiled standalone at least once.
+#include "ccbt/graph/coloring.hpp"

@@ -1,0 +1,45 @@
+#pragma once
+// Random vertex colorings (the "color coding" in color coding).
+//
+// A coloring assigns each data vertex one of k colors uniformly at random;
+// a match is colorful when all query nodes map to distinctly colored
+// vertices. Multiple independent colorings drive the estimator.
+
+#include <cstdint>
+#include <vector>
+
+#include "ccbt/graph/types.hpp"
+#include "ccbt/util/rng.hpp"
+
+namespace ccbt {
+
+class Coloring {
+ public:
+  Coloring() = default;
+
+  /// Uniform random coloring with k colors over n vertices.
+  Coloring(VertexId n, int k, std::uint64_t seed) : k_(k) {
+    colors_.resize(n);
+    Rng rng(seed);
+    for (auto& c : colors_) c = static_cast<std::uint8_t>(rng.below(k));
+  }
+
+  /// Explicit coloring (tests).
+  Coloring(std::vector<std::uint8_t> colors, int k)
+      : k_(k), colors_(std::move(colors)) {}
+
+  int num_colors() const { return k_; }
+
+  std::uint8_t color(VertexId v) const { return colors_[v]; }
+
+  /// Signature bit of v's color.
+  Signature bit(VertexId v) const { return Signature{1} << colors_[v]; }
+
+  VertexId size() const { return static_cast<VertexId>(colors_.size()); }
+
+ private:
+  int k_ = 0;
+  std::vector<std::uint8_t> colors_;
+};
+
+}  // namespace ccbt

@@ -1,0 +1,50 @@
+#include "ccbt/graph/csr_graph.hpp"
+
+#include <algorithm>
+
+namespace ccbt {
+
+CsrGraph CsrGraph::from_edges(const EdgeList& raw) {
+  const EdgeList list = simplify(raw);
+  CsrGraph g;
+  g.n_ = list.num_vertices;
+  g.offsets_.assign(g.n_ + 1, 0);
+  for (const Edge& e : list.edges) {
+    ++g.offsets_[e.u + 1];
+    ++g.offsets_[e.v + 1];
+  }
+  for (VertexId u = 0; u < g.n_; ++u) g.offsets_[u + 1] += g.offsets_[u];
+  g.adj_.resize(list.edges.size() * 2);
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : list.edges) {
+    g.adj_[cursor[e.u]++] = e.v;
+    g.adj_[cursor[e.v]++] = e.u;
+  }
+  for (VertexId u = 0; u < g.n_; ++u) {
+    auto begin = g.adj_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[u]);
+    auto end = g.adj_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[u + 1]);
+    std::sort(begin, end);
+    g.max_degree_ = std::max(g.max_degree_, g.degree(u));
+  }
+  return g;
+}
+
+bool CsrGraph::has_edge(VertexId u, VertexId v) const {
+  if (u >= n_ || v >= n_) return false;
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+EdgeList CsrGraph::to_edges() const {
+  EdgeList list;
+  list.num_vertices = n_;
+  list.edges.reserve(num_edges());
+  for (VertexId u = 0; u < n_; ++u) {
+    for (VertexId v : neighbors(u)) {
+      if (u < v) list.edges.push_back({u, v});
+    }
+  }
+  return list;
+}
+
+}  // namespace ccbt

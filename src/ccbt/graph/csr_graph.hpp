@@ -1,0 +1,52 @@
+#pragma once
+// Compressed sparse row representation of an undirected simple data graph.
+//
+// This is the storage layer the paper's "engine" (Section 7) operates on:
+// all join primitives stream over sorted neighbor ranges of a vertex.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ccbt/graph/edge_list.hpp"
+#include "ccbt/graph/types.hpp"
+
+namespace ccbt {
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Build from (possibly messy) edges; self loops and duplicates removed.
+  static CsrGraph from_edges(const EdgeList& list);
+
+  VertexId num_vertices() const { return n_; }
+
+  /// Number of undirected edges.
+  std::size_t num_edges() const { return adj_.size() / 2; }
+
+  std::uint32_t degree(VertexId u) const {
+    return static_cast<std::uint32_t>(offsets_[u + 1] - offsets_[u]);
+  }
+
+  /// Sorted neighbors of u.
+  std::span<const VertexId> neighbors(VertexId u) const {
+    return {adj_.data() + offsets_[u], adj_.data() + offsets_[u + 1]};
+  }
+
+  /// Binary search in the sorted adjacency list.
+  bool has_edge(VertexId u, VertexId v) const;
+
+  std::uint32_t max_degree() const { return max_degree_; }
+
+  /// Round-trip back to a canonical edge list (u < v per edge).
+  EdgeList to_edges() const;
+
+ private:
+  VertexId n_ = 0;
+  std::uint32_t max_degree_ = 0;
+  std::vector<std::size_t> offsets_;  // n_ + 1 entries
+  std::vector<VertexId> adj_;         // both directions stored
+};
+
+}  // namespace ccbt

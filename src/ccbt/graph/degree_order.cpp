@@ -1,0 +1,27 @@
+#include "ccbt/graph/degree_order.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ccbt {
+
+DegreeOrder::DegreeOrder(const CsrGraph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), VertexId{0});
+  std::sort(order.begin(), order.end(), [&g](VertexId a, VertexId b) {
+    const auto da = g.degree(a), db = g.degree(b);
+    return da != db ? da < db : a < b;
+  });
+  rank_.resize(n);
+  for (VertexId pos = 0; pos < n; ++pos) rank_[order[pos]] = pos;
+}
+
+DegreeOrder DegreeOrder::by_id(VertexId n) {
+  DegreeOrder o;
+  o.rank_.resize(n);
+  std::iota(o.rank_.begin(), o.rank_.end(), std::uint32_t{0});
+  return o;
+}
+
+}  // namespace ccbt

@@ -1,0 +1,38 @@
+#pragma once
+// The degree-based total order of Section 5.1.
+//
+// Vertices are arranged in increasing order of degree, ties broken by
+// placing the lower id first. "u is higher than v" (u ≻ v) means u appears
+// after v. The DB algorithm anchors every cycle match at its unique
+// highest vertex under this order (the MINBUCKET generalization).
+
+#include <vector>
+
+#include "ccbt/graph/csr_graph.hpp"
+#include "ccbt/graph/types.hpp"
+
+namespace ccbt {
+
+class DegreeOrder {
+ public:
+  DegreeOrder() = default;
+  explicit DegreeOrder(const CsrGraph& g);
+
+  /// Build an arbitrary (id-based) order instead; used by the ordering
+  /// ablation bench and by the Y(q) analysis of Section 9 where the PS
+  /// variant breaks symmetry by vertex id.
+  static DegreeOrder by_id(VertexId n);
+
+  /// Position of v in the total order (0 = lowest).
+  std::uint32_t rank(VertexId v) const { return rank_[v]; }
+
+  /// u ≻ v: u is strictly higher than v.
+  bool higher(VertexId u, VertexId v) const { return rank_[u] > rank_[v]; }
+
+  VertexId size() const { return static_cast<VertexId>(rank_.size()); }
+
+ private:
+  std::vector<std::uint32_t> rank_;
+};
+
+}  // namespace ccbt

@@ -1,0 +1,55 @@
+#include "ccbt/graph/edge_list.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "ccbt/util/error.hpp"
+
+namespace ccbt {
+
+EdgeList simplify(EdgeList list) {
+  auto& edges = list.edges;
+  for (auto& e : edges) {
+    if (e.u > e.v) std::swap(e.u, e.v);
+  }
+  edges.erase(std::remove_if(edges.begin(), edges.end(),
+                             [](const Edge& e) { return e.u == e.v; }),
+              edges.end());
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return list;
+}
+
+EdgeList read_edge_list(std::istream& in) {
+  EdgeList list;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::uint64_t u = 0, v = 0;
+    if (!(ls >> u >> v)) {
+      throw Error("edge list: malformed line: " + line);
+    }
+    list.add(static_cast<VertexId>(u), static_cast<VertexId>(v));
+  }
+  return list;
+}
+
+EdgeList read_edge_list_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("edge list: cannot open " + path);
+  return read_edge_list(in);
+}
+
+void write_edge_list(std::ostream& out, const EdgeList& list) {
+  out << "# ccbt edge list: " << list.num_vertices << " vertices, "
+      << list.edges.size() << " edges\n";
+  for (const Edge& e : list.edges) out << e.u << ' ' << e.v << '\n';
+}
+
+}  // namespace ccbt

@@ -1,0 +1,297 @@
+#include "ccbt/graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "ccbt/util/error.hpp"
+
+namespace ccbt {
+
+namespace {
+
+std::uint64_t edge_code(VertexId u, VertexId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+CsrGraph erdos_renyi(VertexId n, std::size_t m, std::uint64_t seed) {
+  if (n < 2) return CsrGraph::from_edges(EdgeList{{}, n});
+  const std::uint64_t max_edges =
+      static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  m = static_cast<std::size_t>(
+      std::min<std::uint64_t>(m, max_edges));
+  Rng rng(seed);
+  std::unordered_set<std::uint64_t> seen;
+  EdgeList list;
+  list.num_vertices = n;
+  while (seen.size() < m) {
+    const auto u = static_cast<VertexId>(rng.below(n));
+    const auto v = static_cast<VertexId>(rng.below(n));
+    if (u == v) continue;
+    if (seen.insert(edge_code(u, v)).second) list.add(u, v);
+  }
+  list.num_vertices = n;
+  return CsrGraph::from_edges(list);
+}
+
+std::vector<double> truncated_power_law_degrees(VertexId n, double alpha) {
+  if (alpha <= 1.0 || alpha >= 2.0) {
+    throw Error("truncated_power_law_degrees: alpha must be in (1,2)");
+  }
+  // Level j holds ~n * 2^(-alpha*j) / Z vertices of degree 2^j (capped at
+  // sqrt(n)), where Z normalizes the level shares to sum to one. Levels
+  // are filled from the highest degree down so the tail is always
+  // represented; the remainder becomes degree-1 vertices.
+  std::vector<double> degrees;
+  degrees.reserve(n);
+  const double sqrt_n = std::sqrt(static_cast<double>(n));
+  const int levels =
+      static_cast<int>(std::floor(0.5 * std::log2(std::max<double>(n, 2))));
+  double z = 0.0;
+  for (int j = 0; j <= levels; ++j) z += std::pow(2.0, -alpha * j);
+  for (int j = levels; j >= 1 && degrees.size() < n; --j) {
+    const double deg = std::min(std::pow(2.0, j), sqrt_n);
+    const auto count = static_cast<std::size_t>(std::max(
+        1.0,
+        std::round(static_cast<double>(n) * std::pow(2.0, -alpha * j) / z)));
+    for (std::size_t i = 0; i < count && degrees.size() < n; ++i) {
+      degrees.push_back(deg);
+    }
+  }
+  while (degrees.size() < n) degrees.push_back(1.0);
+  return degrees;
+}
+
+CsrGraph chung_lu(const std::vector<double>& degrees, std::uint64_t seed) {
+  // Miller-Hagberg style sampling: process vertices in non-increasing
+  // expected degree; for each u, walk candidate partners v with geometric
+  // skips under an upper-bound probability, accepting with the exact ratio.
+  const auto n = static_cast<VertexId>(degrees.size());
+  std::vector<VertexId> order(n);
+  for (VertexId i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return degrees[a] != degrees[b] ? degrees[a] > degrees[b] : a < b;
+  });
+  double two_m = 0.0;
+  for (double d : degrees) two_m += d;
+  if (two_m <= 0.0) return CsrGraph::from_edges(EdgeList{{}, n});
+
+  Rng rng(seed);
+  EdgeList list;
+  list.num_vertices = n;
+  for (VertexId i = 0; i < n; ++i) {
+    const double du = degrees[order[i]];
+    if (du <= 0.0) break;
+    VertexId j = i + 1;
+    // p_bound >= true probability for all later partners in sorted order.
+    double p_bound = std::min(1.0, du * degrees[order[i + 1 < n ? i + 1 : i]] /
+                                       two_m);
+    while (j < n && p_bound > 0.0) {
+      if (p_bound < 1.0) {
+        // Geometric skip: next candidate at distance ~ Geom(p_bound).
+        const double r = rng.uniform();
+        j += static_cast<VertexId>(
+            std::floor(std::log1p(-r) / std::log1p(-p_bound)));
+      }
+      if (j >= n) break;
+      const double p_real = std::min(1.0, du * degrees[order[j]] / two_m);
+      if (rng.uniform() < p_real / p_bound) {
+        list.add(order[i], order[j]);
+      }
+      p_bound = p_real;
+      ++j;
+    }
+  }
+  return CsrGraph::from_edges(list);
+}
+
+CsrGraph chung_lu_power_law(VertexId n, double alpha, double avg_degree,
+                            std::uint64_t seed) {
+  std::vector<double> degrees = truncated_power_law_degrees(n, alpha);
+  double sum = 0.0;
+  for (double d : degrees) sum += d;
+  const double scale = avg_degree * static_cast<double>(n) / sum;
+  const double cap = std::sqrt(static_cast<double>(n));
+  for (double& d : degrees) d = std::min(d * scale, cap);
+  return chung_lu(degrees, seed);
+}
+
+CsrGraph rmat(const RmatParams& params, std::uint64_t seed) {
+  const VertexId n = VertexId{1} << params.scale;
+  const std::size_t target =
+      static_cast<std::size_t>(params.edge_factor) << params.scale;
+  Rng rng(seed);
+  EdgeList list;
+  list.num_vertices = n;
+  list.edges.reserve(target);
+  const double ab = params.a + params.b;
+  const double abc = ab + params.c;
+  for (std::size_t e = 0; e < target; ++e) {
+    VertexId u = 0, v = 0;
+    for (int bit = params.scale - 1; bit >= 0; --bit) {
+      const double r = rng.uniform();
+      if (r < params.a) {
+        // top-left quadrant: no bits set
+      } else if (r < ab) {
+        v |= VertexId{1} << bit;
+      } else if (r < abc) {
+        u |= VertexId{1} << bit;
+      } else {
+        u |= VertexId{1} << bit;
+        v |= VertexId{1} << bit;
+      }
+    }
+    if (u != v) list.add(u, v);
+  }
+  return CsrGraph::from_edges(list);
+}
+
+CsrGraph grid2d(VertexId rows, VertexId cols, std::size_t extra_edges,
+                std::uint64_t seed) {
+  EdgeList list;
+  const VertexId n = rows * cols;
+  list.num_vertices = n;
+  auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) list.add(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) list.add(id(r, c), id(r + 1, c));
+    }
+  }
+  Rng rng(seed);
+  for (std::size_t e = 0; e < extra_edges; ++e) {
+    const auto u = static_cast<VertexId>(rng.below(n));
+    const auto v = static_cast<VertexId>(rng.below(n));
+    if (u != v) list.add(u, v);
+  }
+  return CsrGraph::from_edges(list);
+}
+
+CsrGraph barabasi_albert(VertexId n, int edges_per_vertex,
+                         std::uint64_t seed) {
+  if (edges_per_vertex < 1) {
+    throw Error("barabasi_albert: edges_per_vertex must be >= 1");
+  }
+  const auto m0 = static_cast<VertexId>(edges_per_vertex + 1);
+  if (n < m0) throw Error("barabasi_albert: n too small for seed clique");
+  Rng rng(seed);
+  EdgeList list;
+  list.num_vertices = n;
+  // Endpoint pool: sampling a uniform element is degree-proportional.
+  std::vector<VertexId> pool;
+  for (VertexId u = 0; u < m0; ++u) {
+    for (VertexId v = u + 1; v < m0; ++v) {
+      list.add(u, v);
+      pool.push_back(u);
+      pool.push_back(v);
+    }
+  }
+  for (VertexId v = m0; v < n; ++v) {
+    for (int e = 0; e < edges_per_vertex; ++e) {
+      const VertexId target = pool[rng.below(pool.size())];
+      list.add(v, target);  // duplicates removed by simplify()
+      pool.push_back(v);
+      pool.push_back(target);
+    }
+  }
+  return CsrGraph::from_edges(list);
+}
+
+CsrGraph watts_strogatz(VertexId n, int ring_neighbors, double beta,
+                        std::uint64_t seed) {
+  if (ring_neighbors < 1) {
+    throw Error("watts_strogatz: ring_neighbors must be >= 1");
+  }
+  if (beta < 0.0 || beta > 1.0) {
+    throw Error("watts_strogatz: beta must be in [0,1]");
+  }
+  if (n < static_cast<VertexId>(2 * ring_neighbors + 1)) {
+    throw Error("watts_strogatz: n too small for the ring");
+  }
+  Rng rng(seed);
+  EdgeList list;
+  list.num_vertices = n;
+  for (VertexId u = 0; u < n; ++u) {
+    for (int j = 1; j <= ring_neighbors; ++j) {
+      const VertexId v = (u + static_cast<VertexId>(j)) % n;
+      if (rng.uniform() < beta) {
+        // Rewire: keep u, pick a fresh endpoint (duplicates and self
+        // loops are dropped by simplify()).
+        const auto w = static_cast<VertexId>(rng.below(n));
+        list.add(u, w);
+      } else {
+        list.add(u, v);
+      }
+    }
+  }
+  return CsrGraph::from_edges(list);
+}
+
+CsrGraph stochastic_block(const std::vector<VertexId>& block_sizes,
+                          double p_in, double p_out, std::uint64_t seed) {
+  if (p_in < 0.0 || p_in > 1.0 || p_out < 0.0 || p_out > 1.0) {
+    throw Error("stochastic_block: probabilities must be in [0,1]");
+  }
+  VertexId n = 0;
+  std::vector<VertexId> block_of;
+  for (std::size_t b = 0; b < block_sizes.size(); ++b) {
+    for (VertexId i = 0; i < block_sizes[b]; ++i) {
+      block_of.push_back(static_cast<VertexId>(b));
+    }
+    n += block_sizes[b];
+  }
+  Rng rng(seed);
+  EdgeList list;
+  list.num_vertices = n;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      const double p = block_of[u] == block_of[v] ? p_in : p_out;
+      if (rng.uniform() < p) list.add(u, v);
+    }
+  }
+  return CsrGraph::from_edges(list);
+}
+
+CsrGraph complete_graph(VertexId n) {
+  EdgeList list;
+  list.num_vertices = n;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) list.add(u, v);
+  }
+  return CsrGraph::from_edges(list);
+}
+
+CsrGraph cycle_graph(VertexId n) {
+  EdgeList list;
+  list.num_vertices = n;
+  for (VertexId u = 0; u < n; ++u) list.add(u, (u + 1) % n);
+  return CsrGraph::from_edges(list);
+}
+
+CsrGraph path_graph(VertexId n) {
+  EdgeList list;
+  list.num_vertices = n;
+  for (VertexId u = 0; u + 1 < n; ++u) list.add(u, u + 1);
+  return CsrGraph::from_edges(list);
+}
+
+CsrGraph star_graph(VertexId leaves) {
+  EdgeList list;
+  list.num_vertices = leaves + 1;
+  for (VertexId v = 1; v <= leaves; ++v) list.add(0, v);
+  return CsrGraph::from_edges(list);
+}
+
+CsrGraph complete_bipartite(VertexId a, VertexId b) {
+  EdgeList list;
+  list.num_vertices = a + b;
+  for (VertexId u = 0; u < a; ++u) {
+    for (VertexId v = 0; v < b; ++v) list.add(u, a + v);
+  }
+  return CsrGraph::from_edges(list);
+}
+
+}  // namespace ccbt

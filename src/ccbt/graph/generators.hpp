@@ -1,0 +1,80 @@
+#pragma once
+// Synthetic data-graph generators.
+//
+// These are the substitutes for the paper's real-world inputs:
+//  * chung_lu / truncated_power_law_degrees — the random-graph model the
+//    paper analyzes in Sections 9-10 and the stand-in for the SNAP graphs
+//    of Table 1 (matched skew);
+//  * rmat — Graph500 R-MAT used by the paper for weak scaling (Fig 13);
+//  * grid2d — low-skew stand-in for roadNetCA;
+//  * erdos_renyi and deterministic structures — test workloads.
+
+#include <cstdint>
+#include <vector>
+
+#include "ccbt/graph/csr_graph.hpp"
+#include "ccbt/util/rng.hpp"
+
+namespace ccbt {
+
+/// G(n, m)-style Erdős–Rényi: m distinct uniform edges.
+CsrGraph erdos_renyi(VertexId n, std::size_t m, std::uint64_t seed);
+
+/// Expected-degree sequence for the truncated power law of Section 9.2:
+/// for each 0 <= j <= (1/2)log2(n), about n / 2^(alpha*j) vertices get
+/// expected degree 2^j (clamped to sqrt(n)). alpha in (1,2).
+std::vector<double> truncated_power_law_degrees(VertexId n, double alpha);
+
+/// Chung-Lu graph: edge (u,v) present independently with probability
+/// d_u d_v / (2m), where d is the expected degree sequence (Section 9.2).
+/// Sampled in O(n + m_expected) by the standard bucketed method.
+CsrGraph chung_lu(const std::vector<double>& degrees, std::uint64_t seed);
+
+/// Convenience: Chung-Lu over a truncated power law, rescaled so the
+/// expected average degree is `avg_degree`.
+CsrGraph chung_lu_power_law(VertexId n, double alpha, double avg_degree,
+                            std::uint64_t seed);
+
+/// R-MAT generator (Chakrabarti et al.); the paper uses A=0.5, B=0.1,
+/// C=0.1, D=0.3 with edge factor 16 for weak scaling. Emits 2^scale
+/// vertices and edge_factor * 2^scale undirected edges (before dedupe).
+struct RmatParams {
+  double a = 0.5, b = 0.1, c = 0.1, d = 0.3;
+  int scale = 14;
+  int edge_factor = 16;
+};
+CsrGraph rmat(const RmatParams& params, std::uint64_t seed);
+
+/// rows x cols 2D lattice with optional extra random "shortcut" edges —
+/// the low-skew road-network stand-in.
+CsrGraph grid2d(VertexId rows, VertexId cols, std::size_t extra_edges,
+                std::uint64_t seed);
+
+/// Barabási–Albert preferential attachment: each new vertex attaches
+/// `edges_per_vertex` edges to existing vertices with probability
+/// proportional to their degree. Produces power-law tails with exponent
+/// ~3 — an alternative heavy-tailed model for robustness checks.
+CsrGraph barabasi_albert(VertexId n, int edges_per_vertex,
+                         std::uint64_t seed);
+
+/// Watts–Strogatz small world: a ring lattice where every vertex links to
+/// its `ring_neighbors` nearest neighbors per side, each edge rewired to
+/// a uniform endpoint with probability `beta`. Low-skew, high-clustering
+/// — the opposite regime from the power-law workloads.
+CsrGraph watts_strogatz(VertexId n, int ring_neighbors, double beta,
+                        std::uint64_t seed);
+
+/// Stochastic block model: vertices split into `block_sizes` communities;
+/// within-community edges appear with probability p_in, cross-community
+/// with p_out. Community structure concentrates motif counts.
+CsrGraph stochastic_block(const std::vector<VertexId>& block_sizes,
+                          double p_in, double p_out, std::uint64_t seed);
+
+// Deterministic structured graphs (test fixtures and oracles).
+CsrGraph complete_graph(VertexId n);
+CsrGraph cycle_graph(VertexId n);
+CsrGraph path_graph(VertexId n);
+CsrGraph star_graph(VertexId leaves);
+CsrGraph complete_bipartite(VertexId a, VertexId b);
+
+}  // namespace ccbt

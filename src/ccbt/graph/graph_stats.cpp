@@ -1,0 +1,66 @@
+#include "ccbt/graph/graph_stats.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace ccbt {
+
+GraphStats compute_stats(const CsrGraph& g) {
+  GraphStats s;
+  s.num_vertices = g.num_vertices();
+  s.num_edges = g.num_edges();
+  s.max_degree = g.max_degree();
+  if (s.num_vertices == 0) return s;
+  double sum = 0.0, sum_sq = 0.0;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const double d = g.degree(u);
+    sum += d;
+    sum_sq += d * d;
+  }
+  s.avg_degree = sum / static_cast<double>(s.num_vertices);
+  if (sum > 0.0 && s.avg_degree > 0.0) {
+    s.skew = sum_sq / (sum * s.avg_degree);
+  }
+  const double heavy_cut = 8.0 * s.avg_degree;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    if (g.degree(u) >= heavy_cut) ++s.heavy_vertices;
+  }
+  return s;
+}
+
+double global_clustering(const CsrGraph& g) {
+  // Closed wedges via the lowest-vertex rule: each triangle contributes
+  // one hit at its smallest-id vertex, so multiply back by 3.
+  std::uint64_t wedges = 0;
+  std::uint64_t closed = 0;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const std::uint64_t d = g.degree(u);
+    wedges += d * (d - 1) / 2;
+    const auto nbrs = g.neighbors(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] < u) continue;
+      for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+        if (nbrs[j] < u) continue;
+        if (g.has_edge(nbrs[i], nbrs[j])) ++closed;
+      }
+    }
+  }
+  if (wedges == 0) return 0.0;
+  return 3.0 * static_cast<double>(closed) / static_cast<double>(wedges);
+}
+
+std::vector<std::size_t> degree_histogram_pow2(const CsrGraph& g) {
+  std::vector<std::size_t> hist;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const std::uint32_t d = g.degree(u);
+    if (d == 0) continue;
+    const int bucket = std::bit_width(d) - 1;  // floor(log2 d)
+    if (static_cast<std::size_t>(bucket) >= hist.size()) {
+      hist.resize(bucket + 1, 0);
+    }
+    ++hist[bucket];
+  }
+  return hist;
+}
+
+}  // namespace ccbt

@@ -1,0 +1,36 @@
+#pragma once
+// Degree-distribution statistics used to regenerate Table 1 and to verify
+// that the synthetic stand-ins match the skew of the paper's inputs.
+
+#include <cstdint>
+#include <vector>
+
+#include "ccbt/graph/csr_graph.hpp"
+
+namespace ccbt {
+
+struct GraphStats {
+  VertexId num_vertices = 0;
+  std::size_t num_edges = 0;
+  double avg_degree = 0.0;
+  std::uint32_t max_degree = 0;
+  /// Σ d_u^2 / (2m * avg) — a scale-free skew indicator; 1 for regular
+  /// graphs, large for heavy-tailed distributions.
+  double skew = 0.0;
+  /// Number of vertices whose degree is at least 8x the average.
+  VertexId heavy_vertices = 0;
+};
+
+GraphStats compute_stats(const CsrGraph& g);
+
+/// Degree histogram in powers of two: bucket j counts vertices with
+/// degree in [2^j, 2^(j+1)). Used by the Section 9/10 truncated-power-law
+/// verification tests.
+std::vector<std::size_t> degree_histogram_pow2(const CsrGraph& g);
+
+/// Global clustering coefficient (transitivity): 3 * triangles / wedges,
+/// in [0, 1]; 0 when the graph has no wedge. Separates the small-world
+/// and community workloads from the Chung-Lu stand-ins.
+double global_clustering(const CsrGraph& g);
+
+}  // namespace ccbt

@@ -1,0 +1,3 @@
+// BlockPartition is header-only; this translation unit exists so the build
+// fails fast if the header stops compiling standalone.
+#include "ccbt/graph/partition.hpp"

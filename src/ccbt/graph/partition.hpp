@@ -1,0 +1,49 @@
+#pragma once
+// 1D block vertex partition (Section 7): vertices are distributed among
+// R ranks in contiguous blocks; every projection-table entry (u,v,α) is
+// owned by the rank owning v. The load model charges operations and
+// communication against this ownership map.
+
+#include <cstdint>
+
+#include "ccbt/graph/types.hpp"
+
+namespace ccbt {
+
+class BlockPartition {
+ public:
+  BlockPartition() = default;
+
+  BlockPartition(VertexId num_vertices, std::uint32_t num_ranks)
+      : n_(num_vertices),
+        ranks_(num_ranks == 0 ? 1 : num_ranks),
+        block_((n_ + ranks_ - 1) / (ranks_ == 0 ? 1 : ranks_)) {
+    if (block_ == 0) block_ = 1;
+  }
+
+  std::uint32_t num_ranks() const { return ranks_; }
+  VertexId num_vertices() const { return n_; }
+
+  std::uint32_t owner(VertexId v) const {
+    const auto r = static_cast<std::uint32_t>(v / block_);
+    return r < ranks_ ? r : ranks_ - 1;
+  }
+
+  /// First vertex owned by rank r.
+  VertexId begin(std::uint32_t r) const {
+    const auto b = static_cast<std::uint64_t>(r) * block_;
+    return b > n_ ? n_ : static_cast<VertexId>(b);
+  }
+
+  /// One past the last vertex owned by rank r.
+  VertexId end(std::uint32_t r) const {
+    return r + 1 == ranks_ ? n_ : begin(r + 1);
+  }
+
+ private:
+  VertexId n_ = 0;
+  std::uint32_t ranks_ = 1;
+  VertexId block_ = 1;
+};
+
+}  // namespace ccbt

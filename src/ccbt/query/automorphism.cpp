@@ -1,0 +1,60 @@
+#include "ccbt/query/automorphism.hpp"
+
+#include <array>
+
+namespace ccbt {
+
+namespace {
+
+struct AutSearch {
+  const QueryGraph& q;
+  int n;
+  std::array<int, kMaxQueryNodes> image{};  // image[a] = π(a), -1 unset
+  std::uint32_t used = 0;
+  std::uint64_t count = 0;
+
+  explicit AutSearch(const QueryGraph& query)
+      : q(query), n(query.num_nodes()) {
+    image.fill(-1);
+  }
+
+  void run(int a) {
+    if (a == n) {
+      ++count;
+      return;
+    }
+    for (int b = 0; b < n; ++b) {
+      if ((used >> b) & 1u) continue;
+      if (q.degree(static_cast<QNode>(a)) !=
+          q.degree(static_cast<QNode>(b))) {
+        continue;
+      }
+      // Check consistency against already mapped nodes: adjacency must be
+      // preserved in both directions.
+      bool ok = true;
+      for (int c = 0; c < a && ok; ++c) {
+        const bool qa = q.has_edge(static_cast<QNode>(a),
+                                   static_cast<QNode>(c));
+        const bool qb = q.has_edge(static_cast<QNode>(b),
+                                   static_cast<QNode>(image[c]));
+        ok = (qa == qb);
+      }
+      if (!ok) continue;
+      image[a] = b;
+      used |= std::uint32_t{1} << b;
+      run(a + 1);
+      used &= ~(std::uint32_t{1} << b);
+      image[a] = -1;
+    }
+  }
+};
+
+}  // namespace
+
+std::uint64_t count_automorphisms(const QueryGraph& q) {
+  AutSearch search(q);
+  search.run(0);
+  return search.count;
+}
+
+}  // namespace ccbt

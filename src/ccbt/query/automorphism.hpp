@@ -1,0 +1,16 @@
+#pragma once
+// Automorphism counting (Section 2): the number of colorful *matches*
+// (injective mappings) equals aut(Q) times the number of colorful
+// *subgraphs*. Queries are small, so a pruned permutation backtracking
+// search is exact and fast.
+
+#include <cstdint>
+
+#include "ccbt/query/query_graph.hpp"
+
+namespace ccbt {
+
+/// Number of adjacency-preserving bijections V(Q) -> V(Q).
+std::uint64_t count_automorphisms(const QueryGraph& q);
+
+}  // namespace ccbt

@@ -1,0 +1,181 @@
+#include "ccbt/query/catalog.hpp"
+
+#include <charconv>
+
+#include "ccbt/util/error.hpp"
+
+namespace ccbt {
+
+QueryGraph q_satellite() {
+  // Figure 2, nodes a..k -> 0..10:
+  // a=0 b=1 c=2 d=3 e=4 f=5 g=6 h=7 i=8 j=9 k=10.
+  // 5-cycle (a,b,c,d,e); path a-f, f-g, g-c; leaf f-h; triangle (i,j,k);
+  // edges i-f and i-g closing triangle (i,f,g).
+  return QueryGraph(11,
+                    {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0},   // 5-cycle
+                     {0, 5}, {5, 6}, {6, 2},                    // a-f-g-c
+                     {5, 7},                                    // leaf f-h
+                     {8, 9}, {9, 10}, {10, 8},                  // triangle ijk
+                     {8, 5}, {8, 6}},                           // i-f, i-g
+                    "satellite");
+}
+
+QueryGraph q_dros() {
+  // Drosophila PPI motif stand-in: 5-cycle with a pendant node.
+  return QueryGraph(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {2, 5}},
+                    "dros");
+}
+
+QueryGraph q_ecoli1() {
+  // Two triangles joined by a bridge edge.
+  return QueryGraph(6, {{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 5},
+                        {5, 3}},
+                    "ecoli1");
+}
+
+QueryGraph q_ecoli2() {
+  // 6-cycle with a pendant node.
+  return QueryGraph(7, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0},
+                        {3, 6}},
+                    "ecoli2");
+}
+
+QueryGraph q_brain1() {
+  // 4-cycle (0,1,2,3) and 6-cycle (0,1,4,5,6,7) sharing the edge (0,1):
+  // exactly the structure whose two decomposition trees Section 6 cites.
+  return QueryGraph(8, {{0, 1}, {1, 2}, {2, 3}, {3, 0},          // C4
+                        {1, 4}, {4, 5}, {5, 6}, {6, 7}, {7, 0}},  // C6 rest
+                    "brain1");
+}
+
+QueryGraph q_brain2() {
+  // 8-cycle with a chord splitting it into a 5- and a 5-cycle, plus a
+  // pendant node: long cycles make this one of the expensive queries.
+  return QueryGraph(9, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6},
+                        {6, 7}, {7, 0},  // C8
+                        {0, 4},          // chord
+                        {2, 8}},         // pendant
+                    "brain2");
+}
+
+QueryGraph q_brain3() {
+  // Two 6-cycles sharing an edge (10 nodes); the most expensive query in
+  // the paper's benchmark ("nearly 2 minutes on average").
+  return QueryGraph(10, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0},
+                         {0, 6}, {6, 7}, {7, 8}, {8, 9}, {9, 1}},
+                    "brain3");
+}
+
+QueryGraph q_glet1() {
+  return QueryGraph(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}}, "glet1");
+}
+
+QueryGraph q_glet2() {
+  // Diamond: K4 minus one edge (two triangles sharing an edge).
+  return QueryGraph(4, {{0, 1}, {1, 2}, {2, 0}, {1, 3}, {3, 2}}, "glet2");
+}
+
+QueryGraph q_wiki() {
+  // Bowtie: two triangles sharing a single vertex.
+  return QueryGraph(5, {{0, 1}, {1, 2}, {2, 0}, {0, 3}, {3, 4}, {4, 0}},
+                    "wiki");
+}
+
+QueryGraph q_youtube() {
+  // Tailed triangle with a 2-path tail (spam-campaign motif stand-in).
+  return QueryGraph(5, {{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}}, "youtube");
+}
+
+QueryGraph q_cycle(int n) {
+  if (n < 3) throw UnsupportedQuery("cycle needs >= 3 nodes");
+  QueryGraph q(n, "cycle" + std::to_string(n));
+  for (int i = 0; i < n; ++i) {
+    q.add_edge(static_cast<QNode>(i), static_cast<QNode>((i + 1) % n));
+  }
+  return q;
+}
+
+QueryGraph q_path(int n) {
+  if (n < 2) throw UnsupportedQuery("path needs >= 2 nodes");
+  QueryGraph q(n, "path" + std::to_string(n));
+  for (int i = 0; i + 1 < n; ++i) {
+    q.add_edge(static_cast<QNode>(i), static_cast<QNode>(i + 1));
+  }
+  return q;
+}
+
+QueryGraph q_star(int leaves) {
+  if (leaves < 1) throw UnsupportedQuery("star needs >= 1 leaf");
+  QueryGraph q(leaves + 1, "star" + std::to_string(leaves));
+  for (int i = 1; i <= leaves; ++i) {
+    q.add_edge(0, static_cast<QNode>(i));
+  }
+  return q;
+}
+
+QueryGraph q_complete_binary_tree(int nodes) {
+  if (nodes < 1 || nodes > kMaxQueryNodes) {
+    throw UnsupportedQuery("binary tree size out of range");
+  }
+  QueryGraph q(nodes, "binary_tree" + std::to_string(nodes));
+  for (int i = 1; i < nodes; ++i) {
+    q.add_edge(static_cast<QNode>((i - 1) / 2), static_cast<QNode>(i));
+  }
+  return q;
+}
+
+std::vector<QueryGraph> figure8_queries() {
+  return {q_dros(),  q_ecoli1(), q_ecoli2(), q_brain1(), q_brain2(),
+          q_brain3(), q_glet1(),  q_glet2(),  q_wiki(),   q_youtube()};
+}
+
+namespace {
+
+int parse_suffix_int(const std::string& name, std::size_t prefix_len) {
+  int value = 0;
+  const char* begin = name.data() + prefix_len;
+  const char* end = name.data() + name.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) {
+    throw UnsupportedQuery("unknown query name: " + name);
+  }
+  return value;
+}
+
+}  // namespace
+
+QueryGraph named_query(const std::string& name) {
+  if (name == "dros") return q_dros();
+  if (name == "ecoli1") return q_ecoli1();
+  if (name == "ecoli2") return q_ecoli2();
+  if (name == "brain1") return q_brain1();
+  if (name == "brain2") return q_brain2();
+  if (name == "brain3") return q_brain3();
+  if (name == "glet1") return q_glet1();
+  if (name == "glet2") return q_glet2();
+  if (name == "wiki") return q_wiki();
+  if (name == "youtube") return q_youtube();
+  if (name == "satellite") return q_satellite();
+  if (name == "triangle") return q_cycle(3);
+  if (name == "diamond") return q_glet2();
+  if (name == "bowtie") return q_wiki();
+  if (name == "binary_tree12") return q_complete_binary_tree(12);
+  if (name == "theta") {
+    // Three internally disjoint paths between two terminals.
+    return QueryGraph(5, {{0, 1}, {0, 2}, {2, 1}, {0, 3}, {3, 4}, {4, 1}},
+                      "theta");
+  }
+  if (name.rfind("cycle", 0) == 0) return q_cycle(parse_suffix_int(name, 5));
+  if (name.rfind("path", 0) == 0) return q_path(parse_suffix_int(name, 4));
+  if (name.rfind("star", 0) == 0) return q_star(parse_suffix_int(name, 4));
+  throw UnsupportedQuery("unknown query name: " + name);
+}
+
+std::vector<std::string> catalog_names() {
+  return {"dros",   "ecoli1", "ecoli2",   "brain1",       "brain2",
+          "brain3", "glet1",  "glet2",    "wiki",         "youtube",
+          "satellite", "triangle", "diamond", "bowtie",   "theta",
+          "binary_tree12", "cycle5", "cycle6", "path5",   "star6"};
+}
+
+}  // namespace ccbt

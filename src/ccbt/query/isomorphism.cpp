@@ -1,0 +1,189 @@
+#include "ccbt/query/isomorphism.hpp"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+
+#include "ccbt/query/treewidth.hpp"
+#include "ccbt/util/error.hpp"
+#include "ccbt/util/rng.hpp"
+
+namespace ccbt {
+
+namespace {
+
+std::vector<int> sorted_degrees(const QueryGraph& q) {
+  std::vector<int> d(q.num_nodes());
+  for (int a = 0; a < q.num_nodes(); ++a) d[a] = q.degree(a);
+  std::sort(d.begin(), d.end());
+  return d;
+}
+
+/// Backtracking isomorphism search mapping a -> b; counts completions
+/// (or stops at the first when count_all is false).
+std::uint64_t search(const QueryGraph& a, const QueryGraph& b,
+                     bool count_all) {
+  const int n = a.num_nodes();
+  // Map a's nodes in an order where each node touches a previous one
+  // whenever possible (strongest adjacency pruning).
+  std::vector<QNode> order = a.connected_order();
+  std::vector<int> image(n, -1);
+  std::vector<bool> used(n, false);
+  std::uint64_t found = 0;
+
+  auto backtrack = [&](auto&& self, int depth) -> bool {
+    if (depth == n) {
+      ++found;
+      return !count_all;  // stop at first match when only existence asked
+    }
+    const QNode x = order[depth];
+    for (int y = 0; y < n; ++y) {
+      if (used[y] || a.degree(x) != b.degree(static_cast<QNode>(y))) continue;
+      bool ok = true;
+      for (int d = 0; d < depth && ok; ++d) {
+        const QNode px = order[d];
+        const bool ea = a.has_edge(x, px);
+        const bool eb =
+            b.has_edge(static_cast<QNode>(y), static_cast<QNode>(image[px]));
+        ok = (ea == eb);
+      }
+      if (!ok) continue;
+      image[x] = y;
+      used[y] = true;
+      if (self(self, depth + 1)) return true;
+      used[y] = false;
+      image[x] = -1;
+    }
+    return false;
+  };
+  backtrack(backtrack, 0);
+  return found;
+}
+
+/// Packed upper-triangle adjacency code under permutation p.
+std::uint64_t adjacency_code(const QueryGraph& q,
+                             const std::vector<int>& p) {
+  const int n = q.num_nodes();
+  std::uint64_t code = 0;
+  int bit = 0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j, ++bit) {
+      if (q.has_edge(static_cast<QNode>(p[i]), static_cast<QNode>(p[j]))) {
+        code |= std::uint64_t{1} << bit;
+      }
+    }
+  }
+  return code;
+}
+
+/// Exact canonical code for n <= 8: the minimum adjacency code over all
+/// vertex permutations.
+std::uint64_t exact_canonical_code(const QueryGraph& q) {
+  const int n = q.num_nodes();
+  std::vector<int> p(n);
+  std::iota(p.begin(), p.end(), 0);
+  std::uint64_t best = ~std::uint64_t{0};
+  do {
+    best = std::min(best, adjacency_code(q, p));
+  } while (std::next_permutation(p.begin(), p.end()));
+  return best;
+}
+
+/// Weisfeiler-Leman style invariant hash for larger graphs.
+std::uint64_t wl_invariant_hash(const QueryGraph& q) {
+  const int n = q.num_nodes();
+  std::vector<std::uint64_t> color(n);
+  for (int v = 0; v < n; ++v) {
+    color[v] = 0x1000 + static_cast<std::uint64_t>(q.degree(v));
+  }
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::uint64_t> next(n);
+    for (int v = 0; v < n; ++v) {
+      std::vector<std::uint64_t> nbr;
+      for (int w = 0; w < n; ++w) {
+        if (q.has_edge(static_cast<QNode>(v), static_cast<QNode>(w))) {
+          nbr.push_back(color[w]);
+        }
+      }
+      std::sort(nbr.begin(), nbr.end());
+      std::uint64_t h = color[v];
+      for (std::uint64_t c : nbr) {
+        std::uint64_t s = h ^ c;
+        h = splitmix64(s);
+      }
+      next[v] = h;
+    }
+    color = std::move(next);
+  }
+  std::sort(color.begin(), color.end());
+  std::uint64_t h = 0x9E3779B97F4A7C15ULL ^
+                    (static_cast<std::uint64_t>(q.num_nodes()) << 32) ^
+                    static_cast<std::uint64_t>(q.num_edges());
+  for (std::uint64_t c : color) {
+    std::uint64_t s = h ^ c;
+    h = splitmix64(s);
+  }
+  return h;
+}
+
+}  // namespace
+
+bool are_isomorphic(const QueryGraph& a, const QueryGraph& b) {
+  if (a.num_nodes() != b.num_nodes() || a.num_edges() != b.num_edges()) {
+    return false;
+  }
+  if (sorted_degrees(a) != sorted_degrees(b)) return false;
+  if (a.num_nodes() == 0) return true;
+  return search(a, b, /*count_all=*/false) > 0;
+}
+
+std::uint64_t count_isomorphisms(const QueryGraph& a, const QueryGraph& b) {
+  if (a.num_nodes() != b.num_nodes() || a.num_edges() != b.num_edges()) {
+    return 0;
+  }
+  if (sorted_degrees(a) != sorted_degrees(b)) return 0;
+  if (a.num_nodes() == 0) return 1;
+  return search(a, b, /*count_all=*/true);
+}
+
+std::uint64_t iso_invariant_code(const QueryGraph& q) {
+  if (q.num_nodes() <= 8) return exact_canonical_code(q);
+  return wl_invariant_hash(q);
+}
+
+std::vector<QueryGraph> all_connected_queries(int n, int max_treewidth) {
+  if (n < 3 || n > 6) {
+    throw Error("all_connected_queries: n must be in [3, 6]");
+  }
+  if (max_treewidth != 1 && max_treewidth != 2) {
+    throw Error("all_connected_queries: max_treewidth must be 1 or 2");
+  }
+  // All node pairs, fixed order; subsets of them are candidate edge sets.
+  std::vector<std::pair<int, int>> pairs;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) pairs.emplace_back(i, j);
+  }
+  std::vector<QueryGraph> out;
+  std::vector<std::uint64_t> seen;
+  const std::uint32_t limit = 1u << pairs.size();
+  for (std::uint32_t mask = 0; mask < limit; ++mask) {
+    QueryGraph q(n);
+    for (std::size_t e = 0; e < pairs.size(); ++e) {
+      if ((mask >> e) & 1u) {
+        q.add_edge(static_cast<QNode>(pairs[e].first),
+                   static_cast<QNode>(pairs[e].second));
+      }
+    }
+    if (!q.connected()) continue;
+    if (max_treewidth == 1 && !is_forest(q)) continue;
+    if (max_treewidth == 2 && !treewidth_at_most_2(q)) continue;
+    const std::uint64_t code = iso_invariant_code(q);  // exact for n <= 8
+    if (std::find(seen.begin(), seen.end(), code) != seen.end()) continue;
+    seen.push_back(code);
+    q.set_name("g" + std::to_string(n) + "_" + std::to_string(out.size()));
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace ccbt

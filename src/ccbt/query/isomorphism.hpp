@@ -1,0 +1,37 @@
+#pragma once
+// Small-graph isomorphism utilities.
+//
+// Queries have at most 16 nodes, so exact isomorphism testing by pruned
+// backtracking is cheap. These utilities back three things: deduplication
+// when enumerating all small queries, cross-checking the automorphism
+// counter (aut(Q) = #isomorphisms Q -> Q), and the exhaustive
+// every-small-query property tests of the engine.
+
+#include <cstdint>
+#include <vector>
+
+#include "ccbt/query/query_graph.hpp"
+
+namespace ccbt {
+
+/// Exact isomorphism test (degree-sequence prefilter + backtracking).
+bool are_isomorphic(const QueryGraph& a, const QueryGraph& b);
+
+/// Number of isomorphisms from a onto b (0 when not isomorphic;
+/// aut(a) when a == b up to labels).
+std::uint64_t count_isomorphisms(const QueryGraph& a, const QueryGraph& b);
+
+/// A label-invariant fingerprint: equal codes for isomorphic graphs.
+/// Exact canonical form for n <= 8 (minimum adjacency code over all
+/// permutations, degree-class pruned); for larger n a collision-resistant
+/// invariant hash (sorted refined color histogram) that never separates
+/// isomorphic graphs but may rarely merge non-isomorphic ones — callers
+/// needing certainty confirm with are_isomorphic.
+std::uint64_t iso_invariant_code(const QueryGraph& q);
+
+/// All connected simple graphs on `n` nodes (3 <= n <= 6) with treewidth
+/// at most `max_treewidth` (1 or 2), one representative per isomorphism
+/// class. The exhaustive workload for engine property tests.
+std::vector<QueryGraph> all_connected_queries(int n, int max_treewidth = 2);
+
+}  // namespace ccbt

@@ -1,0 +1,90 @@
+#include "ccbt/query/query_graph.hpp"
+
+#include <bit>
+
+#include "ccbt/util/error.hpp"
+
+namespace ccbt {
+
+QueryGraph::QueryGraph(int num_nodes, std::string name)
+    : n_(num_nodes), name_(std::move(name)) {
+  if (num_nodes < 1 || num_nodes > kMaxQueryNodes) {
+    throw UnsupportedQuery("query must have between 1 and 16 nodes");
+  }
+}
+
+QueryGraph::QueryGraph(int num_nodes,
+                       const std::vector<std::pair<int, int>>& edges,
+                       std::string name)
+    : QueryGraph(num_nodes, std::move(name)) {
+  for (const auto& [a, b] : edges) {
+    add_edge(static_cast<QNode>(a), static_cast<QNode>(b));
+  }
+}
+
+int QueryGraph::num_edges() const {
+  int total = 0;
+  for (int a = 0; a < n_; ++a) total += std::popcount(adj_[a]);
+  return total / 2;
+}
+
+void QueryGraph::add_edge(QNode a, QNode b) {
+  if (a >= n_ || b >= n_ || a == b) {
+    throw UnsupportedQuery("query edge endpoints invalid");
+  }
+  adj_[a] |= std::uint32_t{1} << b;
+  adj_[b] |= std::uint32_t{1} << a;
+}
+
+void QueryGraph::remove_edge(QNode a, QNode b) {
+  adj_[a] &= ~(std::uint32_t{1} << b);
+  adj_[b] &= ~(std::uint32_t{1} << a);
+}
+
+int QueryGraph::degree(QNode a) const { return std::popcount(adj_[a]); }
+
+std::vector<std::pair<int, int>> QueryGraph::edge_pairs() const {
+  std::vector<std::pair<int, int>> edges;
+  for (int a = 0; a < n_; ++a) {
+    for (int b = a + 1; b < n_; ++b) {
+      if (has_edge(static_cast<QNode>(a), static_cast<QNode>(b))) {
+        edges.emplace_back(a, b);
+      }
+    }
+  }
+  return edges;
+}
+
+bool QueryGraph::connected() const {
+  if (n_ == 0) return false;
+  std::uint32_t seen = 1;
+  std::uint32_t frontier = 1;
+  while (frontier != 0) {
+    std::uint32_t next = 0;
+    for (int a = 0; a < n_; ++a) {
+      if ((frontier >> a) & 1u) next |= adj_[a];
+    }
+    frontier = next & ~seen;
+    seen |= next;
+  }
+  return std::popcount(seen) >= n_;
+}
+
+std::vector<QNode> QueryGraph::connected_order() const {
+  std::vector<QNode> order;
+  if (n_ == 0) return order;
+  std::uint32_t seen = 1;
+  order.push_back(0);
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    const std::uint32_t nbrs = adj_[order[head]] & ~seen;
+    for (int b = 0; b < n_; ++b) {
+      if ((nbrs >> b) & 1u) {
+        order.push_back(static_cast<QNode>(b));
+        seen |= std::uint32_t{1} << b;
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace ccbt

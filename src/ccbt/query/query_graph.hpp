@@ -1,0 +1,55 @@
+#pragma once
+// Query (template/motif) graphs: small undirected simple graphs with at
+// most kMaxQueryNodes nodes, stored as adjacency bitmasks.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ccbt/graph/types.hpp"
+
+namespace ccbt {
+
+class QueryGraph {
+ public:
+  QueryGraph() = default;
+
+  explicit QueryGraph(int num_nodes, std::string name = "");
+
+  /// Build from an explicit edge list over nodes 0..num_nodes-1.
+  QueryGraph(int num_nodes,
+             const std::vector<std::pair<int, int>>& edges,
+             std::string name = "");
+
+  int num_nodes() const { return n_; }
+  int num_edges() const;
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  void add_edge(QNode a, QNode b);
+  void remove_edge(QNode a, QNode b);
+  bool has_edge(QNode a, QNode b) const {
+    return (adj_[a] >> b) & 1u;
+  }
+
+  /// Bitmask of neighbors of a.
+  std::uint32_t neighbors(QNode a) const { return adj_[a]; }
+
+  int degree(QNode a) const;
+
+  std::vector<std::pair<int, int>> edge_pairs() const;
+
+  bool connected() const;
+
+  /// Ordering of nodes such that every node after the first is adjacent
+  /// to at least one earlier node (BFS order); used by the exact counter.
+  std::vector<QNode> connected_order() const;
+
+ private:
+  int n_ = 0;
+  std::string name_;
+  std::uint32_t adj_[kMaxQueryNodes] = {};
+};
+
+}  // namespace ccbt

@@ -1,0 +1,81 @@
+#include "ccbt/query/random_tw2.hpp"
+
+#include <cassert>
+#include <utility>
+#include <vector>
+
+#include "ccbt/query/treewidth.hpp"
+#include "ccbt/util/error.hpp"
+
+namespace ccbt {
+
+QueryGraph random_tw2_query(const RandomTw2Options& options,
+                            std::uint64_t seed) {
+  if (options.target_nodes < 2 || options.target_nodes > kMaxQueryNodes) {
+    throw UnsupportedQuery("random_tw2_query: bad target size");
+  }
+  Rng rng(seed);
+  QueryGraph q(kMaxQueryNodes,
+               "rand_tw2_" + std::to_string(seed));
+  int n = 0;
+  auto fresh = [&]() { return static_cast<QNode>(n++); };
+  if (options.start_with_triangle && options.target_nodes >= 3) {
+    const QNode a = fresh(), b = fresh(), c = fresh();
+    q.add_edge(a, b);
+    q.add_edge(b, c);
+    q.add_edge(c, a);
+  } else {
+    const QNode a = fresh(), b = fresh();
+    q.add_edge(a, b);
+  }
+
+  while (n < options.target_nodes) {
+    const double r = rng.uniform();
+    const auto edges = [&] {
+      std::vector<std::pair<int, int>> all;
+      for (const auto& e : q.edge_pairs()) {
+        if (e.first < n && e.second < n) all.push_back(e);
+      }
+      return all;
+    }();
+    if (r < options.p_leaf || edges.empty()) {
+      const auto host = static_cast<QNode>(rng.below(n));
+      const QNode leaf = fresh();
+      q.add_edge(host, leaf);
+    } else if (r < options.p_leaf + options.p_subdivide) {
+      const auto& e = edges[rng.below(edges.size())];
+      const QNode mid = fresh();
+      q.remove_edge(static_cast<QNode>(e.first),
+                    static_cast<QNode>(e.second));
+      q.add_edge(static_cast<QNode>(e.first), mid);
+      q.add_edge(mid, static_cast<QNode>(e.second));
+    } else {
+      // Ear across an existing edge; keep it within the node budget.
+      const auto& e = edges[rng.below(edges.size())];
+      const int room = options.target_nodes - n;
+      const int len = 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(
+                              std::min(options.max_ear_length, room))));
+      QNode prev = static_cast<QNode>(e.first);
+      for (int i = 0; i < len; ++i) {
+        const QNode x = fresh();
+        q.add_edge(prev, x);
+        prev = x;
+      }
+      q.add_edge(prev, static_cast<QNode>(e.second));
+    }
+  }
+
+  // Rebuild with the exact node count (the scratch graph was allocated at
+  // the maximum width).
+  QueryGraph out(n, q.name());
+  for (const auto& [a, b] : q.edge_pairs()) {
+    if (a < n && b < n) {
+      out.add_edge(static_cast<QNode>(a), static_cast<QNode>(b));
+    }
+  }
+  assert(out.connected());
+  assert(treewidth_at_most_2(out));
+  return out;
+}
+
+}  // namespace ccbt

@@ -1,0 +1,30 @@
+#pragma once
+// Random treewidth-2 query generator for property-based testing.
+//
+// Starting from a triangle or an edge, repeatedly applies operations that
+// provably preserve treewidth <= 2:
+//   * leaf      — attach a pendant node to a random node;
+//   * subdivide — replace a random edge (a,b) by a path a-x-b;
+//   * ear       — pick an existing edge (a,b) and add a new parallel path
+//                 a-x1-..-xm-b (series-parallel composition).
+// Every output is validated against the recognizer.
+
+#include <cstdint>
+
+#include "ccbt/query/query_graph.hpp"
+#include "ccbt/util/rng.hpp"
+
+namespace ccbt {
+
+struct RandomTw2Options {
+  int target_nodes = 8;       // stop growing once reached (2..16)
+  double p_leaf = 0.35;       // operation mix
+  double p_subdivide = 0.25;  // remainder goes to "ear"
+  int max_ear_length = 3;     // interior nodes per ear
+  bool start_with_triangle = true;
+};
+
+QueryGraph random_tw2_query(const RandomTw2Options& options,
+                            std::uint64_t seed);
+
+}  // namespace ccbt

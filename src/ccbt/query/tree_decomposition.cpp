@@ -1,0 +1,160 @@
+#include "ccbt/query/tree_decomposition.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "ccbt/util/error.hpp"
+
+namespace ccbt {
+
+int TreeDecomposition::width() const {
+  int w = 0;
+  for (std::uint32_t bag : bags) w = std::max(w, std::popcount(bag) - 1);
+  return w;
+}
+
+TreeDecomposition tree_decomposition_w2(const QueryGraph& q) {
+  if (!q.connected()) {
+    throw UnsupportedQuery("tree decomposition: query must be connected");
+  }
+  // Peel vertices of degree <= 2 (the treewidth-2 reduction). Each peeled
+  // vertex v creates the bag {v} ∪ N(v); its parent bag is the first
+  // later-created bag containing all of N(v) — which exists because the
+  // reduction connects v's neighbors before removing v.
+  QueryGraph g = q;
+  const int n = q.num_nodes();
+  std::uint32_t alive = (std::uint32_t{1} << n) - 1;
+
+  struct Peel {
+    int vertex;
+    std::uint32_t bag;        // {v} ∪ N(v) at removal time
+    std::uint32_t neighbors;  // N(v) at removal time
+  };
+  std::vector<Peel> peels;
+
+  while (std::popcount(alive) > 1) {
+    int picked = -1;
+    // Prefer degree <= 1 (keeps trees at width 1), then degree 2.
+    for (int cap = 1; cap <= 2 && picked < 0; ++cap) {
+      for (int v = 0; v < n && picked < 0; ++v) {
+        if (!((alive >> v) & 1u)) continue;
+        const std::uint32_t nbrs =
+            g.neighbors(static_cast<QNode>(v)) & alive;
+        if (std::popcount(nbrs) > cap) continue;
+        picked = v;
+        // Degree-2 reduction adds the bypass edge so the neighbors stay
+        // together in a later bag.
+        if (std::popcount(nbrs) == 2) {
+          const int a = std::countr_zero(nbrs);
+          const int b = std::countr_zero(nbrs & (nbrs - 1));
+          if (!g.has_edge(static_cast<QNode>(a), static_cast<QNode>(b))) {
+            g.add_edge(static_cast<QNode>(a), static_cast<QNode>(b));
+          }
+        }
+        peels.push_back(
+            {v, nbrs | (std::uint32_t{1} << v), nbrs});
+        for (int b = 0; b < n; ++b) {
+          if ((nbrs >> b) & 1u) {
+            g.remove_edge(static_cast<QNode>(v), static_cast<QNode>(b));
+          }
+        }
+        alive &= ~(std::uint32_t{1} << v);
+        break;
+      }
+    }
+    if (picked < 0) {
+      throw UnsupportedQuery("tree decomposition: treewidth > 2");
+    }
+  }
+
+  TreeDecomposition td;
+  // The last remaining vertex forms the root bag.
+  td.bags.push_back(alive);
+  // Replay the peels in reverse: each new bag hangs off the first
+  // existing bag containing all of the peeled vertex's neighbors.
+  for (auto it = peels.rbegin(); it != peels.rend(); ++it) {
+    const int id = static_cast<int>(td.bags.size());
+    td.bags.push_back(it->bag);
+    int parent = 0;
+    for (int b = 0; b < id; ++b) {
+      if ((td.bags[b] & it->neighbors) == it->neighbors) {
+        parent = b;
+        break;
+      }
+    }
+    td.edges.push_back({parent, id});
+  }
+  return td;
+}
+
+bool valid_tree_decomposition(const TreeDecomposition& td,
+                              const QueryGraph& q) {
+  const int pieces = static_cast<int>(td.bags.size());
+  if (pieces == 0) return false;
+  // A tree has exactly pieces-1 edges and is connected.
+  if (static_cast<int>(td.edges.size()) != pieces - 1) return false;
+  std::vector<std::vector<int>> adj(pieces);
+  for (const auto& [a, b] : td.edges) {
+    if (a < 0 || b < 0 || a >= pieces || b >= pieces) return false;
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+  std::vector<int> stack{0};
+  std::vector<bool> seen(pieces, false);
+  seen[0] = true;
+  int reached = 0;
+  while (!stack.empty()) {
+    const int p = stack.back();
+    stack.pop_back();
+    ++reached;
+    for (int nb : adj[p]) {
+      if (!seen[nb]) {
+        seen[nb] = true;
+        stack.push_back(nb);
+      }
+    }
+  }
+  if (reached != pieces) return false;
+
+  // (i) Every query edge inside some bag.
+  for (const auto& [a, b] : q.edge_pairs()) {
+    const std::uint32_t need =
+        (std::uint32_t{1} << a) | (std::uint32_t{1} << b);
+    bool covered = false;
+    for (std::uint32_t bag : td.bags) covered |= ((bag & need) == need);
+    if (!covered) return false;
+  }
+
+  // (ii) Occupancy of each query node induces a connected subtree.
+  for (int v = 0; v < q.num_nodes(); ++v) {
+    const std::uint32_t vbit = std::uint32_t{1} << v;
+    int first = -1, count = 0;
+    for (int p = 0; p < pieces; ++p) {
+      if (td.bags[p] & vbit) {
+        if (first < 0) first = p;
+        ++count;
+      }
+    }
+    if (count == 0) return false;  // every node must appear somewhere
+    // BFS restricted to pieces containing v.
+    std::vector<bool> vis(pieces, false);
+    std::vector<int> st{first};
+    vis[first] = true;
+    int hit = 0;
+    while (!st.empty()) {
+      const int p = st.back();
+      st.pop_back();
+      ++hit;
+      for (int nb : adj[p]) {
+        if (!vis[nb] && (td.bags[nb] & vbit)) {
+          vis[nb] = true;
+          st.push_back(nb);
+        }
+      }
+    }
+    if (hit != count) return false;
+  }
+  return true;
+}
+
+}  // namespace ccbt

@@ -1,0 +1,42 @@
+#pragma once
+// Explicit tree decompositions (Section 2 of the paper).
+//
+// The counting engine never materializes a width-2 tree decomposition —
+// the block decomposition tree plays that role — but the object itself
+// is part of the paper's formal toolkit: the treewidth-2 recognizer's
+// reduction sequence converts directly into a tree decomposition of
+// width <= 2, and the validity conditions (edge coverage + connected
+// occupancy) are exactly the properties quoted in Section 2. This module
+// makes that construction concrete and checkable.
+
+#include <cstdint>
+#include <vector>
+
+#include "ccbt/query/query_graph.hpp"
+
+namespace ccbt {
+
+struct TreeDecomposition {
+  /// bags[i] = set of query nodes in piece i (bitmask).
+  std::vector<std::uint32_t> bags;
+
+  /// Tree edges between pieces (parallel arrays of piece indices).
+  std::vector<std::pair<int, int>> edges;
+
+  /// max |bag| - 1.
+  int width() const;
+};
+
+/// Build a tree decomposition of width <= 2 for a treewidth-2 query via
+/// the degree-<=2 reduction sequence. Throws UnsupportedQuery when the
+/// query has treewidth > 2 or is disconnected.
+TreeDecomposition tree_decomposition_w2(const QueryGraph& q);
+
+/// Check the two defining properties of Section 2 against `q`:
+/// (i) every query edge is inside some bag; (ii) for every query node,
+/// the pieces containing it induce a connected subtree. Also checks that
+/// the piece tree is in fact a tree.
+bool valid_tree_decomposition(const TreeDecomposition& td,
+                              const QueryGraph& q);
+
+}  // namespace ccbt

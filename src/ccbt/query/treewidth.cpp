@@ -1,0 +1,80 @@
+#include "ccbt/query/treewidth.hpp"
+
+#include <bit>
+
+#include "ccbt/util/error.hpp"
+
+namespace ccbt {
+
+bool is_forest(const QueryGraph& q) {
+  // A forest has |E| = |V| - #components; equivalently the degree-<=1
+  // reduction consumes it entirely.
+  QueryGraph g = q;
+  std::uint32_t alive = (g.num_nodes() >= 32)
+                            ? ~std::uint32_t{0}
+                            : (std::uint32_t{1} << g.num_nodes()) - 1;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (int a = 0; a < g.num_nodes(); ++a) {
+      if (!((alive >> a) & 1u)) continue;
+      const std::uint32_t nbrs = g.neighbors(static_cast<QNode>(a)) & alive;
+      if (std::popcount(nbrs) <= 1) {
+        for (int b = 0; b < g.num_nodes(); ++b) {
+          if ((nbrs >> b) & 1u) {
+            g.remove_edge(static_cast<QNode>(a), static_cast<QNode>(b));
+          }
+        }
+        alive &= ~(std::uint32_t{1} << a);
+        progress = true;
+      }
+    }
+  }
+  return alive == 0;
+}
+
+bool treewidth_at_most_2(const QueryGraph& q) {
+  QueryGraph g = q;
+  std::uint32_t alive = (std::uint32_t{1} << g.num_nodes()) - 1;
+  bool progress = true;
+  while (alive != 0 && progress) {
+    progress = false;
+    for (int a = 0; a < g.num_nodes(); ++a) {
+      if (!((alive >> a) & 1u)) continue;
+      const std::uint32_t nbrs = g.neighbors(static_cast<QNode>(a)) & alive;
+      const int deg = std::popcount(nbrs);
+      if (deg <= 1) {
+        for (int b = 0; b < g.num_nodes(); ++b) {
+          if ((nbrs >> b) & 1u) {
+            g.remove_edge(static_cast<QNode>(a), static_cast<QNode>(b));
+          }
+        }
+        alive &= ~(std::uint32_t{1} << a);
+        progress = true;
+      } else if (deg == 2) {
+        int x = -1, y = -1;
+        for (int b = 0; b < g.num_nodes(); ++b) {
+          if ((nbrs >> b) & 1u) (x < 0 ? x : y) = b;
+        }
+        g.remove_edge(static_cast<QNode>(a), static_cast<QNode>(x));
+        g.remove_edge(static_cast<QNode>(a), static_cast<QNode>(y));
+        if (!g.has_edge(static_cast<QNode>(x), static_cast<QNode>(y))) {
+          g.add_edge(static_cast<QNode>(x), static_cast<QNode>(y));
+        }
+        alive &= ~(std::uint32_t{1} << a);
+        progress = true;
+      }
+    }
+  }
+  return alive == 0;
+}
+
+void validate_query(const QueryGraph& q) {
+  if (q.num_nodes() < 1) throw UnsupportedQuery("query is empty");
+  if (!q.connected()) throw UnsupportedQuery("query must be connected");
+  if (!treewidth_at_most_2(q)) {
+    throw UnsupportedQuery("query '" + q.name() + "' has treewidth > 2");
+  }
+}
+
+}  // namespace ccbt

@@ -1,0 +1,20 @@
+#pragma once
+// Treewidth recognition for the query classes this library supports.
+//
+// A graph has treewidth <= 2 iff it can be reduced to nothing by repeatedly
+// (a) deleting a vertex of degree <= 1, or (b) replacing a degree-2 vertex
+// by an edge between its neighbors (series reduction). Trees are exactly
+// the connected graphs of treewidth <= 1.
+
+#include "ccbt/query/query_graph.hpp"
+
+namespace ccbt {
+
+bool is_forest(const QueryGraph& q);
+
+bool treewidth_at_most_2(const QueryGraph& q);
+
+/// Throws UnsupportedQuery unless q is connected with treewidth <= 2.
+void validate_query(const QueryGraph& q);
+
+}  // namespace ccbt

@@ -1,0 +1,80 @@
+#pragma once
+// Insert-or-accumulate open-addressing hash map over TableKey.
+//
+// Section 7: "All the tables are maintained as distributed hash tables
+// which use open addressing to resolve collisions." This is the
+// shared-memory equivalent: a power-of-two slot array of indices into a
+// dense entry vector. Only insertion and accumulation are needed during a
+// join; afterwards the entries are sealed (sorted) for merge joins.
+
+#include <cstddef>
+#include <vector>
+
+#include "ccbt/table/table_key.hpp"
+#include "ccbt/util/error.hpp"
+
+namespace ccbt {
+
+class AccumMap {
+ public:
+  explicit AccumMap(std::size_t expected = 16) { rehash_for(expected); }
+
+  /// Add `cnt` to the entry for `key`, creating it if absent.
+  void add(const TableKey& key, Count cnt) {
+    if (entries_.size() + 1 > grow_at_) rehash_for(entries_.size() * 2 + 16);
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t pos = hash_key(key) & mask;
+    while (true) {
+      const std::uint32_t idx = slots_[pos];
+      if (idx == kEmpty) {
+        slots_[pos] = static_cast<std::uint32_t>(entries_.size());
+        entries_.push_back({key, cnt});
+        return;
+      }
+      if (entries_[idx].key == key) {
+        entries_[idx].cnt += cnt;
+        return;
+      }
+      pos = (pos + 1) & mask;
+    }
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Move the dense entries out; the map is left empty.
+  std::vector<TableEntry> take_entries() {
+    std::vector<TableEntry> out = std::move(entries_);
+    entries_.clear();
+    slots_.assign(slots_.size(), kEmpty);
+    return out;
+  }
+
+  const std::vector<TableEntry>& entries() const { return entries_; }
+
+ private:
+  static constexpr std::uint32_t kEmpty = 0xFFFFFFFFu;
+
+  void rehash_for(std::size_t expected) {
+    std::size_t cap = 32;
+    while (cap * 3 / 5 < expected) cap <<= 1;  // keep load factor <= 0.6
+    if (!slots_.empty() && cap <= slots_.size()) {
+      grow_at_ = slots_.size() * 3 / 5;
+      return;
+    }
+    slots_.assign(cap, kEmpty);
+    grow_at_ = cap * 3 / 5;
+    const std::size_t mask = cap - 1;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      std::size_t pos = hash_key(entries_[i].key) & mask;
+      while (slots_[pos] != kEmpty) pos = (pos + 1) & mask;
+      slots_[pos] = static_cast<std::uint32_t>(i);
+    }
+  }
+
+  std::vector<std::uint32_t> slots_;
+  std::vector<TableEntry> entries_;
+  std::size_t grow_at_ = 0;
+};
+
+}  // namespace ccbt

@@ -1,0 +1,84 @@
+#include "ccbt/table/proj_table.hpp"
+
+#include <algorithm>
+
+namespace ccbt {
+
+namespace {
+
+bool less_by_v0(const TableEntry& a, const TableEntry& b) {
+  if (a.key.v[0] != b.key.v[0]) return a.key.v[0] < b.key.v[0];
+  if (a.key.v[1] != b.key.v[1]) return a.key.v[1] < b.key.v[1];
+  if (a.key.v[2] != b.key.v[2]) return a.key.v[2] < b.key.v[2];
+  if (a.key.v[3] != b.key.v[3]) return a.key.v[3] < b.key.v[3];
+  return a.key.sig < b.key.sig;
+}
+
+bool less_by_v1(const TableEntry& a, const TableEntry& b) {
+  if (a.key.v[1] != b.key.v[1]) return a.key.v[1] < b.key.v[1];
+  return less_by_v0(a, b);
+}
+
+}  // namespace
+
+Count ProjTable::total() const {
+  Count sum = 0;
+  for (const auto& e : entries_) sum += e.cnt;
+  return sum;
+}
+
+void ProjTable::seal(SortOrder order) {
+  if (order == order_ || order == SortOrder::kUnsorted) {
+    order_ = order;
+    return;
+  }
+  switch (order) {
+    case SortOrder::kByV0:
+    case SortOrder::kByV0V1:
+      // kByV0 sorting is a refinement that also groups by (v0,v1).
+      std::sort(entries_.begin(), entries_.end(), less_by_v0);
+      break;
+    case SortOrder::kByV1:
+      std::sort(entries_.begin(), entries_.end(), less_by_v1);
+      break;
+    case SortOrder::kUnsorted:
+      break;
+  }
+  order_ = order;
+}
+
+std::span<const TableEntry> ProjTable::group(int slot, VertexId v) const {
+  auto key_slot = [slot](const TableEntry& e) { return e.key.v[slot]; };
+  auto lo = std::partition_point(
+      entries_.begin(), entries_.end(),
+      [&](const TableEntry& e) { return key_slot(e) < v; });
+  auto hi = std::partition_point(
+      lo, entries_.end(),
+      [&](const TableEntry& e) { return key_slot(e) <= v; });
+  return {entries_.data() + (lo - entries_.begin()),
+          static_cast<std::size_t>(hi - lo)};
+}
+
+ProjTable ProjTable::transposed() const {
+  ProjTable out(arity_);
+  out.entries_.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    TableEntry t = e;
+    std::swap(t.key.v[0], t.key.v[1]);
+    out.entries_.push_back(t);
+  }
+  return out;
+}
+
+ProjTable ProjTable::aggregated(int new_arity) const {
+  AccumMap map(entries_.size());
+  for (const auto& e : entries_) {
+    TableKey key;
+    for (int s = 0; s < new_arity; ++s) key.v[s] = e.key.v[s];
+    key.sig = e.key.sig;
+    map.add(key, e.cnt);
+  }
+  return ProjTable::from_map(new_arity, std::move(map));
+}
+
+}  // namespace ccbt

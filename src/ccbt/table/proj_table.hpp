@@ -1,0 +1,75 @@
+#pragma once
+// Projection tables (Section 4.2): a synopsis of the colorful matches of a
+// subquery, keyed by the images of its boundary nodes (plus tracked
+// vertices during DB path construction) and the color signature.
+//
+// Lifecycle: entries are accumulated through an AccumMap during a join,
+// then sealed into a sorted dense vector. Merge joins stream over groups
+// that share the leading key slots.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ccbt/table/accum_map.hpp"
+#include "ccbt/table/table_key.hpp"
+
+namespace ccbt {
+
+/// Sort orders used by the join procedures.
+enum class SortOrder : std::uint8_t {
+  kUnsorted,
+  kByV0,    // group by slot 0 (child-table lookups by first boundary)
+  kByV0V1,  // group by (slot 0, slot 1) (half-cycle merge joins)
+  kByV1,    // group by slot 1 (frontier-grouped extensions)
+};
+
+class ProjTable {
+ public:
+  ProjTable() = default;
+
+  /// arity = number of meaningful leading vertex slots (0..4).
+  explicit ProjTable(int arity) : arity_(arity) {}
+
+  static ProjTable from_map(int arity, AccumMap&& map) {
+    ProjTable t(arity);
+    t.entries_ = map.take_entries();
+    return t;
+  }
+
+  int arity() const { return arity_; }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  std::span<const TableEntry> entries() const { return entries_; }
+
+  /// Total count over all entries (used at the root).
+  Count total() const;
+
+  /// Sort entries for merge joins; remembers the order (no-op if sorted).
+  void seal(SortOrder order);
+  SortOrder order() const { return order_; }
+
+  /// Contiguous range of entries whose slot `slot` equals v; requires the
+  /// matching seal order (kByV0 for slot 0, kByV1 for slot 1).
+  std::span<const TableEntry> group(int slot, VertexId v) const;
+
+  /// Swap slots 0 and 1 in every key — the transpose of Section 5.2
+  /// ("the boundary tables are transpose of each other"). Invalidates the
+  /// seal order.
+  ProjTable transposed() const;
+
+  /// Sum out every slot except slot 0 (projection to a unary table), or to
+  /// arity 0. Used when a cycle's diagonal split must be re-aggregated to
+  /// the block's true boundary keys.
+  ProjTable aggregated(int new_arity) const;
+
+  void push_unchecked(const TableEntry& e) { entries_.push_back(e); }
+
+ private:
+  int arity_ = 0;
+  SortOrder order_ = SortOrder::kUnsorted;
+  std::vector<TableEntry> entries_;
+};
+
+}  // namespace ccbt

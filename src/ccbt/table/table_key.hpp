@@ -1,0 +1,48 @@
+#pragma once
+// Projection-table keys.
+//
+// A key holds up to four data-vertex slots plus a color signature:
+//   slot 0 — the anchor (π of the path's start node / first boundary node)
+//   slot 1 — the frontier (π of the current path end / second boundary)
+//   slots 2,3 — "tracked" vertices: the images of boundary nodes that fall
+//               in the interior of a DB path (the additional fields of
+//               Section 5.1, configurations (A) and (B)).
+// Unused slots hold kNoVertex so equality and hashing are uniform.
+
+#include <array>
+#include <cstdint>
+
+#include "ccbt/graph/types.hpp"
+
+namespace ccbt {
+
+struct TableKey {
+  std::array<VertexId, 4> v{kNoVertex, kNoVertex, kNoVertex, kNoVertex};
+  Signature sig = 0;
+
+  friend bool operator==(const TableKey&, const TableKey&) = default;
+};
+
+/// 64-bit mix of all key fields (splitmix-style avalanche).
+inline std::uint64_t hash_key(const TableKey& k) {
+  std::uint64_t h = 0x9E3779B97F4A7C15ULL;
+  auto mix = [&h](std::uint64_t x) {
+    h ^= x + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    h *= 0xBF58476D1CE4E5B9ULL;
+    h ^= h >> 27;
+  };
+  mix((static_cast<std::uint64_t>(k.v[0]) << 32) | k.v[1]);
+  mix((static_cast<std::uint64_t>(k.v[2]) << 32) | k.v[3]);
+  mix(k.sig);
+  h *= 0x94D049BB133111EBULL;
+  h ^= h >> 31;
+  return h;
+}
+
+/// An accumulated (key -> count) row.
+struct TableEntry {
+  TableKey key;
+  Count cnt = 0;
+};
+
+}  // namespace ccbt

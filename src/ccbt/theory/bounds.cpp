@@ -1,0 +1,59 @@
+#include "ccbt/theory/bounds.hpp"
+
+#include <cmath>
+
+#include "ccbt/util/error.hpp"
+
+namespace ccbt {
+
+double seq_moment(const std::vector<double>& degrees, double p) {
+  double sum = 0.0;
+  for (double d : degrees) sum += std::pow(d, p);
+  return sum;
+}
+
+double seq_edges(const std::vector<double>& degrees) {
+  return 0.5 * seq_moment(degrees, 1.0);
+}
+
+double y_lower_bound(const std::vector<double>& degrees, int q) {
+  if (q < 3) throw Error("y_lower_bound: q must be >= 3");
+  const double two_m = 2.0 * seq_edges(degrees);
+  const double d2 = seq_moment(degrees, 2.0);
+  return (1.0 / q) * std::pow(two_m, 3.0 - q) * std::pow(d2, q - 2.0);
+}
+
+double x_upper_bound(const std::vector<double>& degrees, int q) {
+  if (q < 3) throw Error("x_upper_bound: q must be >= 3");
+  const double two_m = 2.0 * seq_edges(degrees);
+  const double p = 2.0 - 1.0 / (q - 1.0);
+  const double dp = seq_moment(degrees, p);
+  return std::pow(two_m, 2.0 - q) * std::pow(dp, q - 1.0);
+}
+
+double balancedness_lambda(const std::vector<double>& degrees, int a, int b) {
+  if (a < 1 || b < 1) throw Error("balancedness_lambda: a, b must be >= 1");
+  const double num = seq_moment(degrees, static_cast<double>(a + b));
+  const double den = seq_moment(degrees, static_cast<double>(a)) *
+                     seq_moment(degrees, static_cast<double>(b));
+  return den == 0.0 ? 0.0 : num / den;
+}
+
+int dominant_path_length(int cycle_length) {
+  return (cycle_length + 1) / 2;
+}
+
+double predicted_improvement_exponent(double alpha, int q) {
+  if (alpha <= 1.0 || alpha >= 2.0) {
+    throw Error("predicted_improvement_exponent: alpha must be in (1,2)");
+  }
+  if (alpha < 2.0 - 1.0 / (q - 1.0)) {
+    // Corollary 9.9, first case: E[Y]/E[X] >= n^{(alpha-1)/2}.
+    return 0.5 * (alpha - 1.0);
+  }
+  // Second case: E[Y] / E[X] >= n^{alpha-2+(2-alpha)q/2} / polylog; report
+  // the polynomial exponent.
+  return alpha - 2.0 + 0.5 * (2.0 - alpha) * q;
+}
+
+}  // namespace ccbt

@@ -1,0 +1,45 @@
+#pragma once
+// Closed-form bound calculators for the Section 9 analysis.
+//
+// For a Chung-Lu graph with expected degree sequence d and a cycle query
+// of length k, the paper bounds the dominant enumeration terms of the two
+// procedures by degree-sequence moments:
+//   * E[Y(q)] >= (1/q) (2m)^{3-q} (Σ d_u^2)^{q-2}          (Lemma 9.5)
+//     — the id-anchored paths the symmetry-broken PS variant explores;
+//   * E[X(q)] <= C (2m)^{2-q} (Σ d_u^{2-1/(q-1)})^{q-1}    (Lemma 9.6)
+//     — the high-starting paths DB explores (we report the bound with
+//     C = 1; all comparisons are up to constants);
+// with q = ceil(k/2) dominating (Remark 9.2). Lemma 9.7 (via Hölder,
+// Claim 9.2) shows the X bound never exceeds q times the Y bound, and
+// Lemma 9.8 makes the gap polynomial under a truncated power law.
+// Claim 10.1's balancedness λ = Σ d^{a+b} / (Σ d^a · Σ d^b) quantifies
+// how concentrated the sequence is on its hubs.
+
+#include <vector>
+
+namespace ccbt {
+
+/// Σ_u d_u^p over the expected degree sequence.
+double seq_moment(const std::vector<double>& degrees, double p);
+
+/// Half the first moment: m = (1/2) Σ d_u.
+double seq_edges(const std::vector<double>& degrees);
+
+/// Lemma 9.5 lower bound on E[Y(q)] (id-anchored q-vertex paths).
+double y_lower_bound(const std::vector<double>& degrees, int q);
+
+/// Lemma 9.6 upper bound on E[X(q)] (high-starting q-vertex paths), C=1.
+double x_upper_bound(const std::vector<double>& degrees, int q);
+
+/// Claim 10.1 balancedness λ(a, b) = Σ d^{a+b} / (Σ d^a · Σ d^b).
+double balancedness_lambda(const std::vector<double>& degrees, int a, int b);
+
+/// The dominant term index q = ceil(k/2) for a k-cycle (Remark 9.2).
+int dominant_path_length(int cycle_length);
+
+/// Lemma 9.8's predicted E[Y]/E[X] improvement exponent for a truncated
+/// power law with parameter alpha: the ratio grows as n^{(alpha-1)/2} for
+/// alpha < 2 - 1/(q-1) (up to polylog factors beyond that threshold).
+double predicted_improvement_exponent(double alpha, int q);
+
+}  // namespace ccbt

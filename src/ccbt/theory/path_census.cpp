@@ -1,0 +1,64 @@
+#include "ccbt/theory/path_census.hpp"
+
+#include "ccbt/util/error.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace ccbt {
+
+namespace {
+
+/// DFS extension: count simple paths of `remaining` further vertices from
+/// `v`, all strictly below `anchor` in `order`, avoiding `visited`.
+std::uint64_t extend(const CsrGraph& g, const DegreeOrder& order,
+                     VertexId anchor, VertexId v, int remaining,
+                     std::vector<bool>& visited) {
+  if (remaining == 0) return 1;
+  std::uint64_t paths = 0;
+  for (VertexId w : g.neighbors(v)) {
+    if (visited[w] || !order.higher(anchor, w)) continue;
+    visited[w] = true;
+    paths += extend(g, order, anchor, w, remaining - 1, visited);
+    visited[w] = false;
+  }
+  return paths;
+}
+
+}  // namespace
+
+std::uint64_t count_anchored_paths(const CsrGraph& g, const DegreeOrder& order,
+                                   int q) {
+  if (q < 2) throw Error("count_anchored_paths: q must be >= 2");
+  const VertexId n = g.num_vertices();
+  std::uint64_t total = 0;
+
+#ifdef _OPENMP
+#pragma omp parallel reduction(+ : total)
+#endif
+  {
+    std::vector<bool> visited(n, false);
+#ifdef _OPENMP
+#pragma omp for schedule(dynamic, 32)
+#endif
+    for (VertexId u = 0; u < n; ++u) {
+      visited[u] = true;
+      total += extend(g, order, u, u, q - 1, visited);
+      visited[u] = false;
+    }
+  }
+  return total;
+}
+
+std::uint64_t census_x(const CsrGraph& g, int q) {
+  const DegreeOrder order(g);
+  return count_anchored_paths(g, order, q);
+}
+
+std::uint64_t census_y(const CsrGraph& g, int q) {
+  const DegreeOrder order = DegreeOrder::by_id(g.num_vertices());
+  return count_anchored_paths(g, order, q);
+}
+
+}  // namespace ccbt

@@ -1,0 +1,31 @@
+#pragma once
+// Empirical path censuses for the Section 9 quantities.
+//
+// X(q) — equation (3): simple paths (u1, ..., uq) whose first vertex is
+// strictly highest in the *degree* order among all path vertices (the
+// high-starting paths the DB procedure enumerates).
+// Y(q) — equation (2): the same with the *id* order (the symmetry-broken
+// PS variant). Both are exact counts obtained by anchored DFS with
+// dominance pruning: a partial path dies the moment any vertex reaches
+// the anchor's rank.
+
+#include <cstdint>
+
+#include "ccbt/graph/csr_graph.hpp"
+#include "ccbt/graph/degree_order.hpp"
+
+namespace ccbt {
+
+/// Number of simple q-vertex paths (u1, ..., uq), q >= 2, in which u1 is
+/// strictly higher than every other path vertex under `order`. Directed
+/// paths: (u1, ..., uq) and its reverse count separately unless equal.
+std::uint64_t count_anchored_paths(const CsrGraph& g, const DegreeOrder& order,
+                                   int q);
+
+/// X(q): anchored paths under the degree order.
+std::uint64_t census_x(const CsrGraph& g, int q);
+
+/// Y(q): anchored paths under the id order.
+std::uint64_t census_y(const CsrGraph& g, int q);
+
+}  // namespace ccbt

@@ -1,0 +1,228 @@
+#include "ccbt/tree/tree_dp.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "ccbt/table/signature.hpp"
+#include "ccbt/util/error.hpp"
+#include "ccbt/util/rng.hpp"
+#include "ccbt/util/timer.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace ccbt {
+
+namespace {
+
+/// Sparse per-vertex signature table: sorted (signature, count) pairs.
+using SigVec = std::vector<std::pair<Signature, Count>>;
+using NodeTable = std::vector<SigVec>;  // indexed by data vertex
+
+void sort_and_fuse(SigVec& v) {
+  std::sort(v.begin(), v.end());
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (out > 0 && v[out - 1].first == v[i].first) {
+      v[out - 1].second += v[i].second;
+    } else {
+      v[out++] = v[i];
+    }
+  }
+  v.resize(out);
+}
+
+std::size_t table_entries(const NodeTable& t) {
+  std::size_t sum = 0;
+  for (const SigVec& sv : t) sum += sv.size();
+  return sum;
+}
+
+/// BFS depths from `root` in the query tree; returns -1 for unreachable.
+std::vector<int> query_depths(const QueryGraph& q, QNode root) {
+  std::vector<int> depth(q.num_nodes(), -1);
+  std::vector<QNode> queue{root};
+  depth[root] = 0;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const QNode a = queue[head];
+    for (int b = 0; b < q.num_nodes(); ++b) {
+      if (q.has_edge(a, static_cast<QNode>(b)) && depth[b] < 0) {
+        depth[b] = depth[a] + 1;
+        queue.push_back(static_cast<QNode>(b));
+      }
+    }
+  }
+  return depth;
+}
+
+/// The tree's center: the node minimizing eccentricity (ties by id).
+/// Rooting at the center keeps the DP's fold chains short.
+QNode tree_center(const QueryGraph& q) {
+  QNode best = 0;
+  int best_ecc = q.num_nodes() + 1;
+  for (int r = 0; r < q.num_nodes(); ++r) {
+    const std::vector<int> depth = query_depths(q, static_cast<QNode>(r));
+    const int ecc = *std::max_element(depth.begin(), depth.end());
+    if (ecc < best_ecc) {
+      best_ecc = ecc;
+      best = static_cast<QNode>(r);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+TreeDpStats count_colorful_tree_stats(const CsrGraph& g, const QueryGraph& q,
+                                      const Coloring& chi, bool use_threads) {
+  const int k = q.num_nodes();
+  if (k < 1 || k > kMaxQueryNodes) {
+    throw UnsupportedQuery("tree DP: query size out of range");
+  }
+  if (!q.connected() || q.num_edges() != k - 1) {
+    throw UnsupportedQuery("tree DP: query is not a tree");
+  }
+  if (chi.num_colors() != k || chi.size() != g.num_vertices()) {
+    throw Error("tree DP: coloring shape mismatch");
+  }
+
+  Timer timer;
+  TreeDpStats stats;
+  const VertexId n = g.num_vertices();
+
+  if (k == 1) {
+    stats.colorful = n;
+    stats.wall_seconds = timer.seconds();
+    return stats;
+  }
+
+  // Root at the center and order nodes so children precede parents.
+  const QNode root = tree_center(q);
+  const std::vector<int> depth = query_depths(q, root);
+  std::vector<QNode> order(q.num_nodes());
+  for (int a = 0; a < k; ++a) order[a] = static_cast<QNode>(a);
+  std::sort(order.begin(), order.end(), [&](QNode a, QNode b) {
+    return depth[a] > depth[b];  // deepest first
+  });
+
+  std::vector<NodeTable> tables(k);
+  std::size_t live_entries = 0;
+
+  for (const QNode a : order) {
+    // Children of a: neighbors one level deeper.
+    std::vector<QNode> children;
+    for (int b = 0; b < k; ++b) {
+      if (q.has_edge(a, static_cast<QNode>(b)) && depth[b] == depth[a] + 1) {
+        children.push_back(static_cast<QNode>(b));
+      }
+    }
+
+    // Start from the bare node: a -> v with signature {χ(v)}.
+    NodeTable cur(n);
+    for (VertexId v = 0; v < n; ++v) cur[v] = {{chi.bit(v), 1}};
+
+    // Fold in each child's table through the data edges.
+    for (const QNode c : children) {
+      const NodeTable& child = tables[c];
+      NodeTable next(n);
+      std::uint64_t fold_ops = 0;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic, 64) reduction(+ : fold_ops) \
+    if (use_threads)
+#endif
+      for (VertexId v = 0; v < n; ++v) {
+        if (cur[v].empty()) continue;
+        SigVec acc;
+        for (VertexId w : g.neighbors(v)) {
+          const SigVec& cw = child[w];
+          if (cw.empty()) continue;
+          for (const auto& [s1, c1] : cur[v]) {
+            for (const auto& [s2, c2] : cw) {
+              ++fold_ops;
+              if ((s1 & s2) != 0) continue;
+              acc.emplace_back(s1 | s2, c1 * c2);
+            }
+          }
+        }
+        sort_and_fuse(acc);
+        next[v] = std::move(acc);
+      }
+      stats.operations += fold_ops;
+      cur = std::move(next);
+      // Child table is folded in and dead; release it.
+      live_entries -= table_entries(child);
+      tables[c].clear();
+      tables[c].shrink_to_fit();
+    }
+
+    live_entries += table_entries(cur);
+    stats.peak_entries = std::max(stats.peak_entries, live_entries);
+    tables[a] = std::move(cur);
+  }
+
+  const Signature full = full_signature(k);
+  Count total = 0;
+  for (const SigVec& sv : tables[root]) {
+    for (const auto& [sig, cnt] : sv) {
+      if (sig == full) total += cnt;
+    }
+  }
+  stats.colorful = total;
+  stats.wall_seconds = timer.seconds();
+  return stats;
+}
+
+Count count_colorful_tree(const CsrGraph& g, const QueryGraph& q,
+                          const Coloring& chi) {
+  return count_colorful_tree_stats(g, q, chi).colorful;
+}
+
+QueryGraph random_tree_query(int nodes, std::uint64_t seed) {
+  if (nodes < 1 || nodes > kMaxQueryNodes) {
+    throw UnsupportedQuery("random_tree_query: size out of range");
+  }
+  QueryGraph q(nodes, "random_tree");
+  if (nodes == 1) return q;
+  if (nodes == 2) {
+    q.add_edge(0, 1);
+    return q;
+  }
+  // Uniform labelled tree via a random Prüfer sequence.
+  Rng rng(seed);
+  std::vector<int> prufer(nodes - 2);
+  for (int& x : prufer) x = static_cast<int>(rng.below(nodes));
+
+  std::vector<int> remaining_degree(nodes, 1);
+  for (int x : prufer) ++remaining_degree[x];
+  // Repeatedly attach the smallest leaf to the next sequence element.
+  std::vector<bool> used(nodes, false);
+  for (int x : prufer) {
+    int leaf = -1;
+    for (int v = 0; v < nodes; ++v) {
+      if (remaining_degree[v] == 1 && !used[v]) {
+        leaf = v;
+        break;
+      }
+    }
+    q.add_edge(static_cast<QNode>(leaf), static_cast<QNode>(x));
+    used[leaf] = true;
+    --remaining_degree[x];
+  }
+  // Join the last two unused nodes.
+  int first = -1;
+  for (int v = 0; v < nodes; ++v) {
+    if (!used[v] && remaining_degree[v] == 1) {
+      if (first < 0) {
+        first = v;
+      } else {
+        q.add_edge(static_cast<QNode>(first), static_cast<QNode>(v));
+        break;
+      }
+    }
+  }
+  return q;
+}
+
+}  // namespace ccbt

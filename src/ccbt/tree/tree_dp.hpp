@@ -1,0 +1,52 @@
+#pragma once
+// Color-coding dynamic program for tree (treewidth-1) queries.
+//
+// This is the specialized algorithm lineage the paper builds on: Alon et
+// al.'s O(2^k m) treelet DP, implemented at scale by Slota and Madduri's
+// FASCIA [28, 30]. The query tree is rooted and processed bottom-up; for
+// every query node a, data vertex v and color signature α the table holds
+// the number of colorful matches of a's subtree with a -> v using exactly
+// the colors α. Children fold in one at a time through the data graph's
+// edges. Runtime is linear in the graph size for every fixed k — the
+// contrast that motivates the paper's treewidth-2 work, where tables are
+// keyed by vertex *pairs* and the DP goes superlinear.
+//
+// The implementation stores per-vertex sparse signature vectors and
+// parallelizes the per-level folds over data vertices with OpenMP.
+
+#include <cstdint>
+
+#include "ccbt/graph/coloring.hpp"
+#include "ccbt/graph/csr_graph.hpp"
+#include "ccbt/query/query_graph.hpp"
+
+namespace ccbt {
+
+struct TreeDpStats {
+  Count colorful = 0;
+  double wall_seconds = 0.0;
+
+  /// Peak number of (vertex, signature) entries held at once.
+  std::size_t peak_entries = 0;
+
+  /// Projection-function operations (child-fold combination steps),
+  /// comparable to the engine's load metric.
+  std::uint64_t operations = 0;
+};
+
+/// Count colorful matches of the tree query `q` under `chi`.
+/// Throws UnsupportedQuery when `q` is not a tree (use the general engine
+/// for treewidth-2 queries).
+TreeDpStats count_colorful_tree_stats(const CsrGraph& g, const QueryGraph& q,
+                                      const Coloring& chi,
+                                      bool use_threads = true);
+
+/// Convenience wrapper returning only the count.
+Count count_colorful_tree(const CsrGraph& g, const QueryGraph& q,
+                          const Coloring& chi);
+
+/// Uniform random labelled tree on `nodes` nodes (Prüfer sequence);
+/// workload generator for the tree-DP tests and benches.
+QueryGraph random_tree_query(int nodes, std::uint64_t seed);
+
+}  // namespace ccbt

@@ -1,0 +1,96 @@
+#include "ccbt/tri/triangles.hpp"
+
+#include <algorithm>
+
+#include "ccbt/util/timer.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace ccbt {
+
+namespace {
+
+/// Shared enumeration kernel: for every vertex u and every pair of
+/// neighbors (v, w) accepted by `keep_pair`, perform one wedge check and
+/// count the triangle when (v, w) is an edge and `keep_triangle` accepts
+/// the triple. Work is parallelized over u with per-thread counters.
+template <typename KeepPair, typename KeepTriangle>
+TriangleStats enumerate(const CsrGraph& g, KeepPair&& keep_pair,
+                        KeepTriangle&& keep_triangle,
+                        std::vector<std::uint64_t>* per_vertex = nullptr) {
+  Timer timer;
+  TriangleStats stats;
+  const VertexId n = g.num_vertices();
+  if (per_vertex != nullptr) per_vertex->assign(n, 0);
+
+  Count triangles = 0;
+  std::uint64_t checks = 0;
+  std::uint64_t max_checks = 0;
+
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic, 64) \
+    reduction(+ : triangles, checks) reduction(max : max_checks)
+#endif
+  for (VertexId u = 0; u < n; ++u) {
+    const auto nbrs = g.neighbors(u);
+    std::uint64_t local = 0;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId v = nbrs[i];
+      if (!keep_pair(u, v)) continue;
+      for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+        const VertexId w = nbrs[j];
+        if (!keep_pair(u, w)) continue;
+        ++local;
+        if (g.has_edge(v, w) && keep_triangle(u, v, w)) ++triangles;
+      }
+    }
+    checks += local;
+    max_checks = std::max(max_checks, local);
+    if (per_vertex != nullptr) (*per_vertex)[u] = local;
+  }
+
+  stats.triangles = triangles;
+  stats.wedge_checks = checks;
+  stats.max_vertex_checks = max_checks;
+  stats.wall_seconds = timer.seconds();
+  return stats;
+}
+
+}  // namespace
+
+TriangleStats count_triangles_naive(const CsrGraph& g) {
+  TriangleStats stats =
+      enumerate(g, [](VertexId, VertexId) { return true; },
+                [](VertexId, VertexId, VertexId) { return true; });
+  stats.triangles /= 3;  // each triangle found at all three vertices
+  return stats;
+}
+
+TriangleStats count_triangles_minbucket(const CsrGraph& g,
+                                        const DegreeOrder& order) {
+  return enumerate(
+      g, [&order](VertexId u, VertexId v) { return order.higher(v, u); },
+      [](VertexId, VertexId, VertexId) { return true; });
+}
+
+TriangleStats count_colorful_triangles(const CsrGraph& g, const Coloring& chi,
+                                       const DegreeOrder& order) {
+  return enumerate(
+      g, [&order](VertexId u, VertexId v) { return order.higher(v, u); },
+      [&chi](VertexId u, VertexId v, VertexId w) {
+        return chi.color(u) != chi.color(v) && chi.color(u) != chi.color(w) &&
+               chi.color(v) != chi.color(w);
+      });
+}
+
+std::vector<std::uint64_t> minbucket_vertex_work(const CsrGraph& g,
+                                                 const DegreeOrder& order) {
+  std::vector<std::uint64_t> work;
+  enumerate(g, [&order](VertexId u, VertexId v) { return order.higher(v, u); },
+            [](VertexId, VertexId, VertexId) { return true; }, &work);
+  return work;
+}
+
+}  // namespace ccbt

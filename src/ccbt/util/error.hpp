@@ -1,0 +1,33 @@
+#pragma once
+// Library error hierarchy.
+//
+// BudgetExceeded deliberately mirrors the paper's experimental reality:
+// Figure 10 contains blank cells where the PS baseline ran out of memory.
+// Solvers throw BudgetExceeded when a projection table would exceed the
+// configured entry budget, and the bench harness reports DNF for the cell.
+
+#include <stdexcept>
+#include <string>
+
+namespace ccbt {
+
+/// Base class for all ccbt errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// The query is malformed or outside the supported class (e.g. treewidth>2,
+/// disconnected, or more nodes than the signature width supports).
+class UnsupportedQuery : public Error {
+ public:
+  explicit UnsupportedQuery(const std::string& what) : Error(what) {}
+};
+
+/// A projection table grew past ExecOptions::max_table_entries.
+class BudgetExceeded : public Error {
+ public:
+  explicit BudgetExceeded(const std::string& what) : Error(what) {}
+};
+
+}  // namespace ccbt

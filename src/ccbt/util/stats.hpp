@@ -1,0 +1,31 @@
+#pragma once
+// Small descriptive-statistics helpers shared by the estimator (Section 8.6
+// coefficient-of-variation study) and the bench harness.
+
+#include <cstddef>
+#include <vector>
+
+namespace ccbt {
+
+struct Summary {
+  double mean = 0.0;
+  double variance = 0.0;  // unbiased sample variance (n-1 denominator)
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t n = 0;
+
+  /// Coefficient of variation stddev/mean; 0 when the mean is 0.
+  double cv() const;
+};
+
+Summary summarize(const std::vector<double>& xs);
+
+/// Geometric mean of strictly positive values; 0 if the input is empty.
+double geometric_mean(const std::vector<double>& xs);
+
+/// Least-squares slope of log(y) against log(x); used by the Section 9
+/// bench to fit the polynomial growth exponents of X(q) and Y(q).
+double loglog_slope(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace ccbt

@@ -1,0 +1,52 @@
+#include "ccbt/util/text_table.hpp"
+
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace ccbt {
+
+TextTable::TextTable(std::vector<std::string> header) {
+  rows_.push_back(std::move(header));
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (row.size() != rows_.front().size()) {
+    throw std::invalid_argument("TextTable row width mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TextTable::num(std::uint64_t v) { return std::to_string(v); }
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(rows_.front().size(), 0);
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+      os << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(width[c]))
+         << std::left << rows_[r][c];
+    }
+    os << '\n';
+    if (r == 0) {
+      std::size_t total = 0;
+      for (std::size_t c = 0; c < width.size(); ++c) {
+        total += width[c] + (c == 0 ? 0 : 2);
+      }
+      os << std::string(total, '-') << '\n';
+    }
+  }
+}
+
+}  // namespace ccbt

@@ -1,0 +1,28 @@
+#pragma once
+// Aligned plain-text table printer. All bench binaries regenerate the
+// paper's tables/figures as text series; this keeps their output uniform.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ccbt {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append a data row; must have the same width as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format doubles/ints into cells.
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::uint64_t v);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;  // rows_[0] is the header
+};
+
+}  // namespace ccbt

@@ -1,0 +1,129 @@
+// Identity tests relating colorful counts to exact counts:
+//  * rainbow coloring (all vertices distinctly colored) => every match is
+//    colorful, so the DP must return the exact match count;
+//  * permuting color names never changes the count;
+//  * more query nodes than vertices => zero;
+//  * colorful counts are monotone under edge addition.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "ccbt/core/color_coding.hpp"
+#include "ccbt/core/exact.hpp"
+#include "ccbt/graph/generators.hpp"
+#include "ccbt/query/catalog.hpp"
+
+namespace ccbt {
+namespace {
+
+Coloring rainbow(VertexId n, int k) {
+  std::vector<std::uint8_t> colors(n);
+  std::iota(colors.begin(), colors.end(), std::uint8_t{0});
+  return Coloring(std::move(colors), k);
+}
+
+class RainbowIdentity : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RainbowIdentity, ColorfulEqualsExactUnderDistinctColors) {
+  const QueryGraph q = named_query(GetParam());
+  // Data graph with <= 16 vertices so every vertex gets a unique color...
+  // but the coloring must use exactly k = |Q| colors; so instead color
+  // vertices with distinct colors only when n <= k. Use n == k (the
+  // densest interesting case: matches are bijections onto the graph).
+  const int k = q.num_nodes();
+  const CsrGraph g = erdos_renyi(static_cast<VertexId>(k),
+                                 static_cast<std::size_t>(k * (k - 1) / 2),
+                                 13);  // complete graph on k vertices
+  const Coloring chi = rainbow(g.num_vertices(), k);
+  const Count exact = count_matches_exact(g, q);
+  for (Algo algo : {Algo::kPS, Algo::kDB}) {
+    ExecOptions opts;
+    opts.algo = algo;
+    CountingSession session(g, q, make_plan(q), opts);
+    EXPECT_EQ(session.count_colorful(chi).colorful, exact)
+        << algo_name(algo);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalog, RainbowIdentity,
+                         ::testing::Values("triangle", "glet1", "glet2",
+                                           "wiki", "youtube", "dros",
+                                           "ecoli1", "brain1"));
+
+TEST(ColorPermutation, RenamingColorsPreservesCount) {
+  const CsrGraph g = erdos_renyi(30, 80, 21);
+  const QueryGraph q = q_wiki();
+  const int k = q.num_nodes();
+  const Coloring base(g.num_vertices(), k, 5);
+  // Apply a color permutation.
+  std::vector<std::uint8_t> permuted(g.num_vertices());
+  const std::uint8_t perm[5] = {3, 0, 4, 1, 2};
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    permuted[v] = perm[base.color(v)];
+  }
+  const Coloring chi2(std::move(permuted), k);
+  ExecOptions opts;
+  CountingSession session(g, q, make_plan(q), opts);
+  EXPECT_EQ(session.count_colorful(base).colorful,
+            session.count_colorful(chi2).colorful);
+}
+
+TEST(ColorfulBounds, MoreQueryNodesThanVerticesGivesZero) {
+  const CsrGraph g = complete_graph(4);
+  const QueryGraph q = q_cycle(6);
+  const Coloring chi(g.num_vertices(), 6, 3);
+  ExecOptions opts;
+  CountingSession session(g, q, make_plan(q), opts);
+  EXPECT_EQ(session.count_colorful(chi).colorful, 0u);
+}
+
+TEST(ColorfulBounds, MonotoneUnderEdgeAddition) {
+  // Adding an edge can only create matches, never destroy them.
+  EdgeList base = erdos_renyi(20, 40, 31).to_edges();
+  const CsrGraph g1 = CsrGraph::from_edges(base);
+  EdgeList more = base;
+  // Add a few edges deterministically.
+  more.add(0, 10);
+  more.add(3, 15);
+  more.add(7, 19);
+  const CsrGraph g2 = CsrGraph::from_edges(more);
+  const QueryGraph q = q_glet2();
+  const Coloring chi1(g1.num_vertices(), q.num_nodes(), 9);
+  const Coloring chi2(g2.num_vertices(), q.num_nodes(), 9);
+  ExecOptions opts;
+  CountingSession s1(g1, q, make_plan(q), opts);
+  CountingSession s2(g2, q, make_plan(q), opts);
+  EXPECT_LE(s1.count_colorful(chi1).colorful,
+            s2.count_colorful(chi2).colorful);
+}
+
+TEST(ColorfulBounds, DisjointColorClassesForbidMatches) {
+  // Bipartite-style coloring where one side gets color 0 and the other
+  // color 1 (k=3): a triangle needs 3 distinct colors, so count is 0.
+  const CsrGraph g = complete_bipartite(4, 4);
+  std::vector<std::uint8_t> colors(8, 0);
+  for (int i = 4; i < 8; ++i) colors[i] = 1;
+  const Coloring chi(std::move(colors), 3);
+  ExecOptions opts;
+  const QueryGraph q = q_cycle(3);
+  CountingSession session(g, q, make_plan(q), opts);
+  EXPECT_EQ(session.count_colorful(chi).colorful, 0u);
+}
+
+TEST(ColorfulBounds, PathOnTwoColorClassesCounts) {
+  // On K_{2,2} with alternating colors {0,1} and k=3, a 3-path (2 edges,
+  // 3 nodes) needs 3 distinct colors -> 0; a 2-path (1 edge) needs 2.
+  const CsrGraph g = complete_bipartite(2, 2);
+  std::vector<std::uint8_t> colors{0, 0, 1, 1};
+  const Coloring chi2(colors, 2);
+  ExecOptions opts;
+  const QueryGraph edge = q_path(2);
+  CountingSession session(g, edge, make_plan(edge), opts);
+  // 4 undirected edges, both orientations, all cross-color: 8 matches.
+  EXPECT_EQ(session.count_colorful(chi2).colorful, 8u);
+}
+
+}  // namespace
+}  // namespace ccbt

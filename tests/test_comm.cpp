@@ -1,0 +1,119 @@
+// VirtualComm: bulk-synchronous delivery semantics, deterministic ordering
+// and traffic accounting.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ccbt/dist/comm.hpp"
+#include "ccbt/util/error.hpp"
+
+namespace ccbt {
+namespace {
+
+TableEntry entry(VertexId a, VertexId b, Signature sig, Count cnt) {
+  TableEntry e;
+  e.key.v[0] = a;
+  e.key.v[1] = b;
+  e.key.sig = sig;
+  e.cnt = cnt;
+  return e;
+}
+
+TEST(Comm, ZeroRanksRejected) {
+  EXPECT_THROW(VirtualComm(0), Error);
+}
+
+TEST(Comm, NothingDeliveredBeforeExchange) {
+  VirtualComm comm(2);
+  comm.send(0, 1, entry(1, 2, 0b11, 1));
+  EXPECT_TRUE(comm.inbox(1).empty());
+  comm.exchange();
+  EXPECT_EQ(comm.inbox(1).size(), 1u);
+}
+
+TEST(Comm, SelfSendIsDelivered) {
+  VirtualComm comm(3);
+  comm.send(1, 1, entry(7, 8, 0b01, 5));
+  comm.exchange();
+  ASSERT_EQ(comm.inbox(1).size(), 1u);
+  EXPECT_EQ(comm.inbox(1)[0].cnt, 5u);
+  EXPECT_TRUE(comm.inbox(0).empty());
+  EXPECT_TRUE(comm.inbox(2).empty());
+}
+
+TEST(Comm, DeliveryConcatenatesSendersInRankOrder) {
+  VirtualComm comm(4);
+  comm.send(2, 0, entry(20, 0, 0, 1));
+  comm.send(0, 0, entry(10, 0, 0, 1));
+  comm.send(3, 0, entry(30, 0, 0, 1));
+  comm.exchange();
+  const auto in = comm.inbox(0);
+  ASSERT_EQ(in.size(), 3u);
+  EXPECT_EQ(in[0].key.v[0], 10u);  // from rank 0 first
+  EXPECT_EQ(in[1].key.v[0], 20u);
+  EXPECT_EQ(in[2].key.v[0], 30u);
+}
+
+TEST(Comm, ExchangeClearsPreviousInboxes) {
+  VirtualComm comm(2);
+  comm.send(0, 1, entry(1, 2, 0, 1));
+  comm.exchange();
+  ASSERT_EQ(comm.inbox(1).size(), 1u);
+  comm.exchange();  // nothing queued
+  EXPECT_TRUE(comm.inbox(1).empty());
+}
+
+TEST(Comm, OutboxDrainedAfterExchange) {
+  VirtualComm comm(2);
+  comm.send(0, 1, entry(1, 2, 0, 1));
+  comm.exchange();
+  comm.exchange();
+  EXPECT_TRUE(comm.inbox(1).empty());  // not re-delivered
+  EXPECT_EQ(comm.stats().entries_sent, 1u);
+}
+
+TEST(Comm, StatsCountOffRankOnly) {
+  VirtualComm comm(3);
+  comm.send(0, 0, entry(1, 1, 0, 1));  // local
+  comm.send(0, 1, entry(1, 2, 0, 1));  // off rank
+  comm.send(2, 1, entry(3, 2, 0, 1));  // off rank
+  comm.exchange();
+  EXPECT_EQ(comm.stats().supersteps, 1u);
+  EXPECT_EQ(comm.stats().entries_sent, 3u);
+  EXPECT_EQ(comm.stats().off_rank_entries, 2u);
+  EXPECT_EQ(comm.stats().max_step_recv, 2u);  // rank 1 received two
+  EXPECT_EQ(comm.stats().off_rank_bytes(),
+            2u * (sizeof(TableKey) + sizeof(Count)));
+}
+
+TEST(Comm, SuperstepCounterAdvances) {
+  VirtualComm comm(2);
+  comm.exchange();
+  comm.exchange();
+  comm.exchange();
+  EXPECT_EQ(comm.stats().supersteps, 3u);
+}
+
+TEST(Comm, AllreduceSumsPerRankContributions) {
+  VirtualComm comm(4);
+  const std::vector<Count> parts{1, 10, 100, 1000};
+  EXPECT_EQ(comm.allreduce_sum(parts), 1111u);
+}
+
+TEST(Comm, ManyEntriesSurviveRoundTrip) {
+  VirtualComm comm(5);
+  for (std::uint32_t from = 0; from < 5; ++from) {
+    for (VertexId i = 0; i < 100; ++i) {
+      comm.send(from, (from + i) % 5, entry(from, i, i & 0xFF, i + 1));
+    }
+  }
+  comm.exchange();
+  std::size_t total = 0;
+  for (std::uint32_t r = 0; r < 5; ++r) total += comm.inbox(r).size();
+  EXPECT_EQ(total, 500u);
+  EXPECT_EQ(comm.stats().entries_sent, 500u);
+}
+
+}  // namespace
+}  // namespace ccbt

@@ -1,0 +1,227 @@
+// Unit tests for the decomposition machinery: block finding, the Section
+// 4.1 contraction cases, the Figure 2 Satellite walk-through, and the
+// structural invariants every decomposition tree must satisfy.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ccbt/decomp/decompose.hpp"
+#include "ccbt/decomp/tree_enum.hpp"
+#include "ccbt/query/catalog.hpp"
+#include "ccbt/query/random_tw2.hpp"
+#include "ccbt/util/error.hpp"
+
+namespace ccbt {
+namespace {
+
+/// Structural invariants of any decomposition tree (DESIGN.md Section 5):
+///  * every original query edge appears as an unannotated edge of exactly
+///    one block;
+///  * every query node is consumed exactly once (as a cycle non-boundary
+///    node, a leaf node, or by the root);
+///  * parents come after children; annotations reference earlier blocks.
+void check_tree_invariants(const DecompTree& tree, const QueryGraph& q) {
+  ASSERT_GE(tree.root, 0);
+  ASSERT_EQ(tree.blocks.size(), tree.parent.size());
+  ASSERT_EQ(tree.root, static_cast<int>(tree.blocks.size()) - 1);
+
+  std::multiset<std::pair<int, int>> covered_edges;
+  std::multiset<int> consumed;
+  for (std::size_t i = 0; i < tree.blocks.size(); ++i) {
+    const Block& b = tree.blocks[i];
+    const int L = b.length();
+    // Children precede parents.
+    for (int c : b.node_child) {
+      if (c >= 0) {
+        EXPECT_LT(c, static_cast<int>(i));
+        EXPECT_EQ(tree.parent[c], static_cast<int>(i));
+      }
+    }
+    for (int c : b.edge_child) {
+      if (c >= 0) EXPECT_LT(c, static_cast<int>(i));
+    }
+    // Edge coverage and node consumption.
+    if (b.kind == BlockKind::kCycle) {
+      EXPECT_GE(L, 3);
+      EXPECT_LE(b.boundary_count(), 2);
+      for (int e = 0; e < L; ++e) {
+        if (b.edge_child[e] < 0) {
+          const int x = b.nodes[e], y = b.nodes[(e + 1) % L];
+          covered_edges.insert({std::min(x, y), std::max(x, y)});
+        }
+      }
+      std::set<int> bpos(b.boundary_pos.begin(), b.boundary_pos.end());
+      for (int p = 0; p < L; ++p) {
+        if (!bpos.count(p)) consumed.insert(b.nodes[p]);
+      }
+    } else if (b.kind == BlockKind::kLeafEdge) {
+      if (b.edge_child[0] < 0) {
+        const int x = b.nodes[0], y = b.nodes[1];
+        covered_edges.insert({std::min(x, y), std::max(x, y)});
+      }
+      consumed.insert(b.nodes[1]);
+    } else {
+      consumed.insert(b.nodes[0]);
+    }
+    // The root consumes its boundary-free nodes; non-roots leave their
+    // boundary nodes to ancestors.
+    if (static_cast<int>(i) == tree.root && b.kind == BlockKind::kCycle) {
+      EXPECT_EQ(b.boundary_count(), 0);
+    }
+  }
+  // Exact edge coverage.
+  std::multiset<std::pair<int, int>> expected_edges;
+  for (const auto& [a, c] : q.edge_pairs()) expected_edges.insert({a, c});
+  EXPECT_EQ(covered_edges, expected_edges);
+  // Exact node consumption, except boundary nodes of the root cycle:
+  // a root cycle consumes all of its nodes.
+  std::multiset<int> expected_nodes;
+  for (int v = 0; v < q.num_nodes(); ++v) expected_nodes.insert(v);
+  EXPECT_EQ(consumed, expected_nodes);
+}
+
+TEST(Decompose, TriangleIsSingleRootCycle) {
+  const DecompTree tree = decompose_default(q_cycle(3));
+  ASSERT_EQ(tree.blocks.size(), 1u);
+  EXPECT_EQ(tree.blocks[0].kind, BlockKind::kCycle);
+  EXPECT_EQ(tree.blocks[0].boundary_count(), 0);
+  check_tree_invariants(tree, q_cycle(3));
+}
+
+TEST(Decompose, PathDecomposesToLeafChain) {
+  const QueryGraph q = q_path(5);
+  const DecompTree tree = decompose_default(q);
+  int leaf_blocks = 0;
+  for (const Block& b : tree.blocks) {
+    leaf_blocks += (b.kind == BlockKind::kLeafEdge);
+  }
+  EXPECT_EQ(leaf_blocks, 4);  // 4 edges, all leaf contractions
+  EXPECT_EQ(tree.blocks[tree.root].kind, BlockKind::kSingleton);
+  check_tree_invariants(tree, q);
+}
+
+TEST(Decompose, DiamondContractsTriangleThenRoot) {
+  const DecompTree tree = decompose_default(q_glet2());
+  ASSERT_EQ(tree.blocks.size(), 2u);
+  EXPECT_EQ(tree.blocks[0].kind, BlockKind::kCycle);
+  EXPECT_EQ(tree.blocks[0].length(), 3);
+  EXPECT_EQ(tree.blocks[0].boundary_count(), 2);
+  EXPECT_EQ(tree.blocks[1].kind, BlockKind::kCycle);
+  EXPECT_EQ(tree.blocks[1].boundary_count(), 0);
+  // The root triangle must carry the child as an edge annotation.
+  int annotated = 0;
+  for (int c : tree.blocks[1].edge_child) annotated += (c >= 0);
+  EXPECT_EQ(annotated, 1);
+  check_tree_invariants(tree, q_glet2());
+}
+
+TEST(Decompose, SatelliteMatchesFigure2Narrative) {
+  // Figure 2 shows one valid decomposition process: blocks B1 (5-cycle),
+  // B2 (leaf f-h), B3 (4-cycle a,f,g,c with B1 and B2 as children),
+  // B4 (triangle i,j,k), root triangle (i,f,g). The enumeration must
+  // contain a tree with exactly this shape, and all trees must be valid.
+  const QueryGraph q = q_satellite();
+  bool figure2_found = false;
+  for (const DecompTree& tree : enumerate_decompositions(q)) {
+    check_tree_invariants(tree, q);
+    if (tree.blocks.size() != 5) continue;
+    std::multiset<int> cycle_lengths;
+    int leaf_count = 0;
+    for (const Block& b : tree.blocks) {
+      if (b.kind == BlockKind::kCycle) cycle_lengths.insert(b.length());
+      if (b.kind == BlockKind::kLeafEdge) ++leaf_count;
+    }
+    figure2_found |= (leaf_count == 1 &&
+                      cycle_lengths == std::multiset<int>{3, 3, 4, 5} &&
+                      tree.blocks[tree.root].kind == BlockKind::kCycle &&
+                      tree.blocks[tree.root].length() == 3);
+  }
+  EXPECT_TRUE(figure2_found);
+}
+
+TEST(Decompose, EveryCatalogQueryDecomposes) {
+  for (const std::string& name : catalog_names()) {
+    const QueryGraph q = named_query(name);
+    const DecompTree tree = decompose_default(q);
+    check_tree_invariants(tree, q);
+  }
+}
+
+TEST(Decompose, K4Throws) {
+  QueryGraph k4(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}});
+  EXPECT_THROW(decompose_default(k4), UnsupportedQuery);
+}
+
+TEST(Decompose, SingleNodeQuery) {
+  const QueryGraph q(1, "node");
+  const DecompTree tree = decompose_default(q);
+  ASSERT_EQ(tree.blocks.size(), 1u);
+  EXPECT_EQ(tree.blocks[0].kind, BlockKind::kSingleton);
+  EXPECT_EQ(tree.blocks[0].node_child[0], -1);
+}
+
+TEST(Decompose, TwoNodeQuery) {
+  const DecompTree tree = decompose_default(q_path(2));
+  ASSERT_EQ(tree.blocks.size(), 2u);
+  EXPECT_EQ(tree.blocks[0].kind, BlockKind::kLeafEdge);
+  EXPECT_EQ(tree.blocks[1].kind, BlockKind::kSingleton);
+}
+
+TEST(Decompose, ThetaGraphUsesTwoBoundaryCycle) {
+  const DecompTree tree = decompose_default(named_query("theta"));
+  check_tree_invariants(tree, named_query("theta"));
+  // First contraction must be a cycle with exactly two boundary nodes.
+  EXPECT_EQ(tree.blocks[0].kind, BlockKind::kCycle);
+  EXPECT_EQ(tree.blocks[0].boundary_count(), 2);
+}
+
+class RandomDecomposeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomDecomposeSweep, InvariantsHold) {
+  RandomTw2Options opts;
+  opts.target_nodes = 5 + (GetParam() % 10);
+  const QueryGraph q = random_tw2_query(opts, 1000 + GetParam());
+  const DecompTree tree = decompose_default(q);
+  check_tree_invariants(tree, q);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDecomposeSweep, ::testing::Range(0, 80));
+
+TEST(TreeEnum, Brain1HasAtLeastTwoTrees) {
+  // Section 6: brain1 admits two decomposition trees (contract the
+  // 4-cycle first, or the 6-cycle first).
+  const auto trees = enumerate_decompositions(q_brain1());
+  EXPECT_GE(trees.size(), 2u);
+  for (const DecompTree& t : trees) check_tree_invariants(t, q_brain1());
+}
+
+TEST(TreeEnum, TriangleHasExactlyOneTree) {
+  EXPECT_EQ(enumerate_decompositions(q_cycle(3)).size(), 1u);
+}
+
+TEST(TreeEnum, StarSymmetryPruned) {
+  // Without candidate-signature pruning a 7-leaf star explodes into 7!
+  // contraction orders; the canonical tree set must stay tiny.
+  const auto trees = enumerate_decompositions(q_star(7));
+  EXPECT_GE(trees.size(), 1u);
+  EXPECT_LE(trees.size(), 8u);
+}
+
+TEST(TreeEnum, AllTreesAreDistinct) {
+  const auto trees = enumerate_decompositions(q_satellite());
+  std::set<std::string> canon;
+  for (const DecompTree& t : trees) {
+    EXPECT_TRUE(canon.insert(Contractor::canonical_string(t)).second);
+  }
+}
+
+TEST(TreeEnum, RespectsLimits) {
+  EnumLimits limits;
+  limits.max_trees = 2;
+  const auto trees = enumerate_decompositions(q_brain2(), limits);
+  EXPECT_LE(trees.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ccbt

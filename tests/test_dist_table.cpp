@@ -1,0 +1,150 @@
+// DistTable: sharding, collection, resharding and transposition.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ccbt/dist/dist_table.hpp"
+#include "ccbt/util/error.hpp"
+
+namespace ccbt {
+namespace {
+
+TableEntry entry(VertexId a, VertexId b, Signature sig, Count cnt) {
+  TableEntry e;
+  e.key.v[0] = a;
+  e.key.v[1] = b;
+  e.key.sig = sig;
+  e.cnt = cnt;
+  return e;
+}
+
+/// Route entries to owner(key.v[home_slot]) and collect.
+DistTable build(const std::vector<TableEntry>& entries, int home_slot,
+                VirtualComm& comm, const BlockPartition& part,
+                std::size_t budget = 1'000'000) {
+  for (const TableEntry& e : entries) {
+    comm.send(0, part.owner(e.key.v[home_slot]), e);
+  }
+  comm.exchange();
+  return DistTable::collect(2, home_slot, comm, SortOrder::kByV1, budget);
+}
+
+TEST(DistTable, CollectPlacesEntriesAtHomeOwner) {
+  VirtualComm comm(4);
+  const BlockPartition part(100, 4);
+  const DistTable t = build({entry(3, 10, 1, 1), entry(5, 60, 2, 1),
+                             entry(7, 99, 4, 1)},
+                            /*home_slot=*/1, comm, part);
+  EXPECT_TRUE(t.well_placed(part));
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.shard(part.owner(10)).size(), 1u);
+  EXPECT_EQ(t.shard(part.owner(60)).size(), 1u);
+  EXPECT_EQ(t.shard(part.owner(99)).size(), 1u);
+}
+
+TEST(DistTable, CollectAccumulatesDuplicateKeys) {
+  VirtualComm comm(2);
+  const BlockPartition part(10, 2);
+  const DistTable t = build({entry(1, 8, 3, 2), entry(1, 8, 3, 5)},
+                            /*home_slot=*/1, comm, part);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.total(), 7u);
+}
+
+TEST(DistTable, TotalSumsAcrossShards) {
+  VirtualComm comm(3);
+  const BlockPartition part(30, 3);
+  const DistTable t = build({entry(0, 1, 1, 10), entry(0, 15, 2, 20),
+                             entry(0, 29, 4, 30)},
+                            /*home_slot=*/1, comm, part);
+  EXPECT_EQ(t.total(), 60u);
+}
+
+TEST(DistTable, ReshardMovesEntriesToNewHome) {
+  VirtualComm comm(4);
+  const BlockPartition part(100, 4);
+  DistTable by_v = build({entry(90, 2, 1, 1), entry(30, 3, 2, 1)},
+                         /*home_slot=*/1, comm, part);
+  ASSERT_TRUE(by_v.well_placed(part));
+  const DistTable by_u =
+      by_v.resharded(0, comm, part, SortOrder::kByV0, 1'000'000);
+  EXPECT_EQ(by_u.home_slot(), 0);
+  EXPECT_TRUE(by_u.well_placed(part));
+  EXPECT_EQ(by_u.size(), 2u);
+  // Entries now live with their slot-0 vertex (ranks 3 and 1).
+  EXPECT_EQ(by_u.shard(part.owner(90)).size(), 1u);
+  EXPECT_EQ(by_u.shard(part.owner(30)).size(), 1u);
+}
+
+TEST(DistTable, ReshardPreservesContent) {
+  VirtualComm comm(4);
+  const BlockPartition part(64, 4);
+  const std::vector<TableEntry> entries{
+      entry(1, 40, 1, 3), entry(2, 50, 2, 4), entry(63, 0, 8, 5)};
+  DistTable t = build(entries, 1, comm, part);
+  const ProjTable before = t.gather();
+  const DistTable r = t.resharded(0, comm, part, SortOrder::kByV0, 1'000'000);
+  const ProjTable after = r.gather();
+  EXPECT_EQ(before.size(), after.size());
+  EXPECT_EQ(before.total(), after.total());
+}
+
+TEST(DistTable, TransposeSwapsSlotsAndRehomes) {
+  VirtualComm comm(4);
+  const BlockPartition part(100, 4);
+  DistTable t = build({entry(90, 2, 1, 7)}, /*home_slot=*/1, comm, part);
+  // Reshard to home 0 first (the pool's storage convention).
+  DistTable stored = t.resharded(0, comm, part, SortOrder::kByV0, 1'000'000);
+  const DistTable flipped = stored.transposed(comm, part, 1'000'000);
+  EXPECT_TRUE(flipped.well_placed(part));
+  ASSERT_EQ(flipped.size(), 1u);
+  const auto& shard = flipped.shard(part.owner(2));
+  ASSERT_EQ(shard.size(), 1u);
+  EXPECT_EQ(shard.entries()[0].key.v[0], 2u);
+  EXPECT_EQ(shard.entries()[0].key.v[1], 90u);
+  EXPECT_EQ(shard.entries()[0].cnt, 7u);
+}
+
+TEST(DistTable, GatherAccumulatesAcrossShards) {
+  VirtualComm comm(3);
+  const BlockPartition part(30, 3);
+  // Same key routed from two different logical producers.
+  const DistTable t = build({entry(4, 25, 1, 2), entry(4, 25, 1, 3)},
+                            /*home_slot=*/1, comm, part);
+  const ProjTable flat = t.gather();
+  ASSERT_EQ(flat.size(), 1u);
+  EXPECT_EQ(flat.total(), 5u);
+}
+
+TEST(DistTable, CollectEnforcesBudget) {
+  VirtualComm comm(2);
+  const BlockPartition part(10, 2);
+  std::vector<TableEntry> many;
+  for (VertexId i = 0; i < 10; ++i) many.push_back(entry(0, i, 1u << (i % 8), 1));
+  EXPECT_THROW(build(many, 1, comm, part, /*budget=*/3), BudgetExceeded);
+}
+
+TEST(DistTable, WellPlacedDetectsMisplacement) {
+  VirtualComm comm(2);
+  const BlockPartition part(10, 2);
+  // Deliberately send an entry to the wrong owner.
+  comm.send(0, 0, entry(0, 9, 1, 1));  // owner(9) is rank 1
+  comm.exchange();
+  const DistTable t =
+      DistTable::collect(2, 1, comm, SortOrder::kByV1, 1'000'000);
+  EXPECT_FALSE(t.well_placed(part));
+}
+
+TEST(DistTable, SingleRankDegeneratesToSharedTable) {
+  VirtualComm comm(1);
+  const BlockPartition part(10, 1);
+  const DistTable t = build({entry(1, 2, 1, 1), entry(3, 4, 2, 2)},
+                            /*home_slot=*/1, comm, part);
+  EXPECT_TRUE(t.well_placed(part));
+  EXPECT_EQ(t.shard(0).size(), 2u);
+  EXPECT_EQ(comm.stats().off_rank_entries, 0u);
+}
+
+}  // namespace
+}  // namespace ccbt

@@ -1,0 +1,62 @@
+// DOT export: structurally well-formed output for queries and trees.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ccbt/decomp/dot_export.hpp"
+#include "ccbt/decomp/plan.hpp"
+#include "ccbt/query/catalog.hpp"
+
+namespace ccbt {
+namespace {
+
+std::size_t count_occurrences(const std::string& s, const std::string& sub) {
+  std::size_t count = 0, pos = 0;
+  while ((pos = s.find(sub, pos)) != std::string::npos) {
+    ++count;
+    pos += sub.size();
+  }
+  return count;
+}
+
+TEST(DotExport, QueryHasAllNodesAndEdges) {
+  const QueryGraph q = named_query("wiki");
+  const std::string dot = query_to_dot(q);
+  EXPECT_NE(dot.find("graph \"wiki\""), std::string::npos);
+  EXPECT_EQ(count_occurrences(dot, " -- "),
+            static_cast<std::size_t>(q.num_edges()));
+  for (int a = 0; a < q.num_nodes(); ++a) {
+    EXPECT_NE(dot.find("n" + std::to_string(a)), std::string::npos) << a;
+  }
+}
+
+TEST(DotExport, TreeHasOneBoxPerBlockAndOneArrowPerAnnotation) {
+  const Plan plan = make_plan(named_query("satellite"));
+  const std::string dot = decomp_tree_to_dot(plan.tree);
+  EXPECT_EQ(count_occurrences(dot, "[label=\"B"),
+            plan.tree.blocks.size());
+  // Every non-root block is annotated onto exactly one parent.
+  EXPECT_EQ(count_occurrences(dot, " -> "), plan.tree.blocks.size() - 1);
+  EXPECT_NE(dot.find("style=bold"), std::string::npos);  // root marked
+}
+
+TEST(DotExport, TriangleDecomposition) {
+  const Plan plan = make_plan(q_cycle(3));
+  const std::string dot = decomp_tree_to_dot(plan.tree);
+  EXPECT_NE(dot.find("cycle"), std::string::npos);
+  EXPECT_NE(dot.find("(root)"), std::string::npos);
+}
+
+TEST(DotExport, BalancedBracesAndTerminators) {
+  for (const char* name : {"brain1", "dros", "glet2"}) {
+    const std::string dot = decomp_tree_to_dot(make_plan(named_query(name))
+                                                   .tree);
+    EXPECT_EQ(count_occurrences(dot, "{"), count_occurrences(dot, "}"))
+        << name;
+    EXPECT_EQ(dot.back(), '\n') << name;
+  }
+}
+
+}  // namespace
+}  // namespace ccbt

@@ -1,0 +1,165 @@
+// Estimator tests: the k^k/k! normalization (Section 2), statistical
+// convergence to the exact match count, and the Fig 15 precision metrics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ccbt/core/estimator.hpp"
+#include "ccbt/core/exact.hpp"
+#include "ccbt/graph/generators.hpp"
+#include "ccbt/query/catalog.hpp"
+
+namespace ccbt {
+namespace {
+
+TEST(ColorfulScale, MatchesFormula) {
+  // k^k / k! for small k.
+  EXPECT_NEAR(colorful_scale(1), 1.0, 1e-12);
+  EXPECT_NEAR(colorful_scale(2), 2.0, 1e-12);
+  EXPECT_NEAR(colorful_scale(3), 27.0 / 6.0, 1e-12);
+  EXPECT_NEAR(colorful_scale(4), 256.0 / 24.0, 1e-12);
+  EXPECT_NEAR(colorful_scale(10), std::pow(10.0, 10) / 3628800.0, 1e-3);
+}
+
+TEST(Estimator, UnbiasedOnTriangles) {
+  // E[(k^k/k!) * colorful] = exact matches; with 400 trials the relative
+  // error should be well within 4 standard errors (seeded, deterministic).
+  const CsrGraph g = erdos_renyi(40, 140, 11);
+  const QueryGraph q = q_cycle(3);
+  const Count exact = count_matches_exact(g, q);
+  EstimatorOptions opts;
+  opts.trials = 400;
+  opts.seed = 99;
+  const EstimatorResult r = estimate_matches(g, q, opts);
+  const double stderr_est =
+      std::sqrt(r.variance / static_cast<double>(opts.trials));
+  EXPECT_NEAR(r.matches, static_cast<double>(exact), 4.0 * stderr_est + 1.0);
+}
+
+TEST(Estimator, UnbiasedOnDiamond) {
+  const CsrGraph g = erdos_renyi(36, 130, 12);
+  const QueryGraph q = q_glet2();
+  const Count exact = count_matches_exact(g, q);
+  EstimatorOptions opts;
+  opts.trials = 400;
+  opts.seed = 123;
+  const EstimatorResult r = estimate_matches(g, q, opts);
+  const double stderr_est =
+      std::sqrt(r.variance / static_cast<double>(opts.trials));
+  EXPECT_NEAR(r.matches, static_cast<double>(exact), 4.0 * stderr_est + 1.0);
+}
+
+TEST(Estimator, OccurrencesDivideByAutomorphisms) {
+  // Triangles in K4: 24 matches, aut=6, 4 occurrences.
+  const CsrGraph g = complete_graph(4);
+  const QueryGraph q = q_cycle(3);
+  EstimatorOptions opts;
+  opts.trials = 600;
+  opts.seed = 5;
+  const EstimatorResult r = estimate_matches(g, q, opts);
+  EXPECT_EQ(r.automorphisms, 6u);
+  EXPECT_NEAR(r.occurrences, r.matches / 6.0, 1e-9);
+  EXPECT_NEAR(r.occurrences, 4.0, 1.5);
+}
+
+TEST(Estimator, PerTrialDataExposed) {
+  const CsrGraph g = erdos_renyi(30, 80, 13);
+  EstimatorOptions opts;
+  opts.trials = 8;
+  const EstimatorResult r = estimate_matches(g, q_wiki(), opts);
+  EXPECT_EQ(r.colorful_per_trial.size(), 8u);
+  EXPECT_EQ(r.estimate_per_trial.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(r.estimate_per_trial[i],
+                static_cast<double>(r.colorful_per_trial[i]) *
+                    colorful_scale(5),
+                1e-6);
+  }
+}
+
+TEST(Estimator, CvDropsWithDenserSignal) {
+  // A graph with many triangles (K8) has tiny relative variance compared
+  // with a sparse graph that has few: the Fig 15 phenomenology.
+  EstimatorOptions opts;
+  opts.trials = 30;
+  opts.seed = 7;
+  const EstimatorResult dense = estimate_matches(complete_graph(8),
+                                                 q_cycle(3), opts);
+  const EstimatorResult sparse =
+      estimate_matches(erdos_renyi(60, 70, 3), q_cycle(3), opts);
+  EXPECT_LT(dense.cv, sparse.cv);
+}
+
+TEST(Estimator, DeterministicForFixedSeed) {
+  const CsrGraph g = erdos_renyi(40, 100, 17);
+  EstimatorOptions opts;
+  opts.trials = 5;
+  opts.seed = 31;
+  const EstimatorResult a = estimate_matches(g, q_youtube(), opts);
+  const EstimatorResult b = estimate_matches(g, q_youtube(), opts);
+  EXPECT_EQ(a.colorful_per_trial, b.colorful_per_trial);
+}
+
+TEST(Estimator, ZeroMatchesGiveZeroEstimate) {
+  // A path graph contains no triangles.
+  const EstimatorResult r =
+      estimate_matches(path_graph(20), q_cycle(3), {});
+  EXPECT_DOUBLE_EQ(r.matches, 0.0);
+  EXPECT_DOUBLE_EQ(r.cv, 0.0);
+}
+
+TEST(AdaptiveEstimator, StopsOnceTargetCvReached) {
+  // Dense graph, small query: the estimate converges in a handful of
+  // trials, far below the cap.
+  const CsrGraph g = erdos_renyi(80, 600, 5);
+  AdaptiveOptions opts;
+  opts.target_cv = 0.2;
+  opts.max_trials = 40;
+  opts.seed = 7;
+  const AdaptiveResult r = estimate_matches_adaptive(g, q_cycle(3), opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_GE(r.trials_used, opts.min_trials);
+  EXPECT_LT(r.trials_used, opts.max_trials);
+  EXPECT_LE(r.estimate.cv, opts.target_cv);
+}
+
+TEST(AdaptiveEstimator, RespectsMinTrials) {
+  const CsrGraph g = erdos_renyi(60, 400, 6);
+  AdaptiveOptions opts;
+  opts.target_cv = 1e9;  // trivially satisfied
+  opts.min_trials = 5;
+  const AdaptiveResult r = estimate_matches_adaptive(g, q_cycle(3), opts);
+  EXPECT_EQ(r.trials_used, 5);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(AdaptiveEstimator, GivesUpAtMaxTrials) {
+  // Sparse graph, rare motif: the estimate stays noisy, so the loop must
+  // hit the cap and report non-convergence.
+  const CsrGraph g = erdos_renyi(200, 260, 7);
+  AdaptiveOptions opts;
+  opts.target_cv = 1e-6;
+  opts.max_trials = 8;
+  const AdaptiveResult r = estimate_matches_adaptive(g, q_cycle(5), opts);
+  EXPECT_EQ(r.trials_used, 8);
+  EXPECT_FALSE(r.converged);
+}
+
+TEST(AdaptiveEstimator, EstimateConsistentWithFixedTrials) {
+  const CsrGraph g = erdos_renyi(50, 220, 8);
+  AdaptiveOptions a;
+  a.target_cv = 0.0;  // never converges early
+  a.min_trials = a.max_trials = 6;
+  a.seed = 99;
+  EstimatorOptions f;
+  f.trials = 6;
+  f.seed = 99;
+  const AdaptiveResult ra = estimate_matches_adaptive(g, q_glet2(), a);
+  const EstimatorResult rf = estimate_matches(g, q_glet2(), f);
+  EXPECT_EQ(ra.estimate.colorful_per_trial, rf.colorful_per_trial);
+  EXPECT_DOUBLE_EQ(ra.estimate.matches, rf.matches);
+}
+
+}  // namespace
+}  // namespace ccbt

@@ -1,0 +1,162 @@
+// Unit tests for the synthetic graph generators — the Table 1 / Section 9
+// substitutes must actually exhibit the degree structure they claim.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ccbt/bench_support/workloads.hpp"
+#include "ccbt/util/error.hpp"
+#include "ccbt/graph/generators.hpp"
+#include "ccbt/graph/graph_stats.hpp"
+
+namespace ccbt {
+namespace {
+
+TEST(ErdosRenyi, ExactEdgeCountAndDeterminism) {
+  const CsrGraph a = erdos_renyi(100, 300, 1);
+  const CsrGraph b = erdos_renyi(100, 300, 1);
+  EXPECT_EQ(a.num_edges(), 300u);
+  EXPECT_EQ(a.num_vertices(), 100u);
+  EXPECT_EQ(b.num_edges(), a.num_edges());
+  EXPECT_EQ(CsrGraph::from_edges(a.to_edges()).num_edges(),
+            b.num_edges());
+}
+
+TEST(ErdosRenyi, ClampsToCompleteGraph) {
+  const CsrGraph g = erdos_renyi(5, 1000, 2);
+  EXPECT_EQ(g.num_edges(), 10u);
+}
+
+TEST(PowerLawDegrees, RespectsExponentShape) {
+  const auto d = truncated_power_law_degrees(100000, 1.5);
+  ASSERT_EQ(d.size(), 100000u);
+  // Counts per degree level j should shrink by ~2^alpha per level.
+  std::size_t deg1 = 0, deg2 = 0, deg4 = 0;
+  for (double x : d) {
+    if (x == 1.0) ++deg1;
+    if (x == 2.0) ++deg2;
+    if (x == 4.0) ++deg4;
+  }
+  EXPECT_GT(deg1, deg2);
+  EXPECT_GT(deg2, deg4);
+  const double ratio = static_cast<double>(deg2) / static_cast<double>(deg4);
+  EXPECT_NEAR(ratio, std::pow(2.0, 1.5), 0.7);
+}
+
+TEST(PowerLawDegrees, RejectsBadAlpha) {
+  EXPECT_THROW(truncated_power_law_degrees(100, 0.5), Error);
+  EXPECT_THROW(truncated_power_law_degrees(100, 2.5), Error);
+}
+
+TEST(ChungLu, RealizedDegreesTrackExpectations) {
+  // Uniform expected degree 10: realized average within 15%.
+  std::vector<double> degrees(4000, 10.0);
+  const CsrGraph g = chung_lu(degrees, 7);
+  const GraphStats s = compute_stats(g);
+  EXPECT_NEAR(s.avg_degree, 10.0, 1.5);
+}
+
+TEST(ChungLu, HubGetsProportionallyMoreEdges) {
+  std::vector<double> degrees(2001, 2.0);
+  degrees[0] = 40.0;
+  const CsrGraph g = chung_lu(degrees, 11);
+  EXPECT_GT(g.degree(0), 20u);
+}
+
+TEST(ChungLu, Deterministic) {
+  const CsrGraph a = chung_lu_power_law(3000, 1.7, 5.0, 5);
+  const CsrGraph b = chung_lu_power_law(3000, 1.7, 5.0, 5);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+}
+
+TEST(ChungLu, HeavierTailForSmallerAlpha) {
+  const GraphStats heavy =
+      compute_stats(chung_lu_power_law(20000, 1.55, 6.0, 3));
+  const GraphStats light =
+      compute_stats(chung_lu_power_law(20000, 1.95, 6.0, 3));
+  EXPECT_GT(heavy.skew, light.skew);
+  EXPECT_GT(heavy.max_degree, light.max_degree);
+}
+
+TEST(Rmat, SizeAndSkew) {
+  RmatParams p;
+  p.scale = 10;
+  p.edge_factor = 8;
+  const CsrGraph g = rmat(p, 13);
+  EXPECT_EQ(g.num_vertices(), 1024u);
+  EXPECT_GT(g.num_edges(), 2000u);  // duplicates removed, still sizeable
+  const GraphStats s = compute_stats(g);
+  // The paper's R-MAT parameters (A=.5,B=.1,C=.1,D=.3) give a moderate
+  // but clearly non-regular tail.
+  EXPECT_GT(s.skew, 1.2);
+  EXPECT_GT(s.max_degree, 4 * s.avg_degree);
+}
+
+TEST(BarabasiAlbert, SizeAndHeavyTail) {
+  const CsrGraph g = barabasi_albert(4000, 3, 5);
+  EXPECT_EQ(g.num_vertices(), 4000u);
+  // ~3 edges per vertex minus duplicates.
+  EXPECT_GT(g.num_edges(), 3u * 4000u * 8 / 10);
+  const GraphStats s = compute_stats(g);
+  EXPECT_GT(s.skew, 1.5);
+  EXPECT_GT(s.max_degree, 20u * static_cast<std::uint32_t>(s.avg_degree));
+}
+
+TEST(BarabasiAlbert, DeterministicAndValidatesArgs) {
+  const CsrGraph a = barabasi_albert(500, 2, 9);
+  const CsrGraph b = barabasi_albert(500, 2, 9);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_THROW(barabasi_albert(500, 0, 1), Error);
+  EXPECT_THROW(barabasi_albert(2, 3, 1), Error);
+}
+
+TEST(Grid2d, StructureAndLowSkew) {
+  const CsrGraph g = grid2d(20, 30, 0, 1);
+  EXPECT_EQ(g.num_vertices(), 600u);
+  // Interior vertices have degree 4; skew must be tiny.
+  EXPECT_EQ(g.num_edges(), (19u * 30u) + (20u * 29u));
+  const GraphStats s = compute_stats(g);
+  EXPECT_LT(s.skew, 1.1);
+  EXPECT_LE(s.max_degree, 4u);
+}
+
+TEST(StructuredGraphs, KnownShapes) {
+  EXPECT_EQ(complete_graph(6).num_edges(), 15u);
+  EXPECT_EQ(cycle_graph(7).num_edges(), 7u);
+  EXPECT_EQ(path_graph(7).num_edges(), 6u);
+  EXPECT_EQ(star_graph(9).num_edges(), 9u);
+  EXPECT_EQ(complete_bipartite(3, 4).num_edges(), 12u);
+}
+
+TEST(Workloads, AllTableOneGraphsInstantiate) {
+  for (const std::string& name : workload_names()) {
+    const CsrGraph g = make_workload(name, 0.05, 1);
+    EXPECT_GT(g.num_vertices(), 50u) << name;
+    EXPECT_GT(g.num_edges(), 40u) << name;
+  }
+}
+
+TEST(Workloads, SkewOrderingMatchesPaper) {
+  // epinions (heaviest tail) must be more skewed than condMat (light),
+  // and roadNetCA must be nearly regular — the property driving Fig 9/10.
+  const GraphStats epinions =
+      compute_stats(make_workload("epinions", 0.25, 2));
+  const GraphStats condmat = compute_stats(make_workload("condMat", 0.25, 2));
+  const GraphStats road = compute_stats(make_workload("roadNetCA", 0.25, 2));
+  EXPECT_GT(epinions.skew, condmat.skew);
+  EXPECT_GT(condmat.skew, road.skew);
+  EXPECT_LT(road.skew, 1.5);
+}
+
+TEST(Workloads, UnknownNameThrows) {
+  EXPECT_THROW(make_workload("no-such-graph"), Error);
+}
+
+TEST(Workloads, SpecsCoverTenGraphs) {
+  EXPECT_EQ(table1_specs().size(), 10u);
+  EXPECT_EQ(workload_names().size(), 10u);
+}
+
+}  // namespace
+}  // namespace ccbt

@@ -1,0 +1,106 @@
+// Watts-Strogatz and stochastic-block generators: structural invariants.
+
+#include <gtest/gtest.h>
+
+#include "ccbt/graph/generators.hpp"
+#include "ccbt/graph/graph_stats.hpp"
+#include "ccbt/tri/triangles.hpp"
+#include "ccbt/util/error.hpp"
+
+namespace ccbt {
+namespace {
+
+TEST(WattsStrogatz, NoRewiringGivesTheRingLattice) {
+  const CsrGraph g = watts_strogatz(40, 2, 0.0, 1);
+  EXPECT_EQ(g.num_vertices(), 40u);
+  EXPECT_EQ(g.num_edges(), 80u);  // n * k edges
+  for (VertexId v = 0; v < 40; ++v) EXPECT_EQ(g.degree(v), 4u) << v;
+}
+
+TEST(WattsStrogatz, FullRewiringKeepsEdgeBudgetApproximately) {
+  const CsrGraph g = watts_strogatz(200, 3, 1.0, 2);
+  // Rewiring can only lose edges to dedupe/self-loop removal.
+  EXPECT_LE(g.num_edges(), 600u);
+  EXPECT_GT(g.num_edges(), 500u);
+}
+
+TEST(WattsStrogatz, LowBetaKeepsHighClustering) {
+  // The small-world signature: slight rewiring preserves most triangles
+  // of the ring lattice.
+  const CsrGraph ring = watts_strogatz(300, 2, 0.0, 3);
+  const CsrGraph sw = watts_strogatz(300, 2, 0.05, 3);
+  const CsrGraph rand = watts_strogatz(300, 2, 1.0, 3);
+  const Count t_ring = count_triangles_naive(ring).triangles;
+  const Count t_sw = count_triangles_naive(sw).triangles;
+  const Count t_rand = count_triangles_naive(rand).triangles;
+  EXPECT_GT(t_sw, t_rand);
+  EXPECT_GT(t_ring, 0u);
+}
+
+TEST(WattsStrogatz, RejectsBadArguments) {
+  EXPECT_THROW(watts_strogatz(10, 0, 0.1, 4), Error);
+  EXPECT_THROW(watts_strogatz(10, 2, 1.5, 4), Error);
+  EXPECT_THROW(watts_strogatz(4, 2, 0.1, 4), Error);
+}
+
+TEST(StochasticBlock, BlockStructureDensities) {
+  const CsrGraph g = stochastic_block({50, 50}, 0.3, 0.01, 5);
+  EXPECT_EQ(g.num_vertices(), 100u);
+  // Count within- vs cross-block edges.
+  std::size_t within = 0, cross = 0;
+  for (VertexId u = 0; u < 100; ++u) {
+    for (VertexId v : g.neighbors(u)) {
+      if (v < u) continue;
+      ((u < 50) == (v < 50) ? within : cross) += 1;
+    }
+  }
+  // Expected: within ~ 2 * C(50,2) * 0.3 = 735, cross ~ 2500 * 0.01 = 25.
+  EXPECT_GT(within, 500u);
+  EXPECT_LT(cross, 100u);
+  EXPECT_GT(within, 5 * cross);
+}
+
+TEST(StochasticBlock, ExtremeProbabilities) {
+  const CsrGraph cliques = stochastic_block({4, 4}, 1.0, 0.0, 6);
+  EXPECT_EQ(cliques.num_edges(), 2u * 6u);  // two K4s
+  const CsrGraph empty = stochastic_block({10, 10}, 0.0, 0.0, 7);
+  EXPECT_EQ(empty.num_edges(), 0u);
+}
+
+TEST(StochasticBlock, RejectsBadProbabilities) {
+  EXPECT_THROW(stochastic_block({5, 5}, -0.1, 0.0, 8), Error);
+  EXPECT_THROW(stochastic_block({5, 5}, 0.5, 1.5, 8), Error);
+}
+
+TEST(StochasticBlock, SingleBlockIsGnp) {
+  const CsrGraph g = stochastic_block({80}, 0.2, 0.9, 9);
+  // p_out is irrelevant with one block.
+  const double expected = 0.2 * (80.0 * 79.0 / 2.0);
+  EXPECT_GT(static_cast<double>(g.num_edges()), 0.5 * expected);
+  EXPECT_LT(static_cast<double>(g.num_edges()), 1.5 * expected);
+}
+
+TEST(Clustering, ExactValuesOnStructuredGraphs) {
+  EXPECT_DOUBLE_EQ(global_clustering(complete_graph(3)), 1.0);
+  EXPECT_DOUBLE_EQ(global_clustering(complete_graph(6)), 1.0);
+  EXPECT_DOUBLE_EQ(global_clustering(star_graph(5)), 0.0);
+  EXPECT_DOUBLE_EQ(global_clustering(cycle_graph(8)), 0.0);
+  EXPECT_DOUBLE_EQ(global_clustering(path_graph(2)), 0.0);  // no wedges
+}
+
+TEST(Clustering, SmallWorldBeatsRandomModel) {
+  // The Watts-Strogatz signature: far higher transitivity than a
+  // degree-comparable Chung-Lu graph.
+  const CsrGraph sw = watts_strogatz(1000, 3, 0.05, 10);
+  const CsrGraph cl = chung_lu_power_law(1000, 1.8, 6.0, 10);
+  EXPECT_GT(global_clustering(sw), 5.0 * global_clustering(cl));
+}
+
+TEST(Clustering, CommunityStructureRaisesClustering) {
+  const CsrGraph sbm = stochastic_block({60, 60, 60}, 0.25, 0.005, 11);
+  const CsrGraph er = erdos_renyi(180, sbm.num_edges(), 11);
+  EXPECT_GT(global_clustering(sbm), 2.0 * global_clustering(er));
+}
+
+}  // namespace
+}  // namespace ccbt

@@ -1,0 +1,194 @@
+// Unit tests for the graph substrate: edge lists, CSR invariants, degree
+// ordering, partitions, colorings, and statistics.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ccbt/graph/coloring.hpp"
+#include "ccbt/util/error.hpp"
+#include "ccbt/graph/csr_graph.hpp"
+#include "ccbt/graph/degree_order.hpp"
+#include "ccbt/graph/generators.hpp"
+#include "ccbt/graph/graph_stats.hpp"
+#include "ccbt/graph/partition.hpp"
+
+namespace ccbt {
+namespace {
+
+TEST(EdgeListTest, SimplifyDropsLoopsAndDuplicates) {
+  EdgeList list;
+  list.add(1, 2);
+  list.add(2, 1);  // duplicate reversed
+  list.add(3, 3);  // loop
+  list.add(1, 2);  // duplicate
+  const EdgeList s = simplify(list);
+  ASSERT_EQ(s.edges.size(), 1u);
+  EXPECT_EQ(s.edges[0].u, 1u);
+  EXPECT_EQ(s.edges[0].v, 2u);
+}
+
+TEST(EdgeListTest, RoundTripThroughText) {
+  EdgeList list;
+  list.add(0, 1);
+  list.add(1, 2);
+  list.add(0, 2);
+  std::stringstream ss;
+  write_edge_list(ss, list);
+  const EdgeList back = read_edge_list(ss);
+  EXPECT_EQ(back.edges.size(), 3u);
+  EXPECT_EQ(back.num_vertices, 3u);
+}
+
+TEST(EdgeListTest, RejectsMalformedLine) {
+  std::stringstream ss("1 two\n");
+  EXPECT_THROW(read_edge_list(ss), Error);
+}
+
+TEST(CsrGraphTest, NeighborsSortedAndSymmetric) {
+  const CsrGraph g = erdos_renyi(50, 120, 3);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    for (std::size_t i = 1; i < nbrs.size(); ++i) {
+      EXPECT_LT(nbrs[i - 1], nbrs[i]);
+    }
+    for (VertexId v : nbrs) {
+      EXPECT_TRUE(g.has_edge(v, u)) << u << "-" << v;
+    }
+  }
+}
+
+TEST(CsrGraphTest, DegreeSumIsTwiceEdges) {
+  const CsrGraph g = erdos_renyi(64, 200, 4);
+  std::size_t sum = 0;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) sum += g.degree(u);
+  EXPECT_EQ(sum, 2 * g.num_edges());
+}
+
+TEST(CsrGraphTest, HasEdgeMatchesConstruction) {
+  const CsrGraph g = cycle_graph(6);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(5, 0));
+  EXPECT_FALSE(g.has_edge(0, 3));
+  EXPECT_FALSE(g.has_edge(0, 99));
+}
+
+TEST(CsrGraphTest, ToEdgesRoundTrip) {
+  const CsrGraph g = erdos_renyi(30, 80, 5);
+  const CsrGraph g2 = CsrGraph::from_edges(g.to_edges());
+  ASSERT_EQ(g.num_vertices(), g2.num_vertices());
+  ASSERT_EQ(g.num_edges(), g2.num_edges());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    ASSERT_EQ(g.degree(u), g2.degree(u));
+  }
+}
+
+TEST(CsrGraphTest, EmptyGraph) {
+  const CsrGraph g = CsrGraph::from_edges(EdgeList{});
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(DegreeOrderTest, HigherDegreeMeansHigherRank) {
+  const CsrGraph g = star_graph(10);  // vertex 0 is the hub
+  const DegreeOrder order(g);
+  for (VertexId v = 1; v <= 10; ++v) {
+    EXPECT_TRUE(order.higher(0, v));
+  }
+}
+
+TEST(DegreeOrderTest, TiesBrokenByIdAscending) {
+  const CsrGraph g = cycle_graph(5);  // all degrees equal
+  const DegreeOrder order(g);
+  for (VertexId v = 1; v < 5; ++v) {
+    EXPECT_TRUE(order.higher(v, v - 1));
+  }
+}
+
+TEST(DegreeOrderTest, TotalOrderIsAPermutation) {
+  const CsrGraph g = erdos_renyi(40, 100, 6);
+  const DegreeOrder order(g);
+  std::vector<bool> seen(40, false);
+  for (VertexId v = 0; v < 40; ++v) {
+    ASSERT_LT(order.rank(v), 40u);
+    EXPECT_FALSE(seen[order.rank(v)]);
+    seen[order.rank(v)] = true;
+  }
+}
+
+TEST(DegreeOrderTest, ByIdOrderMatchesIds) {
+  const DegreeOrder order = DegreeOrder::by_id(10);
+  EXPECT_TRUE(order.higher(7, 3));
+  EXPECT_FALSE(order.higher(3, 7));
+}
+
+TEST(PartitionTest, CoversAllVerticesOnce) {
+  const BlockPartition part(1000, 7);
+  std::vector<int> count(1000, 0);
+  for (std::uint32_t r = 0; r < part.num_ranks(); ++r) {
+    for (VertexId v = part.begin(r); v < part.end(r); ++v) {
+      EXPECT_EQ(part.owner(v), r);
+      ++count[v];
+    }
+  }
+  for (int c : count) EXPECT_EQ(c, 1);
+}
+
+TEST(PartitionTest, BalancedWithinOne) {
+  const BlockPartition part(1000, 32);
+  VertexId min_size = 1000, max_size = 0;
+  for (std::uint32_t r = 0; r < 32; ++r) {
+    const VertexId size = part.end(r) - part.begin(r);
+    min_size = std::min(min_size, size);
+    max_size = std::max(max_size, size);
+  }
+  EXPECT_LE(max_size - min_size, 32u);  // block distribution granularity
+}
+
+TEST(PartitionTest, MoreRanksThanVertices) {
+  const BlockPartition part(3, 8);
+  for (VertexId v = 0; v < 3; ++v) {
+    EXPECT_LT(part.owner(v), 8u);
+  }
+}
+
+TEST(ColoringTest, ColorsInRangeAndDeterministic) {
+  const Coloring a(500, 7, 99), b(500, 7, 99);
+  for (VertexId v = 0; v < 500; ++v) {
+    EXPECT_LT(a.color(v), 7);
+    EXPECT_EQ(a.color(v), b.color(v));
+    EXPECT_EQ(a.bit(v), Signature{1} << a.color(v));
+  }
+}
+
+TEST(ColoringTest, RoughlyUniform) {
+  const Coloring chi(70000, 7, 3);
+  std::vector<int> counts(7, 0);
+  for (VertexId v = 0; v < chi.size(); ++v) ++counts[chi.color(v)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 1000);
+}
+
+TEST(GraphStatsTest, RegularGraphSkewIsOne) {
+  const GraphStats s = compute_stats(cycle_graph(100));
+  EXPECT_DOUBLE_EQ(s.avg_degree, 2.0);
+  EXPECT_NEAR(s.skew, 1.0, 1e-9);
+  EXPECT_EQ(s.heavy_vertices, 0u);
+}
+
+TEST(GraphStatsTest, StarGraphIsMaximallySkewed) {
+  const GraphStats s = compute_stats(star_graph(99));
+  EXPECT_EQ(s.max_degree, 99u);
+  EXPECT_GT(s.skew, 20.0);
+  EXPECT_EQ(s.heavy_vertices, 1u);
+}
+
+TEST(GraphStatsTest, HistogramBucketsByPowersOfTwo) {
+  const auto hist = degree_histogram_pow2(star_graph(64));
+  // 64 leaves of degree 1 -> bucket 0; hub degree 64 -> bucket 6.
+  ASSERT_GE(hist.size(), 7u);
+  EXPECT_EQ(hist[0], 64u);
+  EXPECT_EQ(hist[6], 1u);
+}
+
+}  // namespace
+}  // namespace ccbt

@@ -1,0 +1,116 @@
+// End-to-end integration tests: realistic workloads through the full
+// public API, cross-checking PS vs DB on graphs too large for the oracle,
+// plus failure-injection paths.
+
+#include <gtest/gtest.h>
+
+#include "ccbt/bench_support/workloads.hpp"
+#include "ccbt/core/ccbt.hpp"
+#include "ccbt/util/error.hpp"
+
+namespace ccbt {
+namespace {
+
+Count run_algo(const CsrGraph& g, const QueryGraph& q, Algo algo,
+               std::uint64_t seed) {
+  ExecOptions opts;
+  opts.algo = algo;
+  CountingSession session(g, q, make_plan(q), opts);
+  return session.count_colorful_seeded(seed).colorful;
+}
+
+TEST(Integration, PsAndDbAgreeOnWorkloadScale) {
+  // No oracle here: the two independent strategies must agree on a
+  // 10k-node heavy-tailed graph across all Figure 8 queries.
+  const CsrGraph g = make_workload("enron", 0.15, 5);
+  for (const QueryGraph& q : figure8_queries()) {
+    const Count ps = run_algo(g, q, Algo::kPS, 17);
+    const Count db = run_algo(g, q, Algo::kDB, 17);
+    EXPECT_EQ(ps, db) << q.name();
+  }
+}
+
+TEST(Integration, PsEvenAgreesOnWorkloadScale) {
+  const CsrGraph g = make_workload("condMat", 0.15, 6);
+  for (const char* name : {"brain1", "wiki", "glet2", "dros"}) {
+    const QueryGraph q = named_query(name);
+    EXPECT_EQ(run_algo(g, q, Algo::kPSEven, 23), run_algo(g, q, Algo::kDB, 23))
+        << name;
+  }
+}
+
+TEST(Integration, RmatWeakScalingGraphWorks) {
+  RmatParams p;
+  p.scale = 11;
+  p.edge_factor = 8;
+  const CsrGraph g = rmat(p, 3);
+  const QueryGraph q = q_glet1();
+  EXPECT_EQ(run_algo(g, q, Algo::kPS, 7), run_algo(g, q, Algo::kDB, 7));
+}
+
+TEST(Integration, SimulatedRanksProduceLoadStats) {
+  const CsrGraph g = make_workload("astroph", 0.2, 7);
+  const QueryGraph q = q_youtube();
+  ExecOptions opts;
+  opts.algo = Algo::kDB;
+  opts.sim_ranks = 64;
+  CountingSession session(g, q, make_plan(q), opts);
+  const ExecStats stats = session.count_colorful_seeded(3);
+  EXPECT_GT(stats.total_ops, 0u);
+  EXPECT_GT(stats.sim_time, 0.0);
+  EXPECT_GE(stats.max_rank_ops,
+            static_cast<std::uint64_t>(stats.avg_rank_ops));
+}
+
+TEST(Integration, EstimatorRunsOnWorkload) {
+  const CsrGraph g = make_workload("roadNetCA", 0.1, 8);
+  EstimatorOptions opts;
+  opts.trials = 3;
+  const EstimatorResult r = estimate_matches(g, q_glet1(), opts);
+  EXPECT_EQ(r.colorful_per_trial.size(), 3u);
+  EXPECT_GE(r.matches, 0.0);
+}
+
+TEST(Integration, BudgetFailureIsCleanlyReported) {
+  const CsrGraph g = make_workload("epinions", 0.2, 9);
+  const QueryGraph q = q_brain3();
+  ExecOptions opts;
+  opts.algo = Algo::kPS;
+  opts.max_table_entries = 1000;  // deliberately tiny
+  CountingSession session(g, q, make_plan(q), opts);
+  EXPECT_THROW(session.count_colorful_seeded(1), BudgetExceeded);
+}
+
+TEST(Integration, SessionReusableAcrossColorings) {
+  const CsrGraph g = make_workload("brightkite", 0.1, 10);
+  const QueryGraph q = q_wiki();
+  ExecOptions opts;
+  CountingSession session(g, q, make_plan(q), opts);
+  const Count a = session.count_colorful_seeded(1).colorful;
+  const Count b = session.count_colorful_seeded(2).colorful;
+  const Count a2 = session.count_colorful_seeded(1).colorful;
+  EXPECT_EQ(a, a2);
+  (void)b;
+}
+
+TEST(Integration, MismatchedColoringRejected) {
+  const CsrGraph g = make_workload("condMat", 0.05, 11);
+  const QueryGraph q = q_glet1();
+  CountingSession session(g, q, make_plan(q), {});
+  const Coloring wrong_k(g.num_vertices(), 7, 1);
+  EXPECT_THROW(session.count_colorful(wrong_k), Error);
+  const Coloring wrong_n(g.num_vertices() / 2, q.num_nodes(), 1);
+  EXPECT_THROW(session.count_colorful(wrong_n), Error);
+}
+
+TEST(Integration, CountColorfulMatchesOneShot) {
+  const CsrGraph g = make_workload("condMat", 0.05, 12);
+  const QueryGraph q = q_glet2();
+  const Coloring chi(g.num_vertices(), q.num_nodes(), 4);
+  const Count a = count_colorful_matches(g, q, chi);
+  const Count b = count_colorful_matches(g, q, chi);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace ccbt

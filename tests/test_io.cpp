@@ -1,0 +1,114 @@
+// Graph persistence: text and binary round trips, error paths.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "ccbt/graph/generators.hpp"
+#include "ccbt/graph/io.hpp"
+#include "ccbt/util/error.hpp"
+
+namespace ccbt {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ccbt_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+void expect_same_graph(const CsrGraph& a, const CsrGraph& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (VertexId u = 0; u < a.num_vertices(); ++u) {
+    ASSERT_EQ(a.degree(u), b.degree(u)) << "vertex " << u;
+    const auto na = a.neighbors(u);
+    const auto nb = b.neighbors(u);
+    for (std::size_t i = 0; i < na.size(); ++i) {
+      EXPECT_EQ(na[i], nb[i]) << "vertex " << u << " slot " << i;
+    }
+  }
+}
+
+TEST_F(IoTest, TextRoundTrip) {
+  const CsrGraph g = erdos_renyi(50, 170, 1);
+  save_graph_text(g, path("g.txt"));
+  expect_same_graph(g, load_graph_text(path("g.txt")));
+}
+
+TEST_F(IoTest, BinaryRoundTrip) {
+  const CsrGraph g = chung_lu_power_law(300, 1.5, 6.0, 2);
+  save_graph_binary(g, path("g.bin"));
+  expect_same_graph(g, load_graph_binary(path("g.bin")));
+}
+
+TEST_F(IoTest, BinaryRoundTripEmptyGraph) {
+  const CsrGraph g = CsrGraph::from_edges(EdgeList{{}, 7});
+  save_graph_binary(g, path("empty.bin"));
+  const CsrGraph back = load_graph_binary(path("empty.bin"));
+  EXPECT_EQ(back.num_vertices(), 7u);
+  EXPECT_EQ(back.num_edges(), 0u);
+}
+
+TEST_F(IoTest, TextFormatHasCommentsAndPairs) {
+  const CsrGraph g = path_graph(3);
+  save_graph_text(g, path("p.txt"));
+  std::ifstream in(path("p.txt"));
+  std::string first;
+  std::getline(in, first);
+  EXPECT_EQ(first[0], '#');
+}
+
+TEST_F(IoTest, LoadTextToleratesCommentsAndBlankLines) {
+  std::ofstream out(path("manual.txt"));
+  out << "# a comment\n0 1\n\n1 2\n# another\n2 0\n";
+  out.close();
+  const CsrGraph g = load_graph_text(path("manual.txt"));
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST_F(IoTest, BinaryRejectsBadMagic) {
+  std::ofstream out(path("bad.bin"), std::ios::binary);
+  out << "not a ccbt graph at all";
+  out.close();
+  EXPECT_THROW(load_graph_binary(path("bad.bin")), Error);
+}
+
+TEST_F(IoTest, BinaryRejectsTruncation) {
+  const CsrGraph g = erdos_renyi(30, 60, 3);
+  save_graph_binary(g, path("t.bin"));
+  const auto full = std::filesystem::file_size(path("t.bin"));
+  std::filesystem::resize_file(path("t.bin"), full / 2);
+  EXPECT_THROW(load_graph_binary(path("t.bin")), Error);
+}
+
+TEST_F(IoTest, MissingFilesThrow) {
+  EXPECT_THROW(load_graph_text(path("nope.txt")), Error);
+  EXPECT_THROW(load_graph_binary(path("nope.bin")), Error);
+}
+
+TEST_F(IoTest, BinaryPreservesIsolatedTailVertices) {
+  // Vertex 9 is isolated; num_vertices must survive the round trip.
+  EdgeList list;
+  list.num_vertices = 10;
+  list.add(0, 1);
+  const CsrGraph g = CsrGraph::from_edges(list);
+  save_graph_binary(g, path("iso.bin"));
+  EXPECT_EQ(load_graph_binary(path("iso.bin")).num_vertices(), 10u);
+}
+
+}  // namespace
+}  // namespace ccbt

@@ -1,0 +1,151 @@
+// Small-graph isomorphism: exact tests, automorphism cross-checks, and
+// the exhaustive small-query enumerator.
+
+#include <gtest/gtest.h>
+
+#include "ccbt/query/automorphism.hpp"
+#include "ccbt/query/catalog.hpp"
+#include "ccbt/query/isomorphism.hpp"
+#include "ccbt/query/treewidth.hpp"
+#include "ccbt/util/error.hpp"
+#include "ccbt/util/rng.hpp"
+
+namespace ccbt {
+namespace {
+
+/// Relabel q by the permutation perm (node a becomes perm[a]).
+QueryGraph relabeled(const QueryGraph& q, const std::vector<int>& perm) {
+  QueryGraph out(q.num_nodes(), q.name() + "_relabeled");
+  for (const auto& [a, b] : q.edge_pairs()) {
+    out.add_edge(static_cast<QNode>(perm[a]), static_cast<QNode>(perm[b]));
+  }
+  return out;
+}
+
+std::vector<int> random_perm(int n, std::uint64_t seed) {
+  std::vector<int> p(n);
+  for (int i = 0; i < n; ++i) p[i] = i;
+  Rng rng(seed);
+  for (int i = n - 1; i > 0; --i) {
+    std::swap(p[i], p[rng.below(static_cast<std::uint64_t>(i) + 1)]);
+  }
+  return p;
+}
+
+TEST(Isomorphism, IdenticalGraphsAreIsomorphic) {
+  for (const QueryGraph& q : figure8_queries()) {
+    EXPECT_TRUE(are_isomorphic(q, q)) << q.name();
+  }
+}
+
+TEST(Isomorphism, RelabelingPreservesIsomorphism) {
+  for (const QueryGraph& q : figure8_queries()) {
+    for (std::uint64_t seed = 0; seed < 3; ++seed) {
+      const QueryGraph r = relabeled(q, random_perm(q.num_nodes(), seed));
+      EXPECT_TRUE(are_isomorphic(q, r)) << q.name() << " seed=" << seed;
+      EXPECT_EQ(iso_invariant_code(q), iso_invariant_code(r))
+          << q.name() << " seed=" << seed;
+    }
+  }
+}
+
+TEST(Isomorphism, DifferentGraphsAreNot) {
+  EXPECT_FALSE(are_isomorphic(q_cycle(4), q_path(4)));
+  EXPECT_FALSE(are_isomorphic(q_cycle(5), q_cycle(6)));
+  EXPECT_FALSE(are_isomorphic(q_star(3), q_path(4)));
+  EXPECT_FALSE(are_isomorphic(named_query("glet1"), named_query("glet2")));
+}
+
+TEST(Isomorphism, SameDegreeSequenceDifferentStructure) {
+  // The classic 3-regular pair on 6 nodes: K3,3 (triangle free) vs the
+  // triangular prism (two triangles joined by a matching). Identical
+  // degree sequences, not isomorphic — degree pruning alone cannot
+  // separate them, the backtracking must.
+  QueryGraph k33(6, "k33");
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 3; b < 6; ++b) {
+      k33.add_edge(static_cast<QNode>(a), static_cast<QNode>(b));
+    }
+  }
+  QueryGraph prism(6, "prism");
+  prism.add_edge(0, 1);
+  prism.add_edge(1, 2);
+  prism.add_edge(2, 0);
+  prism.add_edge(3, 4);
+  prism.add_edge(4, 5);
+  prism.add_edge(5, 3);
+  prism.add_edge(0, 3);
+  prism.add_edge(1, 4);
+  prism.add_edge(2, 5);
+  ASSERT_EQ(k33.num_edges(), prism.num_edges());
+  EXPECT_FALSE(are_isomorphic(k33, prism));
+  EXPECT_NE(iso_invariant_code(k33), iso_invariant_code(prism));
+}
+
+TEST(Isomorphism, CountIsomorphismsEqualsAutomorphismsOnSelf) {
+  for (const QueryGraph& q : figure8_queries()) {
+    EXPECT_EQ(count_isomorphisms(q, q), count_automorphisms(q)) << q.name();
+  }
+  EXPECT_EQ(count_isomorphisms(q_cycle(5), q_cycle(5)), 10u);  // dihedral
+  EXPECT_EQ(count_isomorphisms(q_star(4), q_star(4)), 24u);    // 4! leaves
+  EXPECT_EQ(count_isomorphisms(q_path(3), q_path(3)), 2u);
+}
+
+TEST(Isomorphism, CountIsZeroForNonIsomorphic) {
+  EXPECT_EQ(count_isomorphisms(q_cycle(4), q_path(4)), 0u);
+}
+
+TEST(Isomorphism, InvariantCodeSeparatesSmallClasses) {
+  // Exact canonical form below 9 nodes: distinct classes get distinct
+  // codes.
+  const auto qs = all_connected_queries(5, 2);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    for (std::size_t j = i + 1; j < qs.size(); ++j) {
+      EXPECT_NE(iso_invariant_code(qs[i]), iso_invariant_code(qs[j]))
+          << qs[i].name() << " vs " << qs[j].name();
+    }
+  }
+}
+
+TEST(Isomorphism, AllConnectedQueriesCounts) {
+  // Known counts of connected simple graphs up to isomorphism: 2 on 3
+  // nodes, 6 on 4 nodes, 21 on 5 nodes. Treewidth <= 2 excludes K4 (and
+  // on 5 nodes the 10 classes containing a K4 minor).
+  EXPECT_EQ(all_connected_queries(3, 2).size(), 2u);
+  EXPECT_EQ(all_connected_queries(4, 2).size(), 5u);   // 6 minus K4
+  const auto five = all_connected_queries(5, 2);
+  EXPECT_GT(five.size(), 8u);
+  EXPECT_LT(five.size(), 21u);
+  for (const QueryGraph& q : five) {
+    EXPECT_TRUE(q.connected());
+    EXPECT_TRUE(treewidth_at_most_2(q));
+  }
+}
+
+TEST(Isomorphism, AllConnectedTreesCounts) {
+  // Trees up to isomorphism: 1 on 3 nodes, 2 on 4, 3 on 5, 6 on 6.
+  EXPECT_EQ(all_connected_queries(3, 1).size(), 1u);
+  EXPECT_EQ(all_connected_queries(4, 1).size(), 2u);
+  EXPECT_EQ(all_connected_queries(5, 1).size(), 3u);
+  EXPECT_EQ(all_connected_queries(6, 1).size(), 6u);
+}
+
+TEST(Isomorphism, EnumeratorRejectsBadArgs) {
+  EXPECT_THROW(all_connected_queries(2, 2), Error);
+  EXPECT_THROW(all_connected_queries(7, 2), Error);
+  EXPECT_THROW(all_connected_queries(5, 3), Error);
+}
+
+TEST(Isomorphism, WlHashStableForLargeQueries) {
+  // n > 8 uses the invariant hash: still label invariant.
+  const QueryGraph sat = q_satellite();
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const QueryGraph r = relabeled(sat, random_perm(sat.num_nodes(), seed));
+    EXPECT_EQ(iso_invariant_code(sat), iso_invariant_code(r))
+        << "seed=" << seed;
+  }
+  EXPECT_NE(iso_invariant_code(q_cycle(11)), iso_invariant_code(sat));
+}
+
+}  // namespace
+}  // namespace ccbt

@@ -1,0 +1,73 @@
+// Unit tests for plan features and the Section 6 selection heuristic.
+
+#include <gtest/gtest.h>
+
+#include "ccbt/decomp/plan.hpp"
+#include "ccbt/query/catalog.hpp"
+
+namespace ccbt {
+namespace {
+
+TEST(PlanFeatures, ComparatorOrdersLexicographically) {
+  PlanFeatures a{4, 3, 2}, b{5, 0, 0}, c{4, 4, 0}, d{4, 3, 3};
+  EXPECT_LT(a, b);  // shorter longest cycle wins first
+  EXPECT_LT(a, c);  // then fewer boundary nodes
+  EXPECT_LT(a, d);  // then fewer annotations
+}
+
+TEST(PlanFeatures, TriangleFeatures) {
+  const Plan plan = make_plan(q_cycle(3));
+  EXPECT_EQ(plan.features.longest_cycle, 3);
+  EXPECT_EQ(plan.features.total_boundary, 0);
+  EXPECT_EQ(plan.features.total_annotations, 0);
+}
+
+TEST(PlanFeatures, TreeQueryHasNoCycles) {
+  const Plan plan = make_plan(q_complete_binary_tree(7));
+  EXPECT_EQ(plan.features.longest_cycle, 0);
+}
+
+TEST(MakePlan, Brain1PrefersContractingLongCycleLast) {
+  // brain1 = C4 and C6 sharing an edge. Both trees have longest cycle 6;
+  // the heuristic must still return one of them and its features must
+  // match the best enumerated features.
+  const auto plans = enumerate_plans(q_brain1());
+  ASSERT_GE(plans.size(), 2u);
+  const Plan chosen = make_plan(q_brain1());
+  for (const Plan& p : plans) {
+    EXPECT_FALSE(p.features < chosen.features)
+        << "heuristic missed a better plan";
+  }
+}
+
+TEST(MakePlan, HeuristicIsOptimalByFeaturesForCatalog) {
+  for (const char* name : {"dros", "ecoli1", "ecoli2", "brain1", "brain2",
+                           "brain3", "glet1", "glet2", "wiki", "youtube",
+                           "satellite"}) {
+    const QueryGraph q = named_query(name);
+    const Plan chosen = make_plan(q);
+    for (const Plan& p : enumerate_plans(q)) {
+      EXPECT_FALSE(p.features < chosen.features) << name;
+    }
+  }
+}
+
+TEST(MakePlan, PlanMatchesQuerySize) {
+  const Plan plan = make_plan(q_satellite());
+  EXPECT_EQ(plan.tree.k, 11);
+}
+
+TEST(EnumeratePlans, FeatureVariationExists) {
+  // satellite admits trees with different annotation counts; the
+  // enumeration must expose genuinely different feature vectors.
+  const auto plans = enumerate_plans(q_satellite());
+  ASSERT_GE(plans.size(), 2u);
+  bool any_difference = false;
+  for (std::size_t i = 1; i < plans.size(); ++i) {
+    any_difference |= !(plans[i].features == plans[0].features);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+}  // namespace
+}  // namespace ccbt

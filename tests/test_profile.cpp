@@ -1,0 +1,76 @@
+// Motif profiles: family counting with shared colorings.
+
+#include <gtest/gtest.h>
+
+#include "ccbt/core/exact.hpp"
+#include "ccbt/core/profile.hpp"
+#include "ccbt/graph/generators.hpp"
+#include "ccbt/query/catalog.hpp"
+#include "ccbt/query/isomorphism.hpp"
+#include "ccbt/util/error.hpp"
+
+namespace ccbt {
+namespace {
+
+TEST(Profile, EstimatesTrackExactCounts) {
+  const CsrGraph g = erdos_renyi(40, 200, 3);
+  ProfileOptions opts;
+  opts.trials = 40;
+  opts.seed = 7;
+  const auto profile = graphlet_profile(g, 4, opts);
+  ASSERT_EQ(profile.size(), 5u);  // connected tw<=2 classes on 4 nodes
+  for (const ProfileEntry& e : profile) {
+    const double exact =
+        static_cast<double>(count_matches_exact(g, e.query));
+    EXPECT_NEAR(e.matches, exact, 0.30 * exact + 1.0) << e.query.name();
+  }
+}
+
+TEST(Profile, TreesDispatchAndAgree) {
+  // A family mixing trees (DP path) and cyclic queries (engine path):
+  // both must produce sane values against the oracle.
+  const CsrGraph g = erdos_renyi(30, 110, 4);
+  std::vector<QueryGraph> family{q_cycle(4), q_path(4), q_star(3)};
+  ProfileOptions opts;
+  opts.trials = 50;
+  const auto profile = motif_profile(g, family, opts);
+  ASSERT_EQ(profile.size(), 3u);
+  for (const ProfileEntry& e : profile) {
+    const double exact =
+        static_cast<double>(count_matches_exact(g, e.query));
+    EXPECT_NEAR(e.matches, exact, 0.30 * exact + 1.0) << e.query.name();
+  }
+}
+
+TEST(Profile, RejectsMixedSizes) {
+  const CsrGraph g = erdos_renyi(20, 40, 5);
+  const std::vector<QueryGraph> family{q_cycle(3), q_cycle(4)};
+  EXPECT_THROW(motif_profile(g, family, {}), Error);
+}
+
+TEST(Profile, EmptyFamilyIsEmpty) {
+  const CsrGraph g = erdos_renyi(20, 40, 6);
+  EXPECT_TRUE(motif_profile(g, {}, {}).empty());
+}
+
+TEST(Profile, DeterministicForFixedSeed) {
+  const CsrGraph g = erdos_renyi(30, 90, 7);
+  ProfileOptions opts;
+  opts.trials = 4;
+  opts.seed = 11;
+  const auto a = graphlet_profile(g, 4, opts);
+  const auto b = graphlet_profile(g, 4, opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].matches, b[i].matches) << i;
+  }
+}
+
+TEST(Profile, TreeFamilyUsesAllTreeClasses) {
+  const CsrGraph g = erdos_renyi(25, 60, 8);
+  const auto profile = graphlet_profile(g, 5, {}, /*max_treewidth=*/1);
+  EXPECT_EQ(profile.size(), 3u);  // 3 tree classes on 5 nodes
+}
+
+}  // namespace
+}  // namespace ccbt

@@ -1,0 +1,192 @@
+// Unit tests for the query substrate: the catalog, the treewidth
+// recognizer, automorphism counting, and the random tw2 generator.
+
+#include <gtest/gtest.h>
+
+#include "ccbt/query/automorphism.hpp"
+#include "ccbt/query/catalog.hpp"
+#include "ccbt/query/query_graph.hpp"
+#include "ccbt/query/random_tw2.hpp"
+#include "ccbt/query/treewidth.hpp"
+#include "ccbt/util/error.hpp"
+
+namespace ccbt {
+namespace {
+
+TEST(QueryGraphTest, EdgesAndDegrees) {
+  QueryGraph q(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(q.num_edges(), 3);
+  EXPECT_EQ(q.degree(1), 2);
+  EXPECT_TRUE(q.has_edge(0, 1));
+  EXPECT_FALSE(q.has_edge(0, 3));
+  q.remove_edge(0, 1);
+  EXPECT_FALSE(q.has_edge(0, 1));
+  EXPECT_EQ(q.num_edges(), 2);
+}
+
+TEST(QueryGraphTest, RejectsBadConstruction) {
+  EXPECT_THROW(QueryGraph(0), UnsupportedQuery);
+  EXPECT_THROW(QueryGraph(17), UnsupportedQuery);
+  QueryGraph q(3);
+  EXPECT_THROW(q.add_edge(0, 0), UnsupportedQuery);
+  EXPECT_THROW(q.add_edge(0, 5), UnsupportedQuery);
+}
+
+TEST(QueryGraphTest, Connectivity) {
+  QueryGraph connected(3, {{0, 1}, {1, 2}});
+  EXPECT_TRUE(connected.connected());
+  QueryGraph disconnected(4, {{0, 1}, {2, 3}});
+  EXPECT_FALSE(disconnected.connected());
+}
+
+TEST(QueryGraphTest, ConnectedOrderStartsAtZeroAndLinks) {
+  const QueryGraph q = q_brain1();
+  const auto order = q.connected_order();
+  ASSERT_EQ(static_cast<int>(order.size()), q.num_nodes());
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    bool linked = false;
+    for (std::size_t j = 0; j < i; ++j) {
+      linked |= q.has_edge(order[i], order[j]);
+    }
+    EXPECT_TRUE(linked) << "node " << int(order[i]);
+  }
+}
+
+TEST(Treewidth, ForestRecognition) {
+  EXPECT_TRUE(is_forest(q_path(6)));
+  EXPECT_TRUE(is_forest(q_star(5)));
+  EXPECT_TRUE(is_forest(q_complete_binary_tree(7)));
+  EXPECT_FALSE(is_forest(q_cycle(4)));
+  EXPECT_FALSE(is_forest(q_glet2()));
+}
+
+TEST(Treewidth, Treewidth2Accepts) {
+  for (const char* name :
+       {"dros", "ecoli1", "ecoli2", "brain1", "brain2", "brain3", "glet1",
+        "glet2", "wiki", "youtube", "satellite", "theta", "triangle"}) {
+    EXPECT_TRUE(treewidth_at_most_2(named_query(name))) << name;
+  }
+  EXPECT_TRUE(treewidth_at_most_2(q_cycle(12)));
+  EXPECT_TRUE(treewidth_at_most_2(q_path(9)));
+}
+
+TEST(Treewidth, RejectsHigherTreewidth) {
+  // K4 has treewidth 3.
+  QueryGraph k4(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}});
+  EXPECT_FALSE(treewidth_at_most_2(k4));
+  // 3x3 grid has treewidth 3.
+  QueryGraph grid(9);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      if (c + 1 < 3) grid.add_edge(3 * r + c, 3 * r + c + 1);
+      if (r + 1 < 3) grid.add_edge(3 * r + c, 3 * (r + 1) + c);
+    }
+  }
+  EXPECT_FALSE(treewidth_at_most_2(grid));
+  // K_{3,3} has treewidth 3.
+  QueryGraph k33(6);
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 3; b < 6; ++b) k33.add_edge(a, b);
+  }
+  EXPECT_FALSE(treewidth_at_most_2(k33));
+  // K_{2,3} has treewidth 2.
+  QueryGraph k23(5);
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 2; b < 5; ++b) k23.add_edge(a, b);
+  }
+  EXPECT_TRUE(treewidth_at_most_2(k23));
+}
+
+TEST(Treewidth, ValidateQueryThrowsProperly) {
+  QueryGraph k4(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}});
+  EXPECT_THROW(validate_query(k4), UnsupportedQuery);
+  QueryGraph disconnected(4, {{0, 1}, {2, 3}});
+  EXPECT_THROW(validate_query(disconnected), UnsupportedQuery);
+  EXPECT_NO_THROW(validate_query(q_satellite()));
+}
+
+TEST(Automorphisms, KnownGroups) {
+  EXPECT_EQ(count_automorphisms(q_cycle(5)), 10u);   // dihedral D5
+  EXPECT_EQ(count_automorphisms(q_cycle(6)), 12u);
+  EXPECT_EQ(count_automorphisms(q_path(4)), 2u);
+  EXPECT_EQ(count_automorphisms(q_star(4)), 24u);    // 4! leaf permutations
+  EXPECT_EQ(count_automorphisms(q_cycle(3)), 6u);
+  EXPECT_EQ(count_automorphisms(q_glet1()), 8u);     // C4
+  EXPECT_EQ(count_automorphisms(q_glet2()), 4u);     // diamond
+  EXPECT_EQ(count_automorphisms(q_wiki()), 8u);      // bowtie: 2*2*2
+  // K4: full symmetric group.
+  QueryGraph k4(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}});
+  EXPECT_EQ(count_automorphisms(k4), 24u);
+}
+
+TEST(Automorphisms, AsymmetricQuery) {
+  // youtube (triangle + 2-tail) has no nontrivial automorphism except the
+  // triangle swap: check the exact value.
+  EXPECT_EQ(count_automorphisms(q_youtube()), 2u);
+}
+
+TEST(Catalog, SizesMatchDesign) {
+  EXPECT_EQ(q_dros().num_nodes(), 6);
+  EXPECT_EQ(q_ecoli1().num_nodes(), 6);
+  EXPECT_EQ(q_ecoli2().num_nodes(), 7);
+  EXPECT_EQ(q_brain1().num_nodes(), 8);
+  EXPECT_EQ(q_brain2().num_nodes(), 9);
+  EXPECT_EQ(q_brain3().num_nodes(), 10);
+  EXPECT_EQ(q_glet1().num_nodes(), 4);
+  EXPECT_EQ(q_glet2().num_nodes(), 4);
+  EXPECT_EQ(q_wiki().num_nodes(), 5);
+  EXPECT_EQ(q_youtube().num_nodes(), 5);
+  EXPECT_EQ(q_satellite().num_nodes(), 11);
+}
+
+TEST(Catalog, Figure8QueriesAllValid) {
+  const auto queries = figure8_queries();
+  ASSERT_EQ(queries.size(), 10u);
+  for (const QueryGraph& q : queries) {
+    EXPECT_TRUE(q.connected()) << q.name();
+    EXPECT_TRUE(treewidth_at_most_2(q)) << q.name();
+  }
+}
+
+TEST(Catalog, NamedQueryParsesFamilies) {
+  EXPECT_EQ(named_query("cycle7").num_nodes(), 7);
+  EXPECT_EQ(named_query("path5").num_edges(), 4);
+  EXPECT_EQ(named_query("star6").num_nodes(), 7);
+  EXPECT_EQ(named_query("binary_tree12").num_nodes(), 12);
+  EXPECT_THROW(named_query("cycleX"), UnsupportedQuery);
+  EXPECT_THROW(named_query("bogus"), UnsupportedQuery);
+}
+
+TEST(Catalog, AllCatalogNamesResolve) {
+  for (const std::string& name : catalog_names()) {
+    EXPECT_NO_THROW(named_query(name)) << name;
+  }
+}
+
+TEST(Catalog, SatelliteMatchesFigure2Description) {
+  const QueryGraph q = q_satellite();
+  // 5-cycle a..e, path a-f-g-c, leaf f-h, triangle i-j-k, i-f, i-g.
+  EXPECT_EQ(q.num_edges(), 14);
+  EXPECT_TRUE(q.has_edge(0, 1));   // a-b on the 5-cycle
+  EXPECT_TRUE(q.has_edge(5, 7));   // leaf edge f-h
+  EXPECT_TRUE(q.has_edge(8, 9));   // triangle i-j
+  EXPECT_TRUE(q.has_edge(8, 5));   // i-f
+  EXPECT_TRUE(q.has_edge(8, 6));   // i-g
+  EXPECT_EQ(q.degree(7), 1);       // h is a leaf
+}
+
+class RandomTw2Sweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomTw2Sweep, GeneratesValidQueries) {
+  RandomTw2Options opts;
+  opts.target_nodes = 4 + (GetParam() % 12);
+  const QueryGraph q = random_tw2_query(opts, GetParam());
+  EXPECT_EQ(q.num_nodes(), opts.target_nodes);
+  EXPECT_TRUE(q.connected());
+  EXPECT_TRUE(treewidth_at_most_2(q));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTw2Sweep, ::testing::Range(0, 60));
+
+}  // namespace
+}  // namespace ccbt

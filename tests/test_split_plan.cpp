@@ -1,0 +1,127 @@
+// Unit tests for the shared cycle-split planner (split_plan.hpp): the
+// geometry both engines rely on.
+
+#include <gtest/gtest.h>
+
+#include "ccbt/engine/split_plan.hpp"
+#include "ccbt/util/error.hpp"
+
+namespace ccbt {
+namespace {
+
+/// A bare cycle block of length L with boundary node positions `bp`.
+Block cycle_block(int length, std::vector<int> bp) {
+  Block b;
+  b.kind = BlockKind::kCycle;
+  for (int i = 0; i < length; ++i) b.nodes.push_back(static_cast<QNode>(i));
+  b.boundary_pos = std::move(bp);
+  b.node_child.assign(length, -1);
+  b.edge_child.assign(length, -1);
+  b.edge_child_flip.assign(length, false);
+  return b;
+}
+
+TEST(SplitPlan, WalksCoverTheWholeCycleExactlyOnce) {
+  for (int L : {3, 4, 5, 6, 7, 8}) {
+    const Block b = cycle_block(L, {0, 1});
+    for (int s = 0; s < L; ++s) {
+      for (int e = 0; e < L; ++e) {
+        if (e == s) continue;
+        const SplitPlan plan = make_split(b, s, e, false);
+        // Both walks start at s and end at e.
+        EXPECT_EQ(plan.plus.positions.front(), s);
+        EXPECT_EQ(plan.plus.positions.back(), e);
+        EXPECT_EQ(plan.minus.positions.front(), s);
+        EXPECT_EQ(plan.minus.positions.back(), e);
+        // Interior positions partition the rest of the cycle.
+        std::vector<int> seen(L, 0);
+        for (int p : plan.plus.positions) ++seen[p];
+        for (int p : plan.minus.positions) ++seen[p];
+        for (int p = 0; p < L; ++p) {
+          EXPECT_EQ(seen[p], (p == s || p == e) ? 2 : 1)
+              << "L=" << L << " s=" << s << " e=" << e << " p=" << p;
+        }
+        // Each walk crosses one edge per step; together all L edges.
+        EXPECT_EQ(plan.plus.edge_index.size() + plan.minus.edge_index.size(),
+                  static_cast<std::size_t>(L));
+      }
+    }
+  }
+}
+
+TEST(SplitPlan, AnnotationOwnershipIsExclusive) {
+  const Block b = cycle_block(5, {0, 2});
+  const SplitPlan plan = make_split(b, 1, 3, true);
+  // P+ owns the end's node annotation, P- the anchor's: never both.
+  EXPECT_TRUE(plan.plus.include_end_annot);
+  EXPECT_FALSE(plan.plus.include_start_annot);
+  EXPECT_TRUE(plan.minus.include_start_annot);
+  EXPECT_FALSE(plan.minus.include_end_annot);
+}
+
+TEST(SplitPlan, BoundaryAtAnchorAndEndMapToPrimarySlots) {
+  const Block b = cycle_block(6, {1, 4});
+  const SplitPlan plan = make_split(b, 1, 4, false);
+  EXPECT_EQ(plan.merge.out_arity, 2);
+  EXPECT_EQ(plan.merge.out[0].side, 0);
+  EXPECT_EQ(plan.merge.out[0].slot, 0);  // boundary 1 == anchor
+  EXPECT_EQ(plan.merge.out[1].side, 0);
+  EXPECT_EQ(plan.merge.out[1].slot, 1);  // boundary 4 == end
+}
+
+TEST(SplitPlan, InteriorBoundariesGetTrackedSlots) {
+  // Split a 6-cycle with boundaries {0, 3} at (1, 4): both boundaries
+  // fall inside the walks and must be tracked in slots >= 2.
+  const Block b = cycle_block(6, {0, 3});
+  const SplitPlan plan = make_split(b, 1, 4, true);
+  for (int bi = 0; bi < 2; ++bi) {
+    EXPECT_GE(plan.merge.out[bi].slot, 2) << bi;
+  }
+  // The tracked positions really are the boundary positions.
+  auto tracked = [](const PathSpec& spec, int pos) {
+    for (std::size_t i = 0; i < spec.positions.size(); ++i) {
+      if (spec.positions[i] == pos && spec.track_slot_at[i] >= 2) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(tracked(plan.plus, 0) || tracked(plan.minus, 0));
+  EXPECT_TRUE(tracked(plan.plus, 3) || tracked(plan.minus, 3));
+}
+
+TEST(SplitPlan, DbEnumeratesEveryAnchor) {
+  const Block b = cycle_block(7, {0});
+  EXPECT_EQ(splits_for(b, Algo::kDB).size(), 7u);
+  EXPECT_EQ(splits_for(b, Algo::kPS).size(), 1u);
+  EXPECT_EQ(splits_for(b, Algo::kPSEven).size(), 1u);
+  for (const SplitPlan& p : splits_for(b, Algo::kDB)) {
+    EXPECT_TRUE(p.plus.anchor_higher);
+    EXPECT_TRUE(p.minus.anchor_higher);
+  }
+}
+
+TEST(SplitPlan, PsSplitsAtBoundaries) {
+  const Block b = cycle_block(8, {2, 5});
+  const auto splits = splits_for(b, Algo::kPS);
+  ASSERT_EQ(splits.size(), 1u);
+  EXPECT_EQ(splits[0].plus.positions.front(), 2);
+  EXPECT_EQ(splits[0].plus.positions.back(), 5);
+  EXPECT_FALSE(splits[0].plus.anchor_higher);
+}
+
+TEST(SplitPlan, PsEvenSplitsAtDiagonal) {
+  const Block b = cycle_block(8, {2, 5});
+  const auto splits = splits_for(b, Algo::kPSEven);
+  ASSERT_EQ(splits.size(), 1u);
+  EXPECT_EQ(splits[0].plus.positions.front(), 2);
+  EXPECT_EQ(splits[0].plus.positions.back(), 6);  // 2 + 8/2
+}
+
+TEST(SplitPlan, RejectsNonCycles) {
+  Block leaf;
+  leaf.kind = BlockKind::kLeafEdge;
+  leaf.nodes = {0, 1};
+  EXPECT_THROW(splits_for(leaf, Algo::kDB), Error);
+}
+
+}  // namespace
+}  // namespace ccbt

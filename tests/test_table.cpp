@@ -1,0 +1,160 @@
+// Unit tests for signatures, table keys, the accumulation map, and the
+// sealed projection-table operations the join engine relies on.
+
+#include <gtest/gtest.h>
+
+#include "ccbt/table/accum_map.hpp"
+#include "ccbt/table/proj_table.hpp"
+#include "ccbt/table/signature.hpp"
+
+namespace ccbt {
+namespace {
+
+TableKey key2(VertexId u, VertexId v, Signature sig) {
+  TableKey k;
+  k.v[0] = u;
+  k.v[1] = v;
+  k.sig = sig;
+  return k;
+}
+
+TEST(SignatureTest, FullAndContains) {
+  EXPECT_EQ(full_signature(3), 0b111u);
+  EXPECT_EQ(signature_size(0b1011u), 3);
+  EXPECT_TRUE(signature_contains(0b100u, 2));
+  EXPECT_FALSE(signature_contains(0b100u, 1));
+}
+
+TEST(SignatureTest, NodeJoinCompatibility) {
+  // Path colors {0,1}, child colors {1,2}, joint color 1: compatible.
+  EXPECT_TRUE(node_join_compatible(0b011, 0b110, 0b010));
+  // Overlap beyond the joint color: incompatible.
+  EXPECT_FALSE(node_join_compatible(0b111, 0b110, 0b010));
+  // Child missing the joint color: incompatible.
+  EXPECT_FALSE(node_join_compatible(0b011, 0b100, 0b010));
+}
+
+TEST(SignatureTest, MergeCompatibility) {
+  // Halves sharing exactly the two endpoint colors.
+  EXPECT_TRUE(merge_compatible(0b0111, 0b1101, 0b0101));
+  EXPECT_FALSE(merge_compatible(0b0111, 0b0111, 0b0101));
+}
+
+TEST(TableKeyTest, EqualityAndHash) {
+  const TableKey a = key2(1, 2, 0b11);
+  TableKey b = key2(1, 2, 0b11);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(hash_key(a), hash_key(b));
+  b.sig = 0b101;
+  EXPECT_NE(a, b);
+  EXPECT_NE(hash_key(a), hash_key(b));  // overwhelmingly likely
+}
+
+TEST(TableKeyTest, UnusedSlotsParticipateUniformly) {
+  TableKey a = key2(1, 2, 1);
+  TableKey b = key2(1, 2, 1);
+  b.v[2] = 9;
+  EXPECT_NE(a, b);
+}
+
+TEST(AccumMapTest, AccumulatesDuplicates) {
+  AccumMap map;
+  map.add(key2(1, 2, 3), 5);
+  map.add(key2(1, 2, 3), 7);
+  map.add(key2(2, 1, 3), 1);
+  EXPECT_EQ(map.size(), 2u);
+  const auto entries = map.take_entries();
+  Count total = 0;
+  for (const auto& e : entries) total += e.cnt;
+  EXPECT_EQ(total, 13u);
+}
+
+TEST(AccumMapTest, GrowsPastInitialCapacity) {
+  AccumMap map(4);
+  for (VertexId i = 0; i < 10000; ++i) {
+    map.add(key2(i, i + 1, 1), 1);
+  }
+  EXPECT_EQ(map.size(), 10000u);
+  // All keys still reachable: re-adding does not create new entries.
+  for (VertexId i = 0; i < 10000; ++i) {
+    map.add(key2(i, i + 1, 1), 1);
+  }
+  EXPECT_EQ(map.size(), 10000u);
+}
+
+TEST(ProjTableTest, TotalSumsCounts) {
+  AccumMap map;
+  map.add(key2(1, 2, 1), 10);
+  map.add(key2(3, 4, 2), 32);
+  const ProjTable t = ProjTable::from_map(2, std::move(map));
+  EXPECT_EQ(t.total(), 42u);
+  EXPECT_EQ(t.arity(), 2);
+}
+
+TEST(ProjTableTest, SealByV0GroupsCorrectly) {
+  AccumMap map;
+  map.add(key2(5, 1, 1), 1);
+  map.add(key2(3, 2, 1), 2);
+  map.add(key2(5, 9, 2), 3);
+  ProjTable t = ProjTable::from_map(2, std::move(map));
+  t.seal(SortOrder::kByV0);
+  const auto g5 = t.group(0, 5);
+  EXPECT_EQ(g5.size(), 2u);
+  const auto g3 = t.group(0, 3);
+  EXPECT_EQ(g3.size(), 1u);
+  EXPECT_TRUE(t.group(0, 4).empty());
+}
+
+TEST(ProjTableTest, SealByV1GroupsByFrontier) {
+  AccumMap map;
+  map.add(key2(1, 7, 1), 1);
+  map.add(key2(2, 7, 1), 2);
+  map.add(key2(3, 8, 1), 3);
+  ProjTable t = ProjTable::from_map(2, std::move(map));
+  t.seal(SortOrder::kByV1);
+  EXPECT_EQ(t.group(1, 7).size(), 2u);
+  EXPECT_EQ(t.group(1, 8).size(), 1u);
+}
+
+TEST(ProjTableTest, TransposeSwapsBoundaryOrder) {
+  AccumMap map;
+  map.add(key2(1, 2, 1), 4);
+  ProjTable t = ProjTable::from_map(2, std::move(map));
+  const ProjTable tt = t.transposed();
+  ASSERT_EQ(tt.size(), 1u);
+  EXPECT_EQ(tt.entries()[0].key.v[0], 2u);
+  EXPECT_EQ(tt.entries()[0].key.v[1], 1u);
+  EXPECT_EQ(tt.entries()[0].cnt, 4u);
+}
+
+TEST(ProjTableTest, AggregateSumsOutSlots) {
+  AccumMap map;
+  map.add(key2(1, 2, 1), 4);
+  map.add(key2(1, 3, 1), 6);
+  map.add(key2(2, 9, 1), 1);
+  ProjTable t = ProjTable::from_map(2, std::move(map));
+  ProjTable u = t.aggregated(1);
+  EXPECT_EQ(u.arity(), 1);
+  EXPECT_EQ(u.size(), 2u);  // keys 1 and 2
+  u.seal(SortOrder::kByV0);
+  EXPECT_EQ(u.group(0, 1)[0].cnt, 10u);
+}
+
+TEST(ProjTableTest, AggregateKeepsSignaturesSeparate) {
+  AccumMap map;
+  map.add(key2(1, 2, 0b01), 4);
+  map.add(key2(1, 3, 0b10), 6);
+  ProjTable t = ProjTable::from_map(2, std::move(map));
+  const ProjTable u = t.aggregated(1);
+  EXPECT_EQ(u.size(), 2u);  // same vertex, different signatures
+}
+
+TEST(ProjTableTest, EmptyTableBehaves) {
+  ProjTable t(2);
+  t.seal(SortOrder::kByV0);
+  EXPECT_TRUE(t.group(0, 0).empty());
+  EXPECT_EQ(t.total(), 0u);
+}
+
+}  // namespace
+}  // namespace ccbt

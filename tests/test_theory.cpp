@@ -1,0 +1,196 @@
+// Section 9/10 theory toolkit: bound calculators, the Hölder relation
+// between them, balancedness of power-law sequences, and the empirical
+// path censuses X(q), Y(q).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ccbt/graph/generators.hpp"
+#include "ccbt/theory/bounds.hpp"
+#include "ccbt/theory/path_census.hpp"
+#include "ccbt/util/error.hpp"
+
+namespace ccbt {
+namespace {
+
+// ---------------------------------------------------------------------
+// Moments and bounds.
+
+TEST(TheoryBounds, MomentsOfConstantSequence) {
+  const std::vector<double> d(100, 4.0);
+  EXPECT_DOUBLE_EQ(seq_moment(d, 1.0), 400.0);
+  EXPECT_DOUBLE_EQ(seq_moment(d, 2.0), 1600.0);
+  EXPECT_DOUBLE_EQ(seq_edges(d), 200.0);
+}
+
+TEST(TheoryBounds, YLowerBoundTriangle) {
+  // q=3: E[Y(3)] >= (1/3) * (Σ d^2)  (the (2m)^0 term drops out).
+  const std::vector<double> d{2.0, 2.0, 2.0, 2.0};
+  EXPECT_NEAR(y_lower_bound(d, 3), (1.0 / 3.0) * 16.0, 1e-12);
+}
+
+TEST(TheoryBounds, XUpperBoundTriangle) {
+  // q=3: E[X(3)] <= (2m)^{-1} (Σ d^{3/2})^2.
+  const std::vector<double> d{4.0, 4.0};
+  const double two_m = 8.0;
+  const double s = 2.0 * std::pow(4.0, 1.5);
+  EXPECT_NEAR(x_upper_bound(d, 3), s * s / two_m, 1e-12);
+}
+
+TEST(TheoryBounds, RejectsSmallQ) {
+  const std::vector<double> d{1.0, 1.0};
+  EXPECT_THROW(y_lower_bound(d, 2), Error);
+  EXPECT_THROW(x_upper_bound(d, 2), Error);
+}
+
+TEST(TheoryBounds, HolderRelationXAtMostQTimesY) {
+  // Claim 9.2 / Lemma 9.7: the X bound never exceeds q times the Y bound,
+  // for any degree sequence.
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const std::vector<double> d =
+        truncated_power_law_degrees(1 << 12, 1.2 + 0.15 * seed);
+    for (int q : {3, 4, 5}) {
+      EXPECT_LE(x_upper_bound(d, q), q * y_lower_bound(d, q) * (1 + 1e-9))
+          << "seed=" << seed << " q=" << q;
+    }
+  }
+}
+
+TEST(TheoryBounds, PowerLawGapGrowsWithN) {
+  // Lemma 9.8: under a truncated power law the Y/X bound ratio grows
+  // polynomially in n.
+  const double alpha = 1.5;
+  const int q = 4;
+  const std::vector<double> d1 = truncated_power_law_degrees(1 << 10, alpha);
+  const std::vector<double> d2 = truncated_power_law_degrees(1 << 16, alpha);
+  const double ratio1 = y_lower_bound(d1, q) / x_upper_bound(d1, q);
+  const double ratio2 = y_lower_bound(d2, q) / x_upper_bound(d2, q);
+  EXPECT_GT(ratio2, ratio1);
+}
+
+TEST(TheoryBounds, BalancednessBasics) {
+  const std::vector<double> uniform(1000, 3.0);
+  // Uniform sequences: λ(1,1) = Σd²/(Σd)² = 1/n.
+  EXPECT_NEAR(balancedness_lambda(uniform, 1, 1), 1.0 / 1000.0, 1e-12);
+  EXPECT_THROW(balancedness_lambda(uniform, 0, 1), Error);
+}
+
+TEST(TheoryBounds, PowerLawSequenceIsBalanced) {
+  // Claim 10.1, case by case: the proof gives λ(1,1) = Θ(n^{-α/2}),
+  // λ(1,b≥2) = Θ(n^{-1/2}) and λ(a,b≥2) = Θ(n^{α/2-1}); all are within
+  // the claimed O(n^{α/2-1}) envelope. Check the measured decay exponent
+  // of each case between two sizes.
+  const double alpha = 1.5;
+  const std::vector<double> d1 = truncated_power_law_degrees(1 << 10, alpha);
+  const std::vector<double> d2 = truncated_power_law_degrees(1 << 16, alpha);
+  const double log_n_ratio = std::log(static_cast<double>(1 << 16) /
+                                      static_cast<double>(1 << 10));
+  auto decay = [&](int a, int b) {
+    const double l1 = balancedness_lambda(d1, a, b);
+    const double l2 = balancedness_lambda(d2, a, b);
+    EXPECT_LT(l2, l1) << "lambda(" << a << "," << b << ") must shrink";
+    return std::log(l1 / l2) / log_n_ratio;
+  };
+  EXPECT_NEAR(decay(1, 1), alpha / 2.0, 0.15);        // case 3
+  EXPECT_NEAR(decay(1, 2), 0.5, 0.15);                // case 2
+  EXPECT_NEAR(decay(2, 2), 1.0 - alpha / 2.0, 0.15);  // case 1
+}
+
+TEST(TheoryBounds, DominantPathLength) {
+  EXPECT_EQ(dominant_path_length(3), 2);
+  EXPECT_EQ(dominant_path_length(4), 2);
+  EXPECT_EQ(dominant_path_length(5), 3);
+  EXPECT_EQ(dominant_path_length(8), 4);
+  EXPECT_EQ(dominant_path_length(9), 5);
+}
+
+TEST(TheoryBounds, ImprovementExponentPositive) {
+  for (double alpha : {1.1, 1.5, 1.9}) {
+    for (int q : {3, 4, 5}) {
+      EXPECT_GT(predicted_improvement_exponent(alpha, q), 0.0)
+          << alpha << " " << q;
+    }
+  }
+  EXPECT_THROW(predicted_improvement_exponent(2.5, 3), Error);
+}
+
+// ---------------------------------------------------------------------
+// Empirical censuses.
+
+/// Brute-force anchored path count on a tiny graph.
+std::uint64_t brute_paths(const CsrGraph& g, const DegreeOrder& order,
+                          int q) {
+  std::uint64_t count = 0;
+  std::vector<VertexId> path;
+  std::vector<bool> used(g.num_vertices(), false);
+  auto dfs = [&](auto&& self, VertexId v) -> void {
+    if (static_cast<int>(path.size()) == q) {
+      ++count;
+      return;
+    }
+    for (VertexId w : g.neighbors(v)) {
+      if (used[w] || !order.higher(path[0], w)) continue;
+      used[w] = true;
+      path.push_back(w);
+      self(self, w);
+      path.pop_back();
+      used[w] = false;
+    }
+  };
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    used[u] = true;
+    path.push_back(u);
+    dfs(dfs, u);
+    path.pop_back();
+    used[u] = false;
+  }
+  return count;
+}
+
+TEST(PathCensus, MatchesBruteForceOnSmallGraphs) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const CsrGraph g = erdos_renyi(18, 45, seed);
+    const DegreeOrder order(g);
+    for (int q : {2, 3, 4}) {
+      EXPECT_EQ(count_anchored_paths(g, order, q), brute_paths(g, order, q))
+          << "seed=" << seed << " q=" << q;
+    }
+  }
+}
+
+TEST(PathCensus, EdgeCountForQ2) {
+  // q=2 anchored paths = ordered adjacent pairs with u1 higher = exactly
+  // one orientation per edge = m.
+  const CsrGraph g = erdos_renyi(30, 80, 5);
+  EXPECT_EQ(census_x(g, 2), g.num_edges());
+  EXPECT_EQ(census_y(g, 2), g.num_edges());
+}
+
+TEST(PathCensus, RejectsDegenerateLength) {
+  const CsrGraph g = erdos_renyi(5, 6, 6);
+  EXPECT_THROW(count_anchored_paths(g, DegreeOrder(g), 1), Error);
+}
+
+TEST(PathCensus, DegreeAnchoringBeatsIdAnchoringOnPowerLaw) {
+  // The heart of Section 9: on heavy-tailed graphs, far fewer paths are
+  // degree-dominated by their anchor than id-dominated.
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const CsrGraph g = chung_lu_power_law(1500, 1.5, 6.0, seed);
+    for (int q : {3, 4}) {
+      EXPECT_LT(census_x(g, q), census_y(g, q))
+          << "seed=" << seed << " q=" << q;
+    }
+  }
+}
+
+TEST(PathCensus, CensusGrowsWithPathLength) {
+  // Remark 9.2: both quantities are monotone in q (on graphs dense
+  // enough to host the longer paths).
+  const CsrGraph g = chung_lu_power_law(500, 1.5, 8.0, 9);
+  EXPECT_LE(census_x(g, 3), census_x(g, 4));
+  EXPECT_LE(census_y(g, 3), census_y(g, 4));
+}
+
+}  // namespace
+}  // namespace ccbt

@@ -1,0 +1,103 @@
+// Tests for explicit width-2 tree decompositions: the constructed object
+// must satisfy the two defining properties of Section 2 on every
+// supported query, and the validity checker must reject broken inputs.
+
+#include <gtest/gtest.h>
+
+#include "ccbt/query/catalog.hpp"
+#include "ccbt/query/random_tw2.hpp"
+#include "ccbt/query/tree_decomposition.hpp"
+#include "ccbt/util/error.hpp"
+
+namespace ccbt {
+namespace {
+
+TEST(TreeDecomposition, TriangleSingleBag) {
+  const TreeDecomposition td = tree_decomposition_w2(q_cycle(3));
+  EXPECT_TRUE(valid_tree_decomposition(td, q_cycle(3)));
+  EXPECT_EQ(td.width(), 2);
+}
+
+TEST(TreeDecomposition, PathHasWidthOne) {
+  const QueryGraph q = q_path(6);
+  const TreeDecomposition td = tree_decomposition_w2(q);
+  EXPECT_TRUE(valid_tree_decomposition(td, q));
+  EXPECT_EQ(td.width(), 1);
+}
+
+TEST(TreeDecomposition, StarHasWidthOne) {
+  const QueryGraph q = q_star(7);
+  const TreeDecomposition td = tree_decomposition_w2(q);
+  EXPECT_TRUE(valid_tree_decomposition(td, q));
+  EXPECT_EQ(td.width(), 1);
+}
+
+TEST(TreeDecomposition, CyclesHaveWidthTwo) {
+  for (int len : {4, 5, 8, 12}) {
+    const QueryGraph q = q_cycle(len);
+    const TreeDecomposition td = tree_decomposition_w2(q);
+    EXPECT_TRUE(valid_tree_decomposition(td, q)) << len;
+    EXPECT_EQ(td.width(), 2) << len;
+  }
+}
+
+TEST(TreeDecomposition, AllCatalogQueriesValid) {
+  for (const std::string& name : catalog_names()) {
+    const QueryGraph q = named_query(name);
+    const TreeDecomposition td = tree_decomposition_w2(q);
+    EXPECT_TRUE(valid_tree_decomposition(td, q)) << name;
+    EXPECT_LE(td.width(), 2) << name;
+  }
+}
+
+TEST(TreeDecomposition, RejectsK4) {
+  QueryGraph k4(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}});
+  EXPECT_THROW(tree_decomposition_w2(k4), UnsupportedQuery);
+}
+
+TEST(TreeDecomposition, RejectsDisconnected) {
+  QueryGraph dis(4, {{0, 1}, {2, 3}});
+  EXPECT_THROW(tree_decomposition_w2(dis), UnsupportedQuery);
+}
+
+TEST(TreeDecompositionChecker, CatchesMissingEdgeCoverage) {
+  TreeDecomposition td;
+  td.bags = {0b011, 0b110};  // bags {0,1}, {1,2}
+  td.edges = {{0, 1}};
+  // Query with edge (0,2) not inside any bag.
+  QueryGraph q(3, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_FALSE(valid_tree_decomposition(td, q));
+}
+
+TEST(TreeDecompositionChecker, CatchesDisconnectedOccupancy) {
+  TreeDecomposition td;
+  td.bags = {0b011, 0b110, 0b101};  // node 0 in pieces 0 and 2, not 1
+  td.edges = {{0, 1}, {1, 2}};
+  QueryGraph q(3, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_FALSE(valid_tree_decomposition(td, q));
+}
+
+TEST(TreeDecompositionChecker, CatchesNonTree) {
+  TreeDecomposition td;
+  td.bags = {0b111, 0b111};
+  td.edges = {};  // two pieces, no edge: forest, not a tree
+  QueryGraph q(3, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_FALSE(valid_tree_decomposition(td, q));
+}
+
+class TreeDecompositionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreeDecompositionSweep, RandomQueriesDecompose) {
+  RandomTw2Options opts;
+  opts.target_nodes = 4 + (GetParam() % 12);
+  const QueryGraph q = random_tw2_query(opts, 5000 + GetParam());
+  const TreeDecomposition td = tree_decomposition_w2(q);
+  EXPECT_TRUE(valid_tree_decomposition(td, q));
+  EXPECT_LE(td.width(), 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeDecompositionSweep,
+                         ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace ccbt

@@ -1,0 +1,155 @@
+// Tree-query color-coding DP: agreement with the exact oracle and the
+// general treewidth-2 engine on every tree query, rejection of non-trees,
+// and the linear-table-size property that motivates the paper.
+
+#include <gtest/gtest.h>
+
+#include "ccbt/core/color_coding.hpp"
+#include "ccbt/core/exact.hpp"
+#include "ccbt/graph/generators.hpp"
+#include "ccbt/query/catalog.hpp"
+#include "ccbt/query/treewidth.hpp"
+#include "ccbt/tree/tree_dp.hpp"
+#include "ccbt/util/error.hpp"
+
+namespace ccbt {
+namespace {
+
+void expect_tree_dp_matches_oracle(const CsrGraph& g, const QueryGraph& q,
+                                   std::uint64_t color_seed) {
+  const Coloring chi(g.num_vertices(), q.num_nodes(), color_seed);
+  EXPECT_EQ(count_colorful_tree(g, q, chi), count_colorful_exact(g, q, chi))
+      << q.name() << " k=" << q.num_nodes() << " seed=" << color_seed;
+}
+
+TEST(TreeDp, SingleNode) {
+  const CsrGraph g = erdos_renyi(25, 40, 1);
+  const Coloring chi(g.num_vertices(), 1, 2);
+  EXPECT_EQ(count_colorful_tree(g, QueryGraph(1, "v"), chi), 25u);
+}
+
+TEST(TreeDp, SingleEdge) {
+  expect_tree_dp_matches_oracle(erdos_renyi(20, 45, 2), q_path(2), 3);
+}
+
+TEST(TreeDp, Paths) {
+  const CsrGraph g = erdos_renyi(24, 55, 3);
+  for (int len : {3, 4, 5, 6, 7}) {
+    expect_tree_dp_matches_oracle(g, q_path(len), 10 + len);
+  }
+}
+
+TEST(TreeDp, Stars) {
+  const CsrGraph g = erdos_renyi(22, 60, 4);
+  for (int leaves : {2, 3, 4, 5}) {
+    expect_tree_dp_matches_oracle(g, q_star(leaves), 20 + leaves);
+  }
+}
+
+TEST(TreeDp, CompleteBinaryTrees) {
+  const CsrGraph g = erdos_renyi(26, 60, 5);
+  expect_tree_dp_matches_oracle(g, q_complete_binary_tree(7), 31);
+}
+
+TEST(TreeDp, RandomTreesMatchOracle) {
+  const CsrGraph g = erdos_renyi(22, 50, 6);
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const QueryGraph q = random_tree_query(3 + static_cast<int>(seed), seed);
+    expect_tree_dp_matches_oracle(g, q, 40 + seed);
+  }
+}
+
+TEST(TreeDp, AgreesWithGeneralEngineOnTrees) {
+  const CsrGraph g = chung_lu_power_law(120, 1.6, 4.0, 7);
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const QueryGraph q = random_tree_query(6, 100 + seed);
+    const Coloring chi(g.num_vertices(), q.num_nodes(), 60 + seed);
+    const Count engine = count_colorful_matches(g, q, chi);
+    EXPECT_EQ(count_colorful_tree(g, q, chi), engine) << "seed=" << seed;
+  }
+}
+
+TEST(TreeDp, TwelveNodeBinaryTreeAgainstEngine) {
+  // The Section 8.2 contrast query: too large for the brute oracle, so
+  // validate against the general engine instead.
+  const CsrGraph g = erdos_renyi(40, 80, 8);
+  const QueryGraph q = q_complete_binary_tree(12);
+  const Coloring chi(g.num_vertices(), q.num_nodes(), 70);
+  EXPECT_EQ(count_colorful_tree(g, q, chi),
+            count_colorful_matches(g, q, chi));
+}
+
+TEST(TreeDp, RejectsCyclicQueries) {
+  const CsrGraph g = erdos_renyi(10, 20, 9);
+  const Coloring chi(g.num_vertices(), 3, 80);
+  EXPECT_THROW(count_colorful_tree(g, q_cycle(3), chi), UnsupportedQuery);
+}
+
+TEST(TreeDp, RejectsDisconnectedQueries) {
+  const CsrGraph g = erdos_renyi(10, 20, 10);
+  QueryGraph q(4, "two_edges");
+  q.add_edge(0, 1);
+  q.add_edge(2, 3);
+  const Coloring chi(g.num_vertices(), 4, 81);
+  EXPECT_THROW(count_colorful_tree(g, q, chi), UnsupportedQuery);
+}
+
+TEST(TreeDp, RejectsColoringMismatch) {
+  const CsrGraph g = erdos_renyi(10, 20, 11);
+  const Coloring chi(g.num_vertices(), 5, 82);  // wrong k
+  EXPECT_THROW(count_colorful_tree(g, q_path(3), chi), Error);
+}
+
+TEST(TreeDp, ZeroWhenGraphTooSparse) {
+  // A star with 5 leaves cannot match a graph of max degree 2.
+  const CsrGraph g = grid2d(1, 10, 0, 12);
+  const QueryGraph q = q_star(5);
+  const Coloring chi(g.num_vertices(), q.num_nodes(), 83);
+  EXPECT_EQ(count_colorful_tree(g, q, chi), 0u);
+}
+
+TEST(TreeDp, PeakEntriesLinearInGraphSize) {
+  // The treewidth-1 advantage: the DP's peak table size is O(2^k n), not
+  // quadratic. Doubling the graph should at most ~double peak entries.
+  const QueryGraph q = q_path(4);
+  const CsrGraph g1 = erdos_renyi(200, 600, 13);
+  const CsrGraph g2 = erdos_renyi(400, 1200, 14);
+  const Coloring chi1(g1.num_vertices(), 4, 84);
+  const Coloring chi2(g2.num_vertices(), 4, 85);
+  const TreeDpStats s1 = count_colorful_tree_stats(g1, q, chi1);
+  const TreeDpStats s2 = count_colorful_tree_stats(g2, q, chi2);
+  EXPECT_GT(s1.peak_entries, 0u);
+  EXPECT_LT(s2.peak_entries, 3 * s1.peak_entries);
+}
+
+TEST(TreeDp, ThreadedAndSerialAgree) {
+  const CsrGraph g = chung_lu_power_law(150, 1.5, 5.0, 15);
+  const QueryGraph q = random_tree_query(7, 7);
+  const Coloring chi(g.num_vertices(), q.num_nodes(), 86);
+  EXPECT_EQ(count_colorful_tree_stats(g, q, chi, true).colorful,
+            count_colorful_tree_stats(g, q, chi, false).colorful);
+}
+
+TEST(TreeDp, RandomTreeQueryIsAlwaysATree) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const int nodes = 1 + static_cast<int>(seed % kMaxQueryNodes);
+    const QueryGraph q = random_tree_query(nodes, seed);
+    EXPECT_EQ(q.num_nodes(), nodes);
+    if (nodes > 1) {
+      EXPECT_TRUE(q.connected()) << "seed=" << seed;
+      EXPECT_EQ(q.num_edges(), nodes - 1) << "seed=" << seed;
+      EXPECT_EQ(treewidth_at_most_2(q) ? 1 : 0, 1) << "seed=" << seed;
+    }
+  }
+}
+
+TEST(TreeDp, RandomTreeQueriesVaryWithSeed) {
+  const QueryGraph a = random_tree_query(10, 1);
+  const QueryGraph b = random_tree_query(10, 2);
+  // Not a hard guarantee, but with 10 nodes the chance of an identical
+  // edge set from different seeds is negligible.
+  EXPECT_NE(a.edge_pairs(), b.edge_pairs());
+}
+
+}  // namespace
+}  // namespace ccbt

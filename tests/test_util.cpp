@@ -1,0 +1,129 @@
+// Unit tests for the utility layer: RNG determinism, statistics helpers,
+// and the text-table printer used by every bench binary.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "ccbt/util/rng.hpp"
+#include "ccbt/util/stats.hpp"
+#include "ccbt/util/text_table.hpp"
+#include "ccbt/util/timer.hpp"
+
+namespace ccbt {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(11);
+  std::vector<int> buckets(8, 0);
+  const int samples = 80000;
+  for (int i = 0; i < samples; ++i) ++buckets[rng.below(8)];
+  for (int b : buckets) {
+    EXPECT_NEAR(b, samples / 8, samples / 80);  // within 10%
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng base(3);
+  Rng c1 = base.fork(1);
+  Rng c2 = base.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (c1() == c2());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Stats, SummaryBasics) {
+  const Summary s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.variance, 5.0 / 3.0, 1e-12);
+  EXPECT_NEAR(s.cv(), std::sqrt(5.0 / 3.0) / 2.5, 1e-12);
+}
+
+TEST(Stats, EmptyAndSingleton) {
+  EXPECT_EQ(summarize({}).n, 0u);
+  const Summary s = summarize({5.0});
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.variance, 0.0);
+}
+
+TEST(Stats, GeometricMean) {
+  EXPECT_NEAR(geometric_mean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(geometric_mean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Stats, LogLogSlopeRecoversExponent) {
+  // y = 3 x^2.5 -> slope 2.5.
+  std::vector<double> x, y;
+  for (double v : {10.0, 20.0, 40.0, 80.0}) {
+    x.push_back(v);
+    y.push_back(3.0 * std::pow(v, 2.5));
+  }
+  EXPECT_NEAR(loglog_slope(x, y), 2.5, 1e-9);
+}
+
+TEST(TextTable, AlignsAndSeparates) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, NumberFormatting) {
+  EXPECT_EQ(TextTable::num(1.234, 2), "1.23");
+  EXPECT_EQ(TextTable::num(std::uint64_t{42}), "42");
+}
+
+TEST(Timer, MeasuresNonNegativeTime) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 10000; ++i) sink += i;
+  EXPECT_GE(t.seconds(), 0.0);
+  EXPECT_GE(t.millis(), t.seconds());
+}
+
+}  // namespace
+}  // namespace ccbt
