@@ -1,0 +1,76 @@
+#pragma once
+// VirtualComm: a single-process stand-in for the paper's MPI transport
+// (Section 7). Ranks exchange projection-table entries in bulk-synchronous
+// supersteps: send() queues an entry in the sender's outbox, exchange()
+// delivers every queued entry to its destination inbox and closes the
+// superstep. Delivery is deterministic — inboxes concatenate senders in
+// rank order, preserving each sender's send order — so a virtual run is
+// exactly reproducible.
+//
+// The transport keeps its own traffic accounting (CommStats), independent
+// of the engine's modeled LoadModel communication: the model sees only the
+// routing a real implementation must pay per join emission, while the
+// transport also pays for resharding and orientation supersteps.
+
+#include <cstdint>
+#include <vector>
+
+#include "ccbt/table/table_key.hpp"
+
+namespace ccbt {
+
+struct CommStats {
+  std::uint64_t supersteps = 0;
+  std::uint64_t entries_sent = 0;      // all sends, local included
+  std::uint64_t off_rank_entries = 0;  // sends with from != to
+  std::uint64_t max_step_recv = 0;     // max entries one rank received
+                                       // in one superstep
+
+  /// Wire volume of the off-rank traffic (key + count per entry).
+  std::uint64_t off_rank_bytes() const {
+    return off_rank_entries * (sizeof(TableKey) + sizeof(Count));
+  }
+};
+
+class VirtualComm {
+ public:
+  /// Throws Error when ranks == 0.
+  explicit VirtualComm(std::uint32_t ranks);
+
+  std::uint32_t num_ranks() const {
+    return static_cast<std::uint32_t>(outbox_.size());
+  }
+
+  /// Queue `e` from rank `from` to rank `to`; visible after exchange().
+  void send(std::uint32_t from, std::uint32_t to, const TableEntry& e) {
+    outbox_[from].push_back({to, e});
+    ++stats_.entries_sent;
+    if (from != to) ++stats_.off_rank_entries;
+  }
+
+  /// Deliver all queued entries (replacing previous inboxes) and close
+  /// the superstep.
+  void exchange();
+
+  /// Entries delivered to `rank` by the last exchange.
+  const std::vector<TableEntry>& inbox(std::uint32_t rank) const {
+    return inbox_[rank];
+  }
+
+  /// Sum one per-rank contribution vector (MPI_Allreduce stand-in).
+  Count allreduce_sum(const std::vector<Count>& parts) const;
+
+  const CommStats& stats() const { return stats_; }
+
+ private:
+  struct Queued {
+    std::uint32_t to;
+    TableEntry entry;
+  };
+
+  std::vector<std::vector<Queued>> outbox_;  // per sender, in send order
+  std::vector<std::vector<TableEntry>> inbox_;
+  CommStats stats_;
+};
+
+}  // namespace ccbt

@@ -1,0 +1,426 @@
+#include "ccbt/dist/dist_engine.hpp"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ccbt/engine/load_model.hpp"
+#include "ccbt/engine/path_builder.hpp"
+#include "ccbt/engine/primitives.hpp"
+#include "ccbt/engine/split_plan.hpp"
+#include "ccbt/graph/degree_order.hpp"
+#include "ccbt/table/signature.hpp"
+#include "ccbt/util/error.hpp"
+#include "ccbt/util/timer.hpp"
+
+namespace ccbt {
+
+namespace {
+
+/// Distributed execution state threaded through every primitive: the
+/// shared-memory ExecContext (whose LoadModel the primitives charge
+/// exactly as the shared engine does) plus the transport.
+struct Dx {
+  const ExecContext& cx;
+  VirtualComm& comm;
+  std::size_t budget;
+  VertexId domain;  // data-graph vertex count (bucket-index domain)
+
+  const BlockPartition& part() const { return cx.part; }
+  std::uint32_t ranks() const { return comm.num_ranks(); }
+  std::uint32_t owner(VertexId v) const { return cx.part.owner(v); }
+};
+
+/// Deliver the queued emissions and collect them into a path table:
+/// entry (.., v, ..) lives with owner(v) (home slot 1, Section 7).
+DistTable collect_path(Dx& dx, int arity) {
+  dx.comm.exchange();
+  return DistTable::collect(arity, /*home_slot=*/1, dx.comm,
+                            SortOrder::kUnsorted, dx.budget, dx.domain);
+}
+
+DistTable d_init_path_from_graph(Dx& dx, const ExtendOpts& o) {
+  const ExecContext& cx = dx.cx;
+  const CsrGraph& g = cx.g;
+  for (std::uint32_t r = 0; r < dx.ranks(); ++r) {
+    for (VertexId u = dx.part().begin(r); u < dx.part().end(r); ++u) {
+      cx.charge(u, g.degree(u));
+      for (VertexId w : g.neighbors(u)) {
+        if (o.anchor_higher && !cx.order.higher(u, w)) continue;
+        if (cx.chi.color(u) == cx.chi.color(w)) continue;
+        TableKey key;
+        key.v[0] = u;
+        key.v[1] = w;
+        if (o.track_slot >= 0) key.v[o.track_slot] = w;
+        key.sig = cx.chi.bit(u) | cx.chi.bit(w);
+        dx.comm.send(r, dx.owner(w), {key, 1});
+        cx.send(u, w, 1);
+      }
+    }
+  }
+  DistTable t = collect_path(dx, 2);
+  cx.end_phase();
+  return t;
+}
+
+DistTable d_init_path_from_child(Dx& dx, const DistTable& child,
+                                 const ExtendOpts& o) {
+  const ExecContext& cx = dx.cx;
+  for (std::uint32_t r = 0; r < dx.ranks(); ++r) {
+    for (const TableEntry& e : child.shard(r).entries()) {
+      const VertexId a = e.key.v[0];
+      const VertexId b = e.key.v[1];
+      cx.charge(b, 1);
+      if (o.anchor_higher && !cx.order.higher(a, b)) continue;
+      TableKey key;
+      key.v[0] = a;
+      key.v[1] = b;
+      if (o.track_slot >= 0) key.v[o.track_slot] = b;
+      key.sig = e.key.sig;
+      dx.comm.send(r, dx.owner(b), {key, e.cnt});
+    }
+  }
+  DistTable t = collect_path(dx, 2);
+  cx.end_phase();
+  return t;
+}
+
+DistTable d_extend_with_graph(Dx& dx, const DistTable& path,
+                              const ExtendOpts& o) {
+  const ExecContext& cx = dx.cx;
+  const CsrGraph& g = cx.g;
+  for (std::uint32_t r = 0; r < dx.ranks(); ++r) {
+    for (const TableEntry& e : path.shard(r).entries()) {
+      const VertexId v = e.key.v[1];
+      cx.charge(v, g.degree(v));
+      for (VertexId w : g.neighbors(v)) {
+        if (o.anchor_higher && !cx.order.higher(e.key.v[0], w)) continue;
+        const Signature w_bit = cx.chi.bit(w);
+        if ((e.key.sig & w_bit) != 0) continue;
+        TableKey key = e.key;
+        key.v[1] = w;
+        if (o.track_slot >= 0) key.v[o.track_slot] = w;
+        key.sig = e.key.sig | w_bit;
+        dx.comm.send(r, dx.owner(w), {key, e.cnt});
+        cx.send(v, w, 1);
+      }
+    }
+  }
+  DistTable t = collect_path(dx, path.arity());
+  cx.end_phase();
+  return t;
+}
+
+DistTable d_extend_with_child(Dx& dx, const DistTable& path,
+                              const DistTable& child, const ExtendOpts& o) {
+  const ExecContext& cx = dx.cx;
+  // Path entries with frontier v and child entries (v, w, ..) are
+  // co-located at owner(v): the EdgeJoin probe is rank-local.
+  for (std::uint32_t r = 0; r < dx.ranks(); ++r) {
+    const ProjTable& child_shard = child.shard(r);
+    for (const TableEntry& e : path.shard(r).entries()) {
+      const VertexId v = e.key.v[1];
+      const Signature v_bit = cx.chi.bit(v);
+      const auto group = child_shard.group(0, v);
+      cx.charge(v, group.size());
+      for (const TableEntry& ce : group) {
+        if (!node_join_compatible(e.key.sig, ce.key.sig, v_bit)) continue;
+        const VertexId w = ce.key.v[1];
+        if (o.anchor_higher && !cx.order.higher(e.key.v[0], w)) continue;
+        TableKey key = e.key;
+        key.v[1] = w;
+        if (o.track_slot >= 0) key.v[o.track_slot] = w;
+        key.sig = e.key.sig | ce.key.sig;
+        dx.comm.send(r, dx.owner(w), {key, e.cnt * ce.cnt});
+        cx.send(v, w, 1);
+      }
+    }
+  }
+  DistTable t = collect_path(dx, path.arity());
+  cx.end_phase();
+  return t;
+}
+
+DistTable d_node_join(Dx& dx, const DistTable& path, const DistTable& child,
+                      int slot) {
+  const ExecContext& cx = dx.cx;
+  // The unary child lives with owner(x) (home slot 0). Probing by the
+  // anchor slot needs the path rehomed there first — a transport-only
+  // superstep a real implementation pays, invisible to the load model.
+  const DistTable* src = &path;
+  DistTable rehomed;
+  if (slot == 0 && dx.ranks() > 1) {
+    rehomed = path.resharded(0, dx.comm, dx.part(), SortOrder::kUnsorted,
+                             dx.budget, dx.domain);
+    src = &rehomed;
+  }
+  for (std::uint32_t r = 0; r < dx.ranks(); ++r) {
+    const ProjTable& child_shard = child.shard(r);
+    for (const TableEntry& e : src->shard(r).entries()) {
+      const VertexId x = e.key.v[slot];
+      const Signature x_bit = cx.chi.bit(x);
+      const auto group = child_shard.group(0, x);
+      cx.charge(x, group.size());
+      for (const TableEntry& ce : group) {
+        if (!node_join_compatible(e.key.sig, ce.key.sig, x_bit)) continue;
+        TableKey key = e.key;
+        key.sig = e.key.sig | ce.key.sig;
+        dx.comm.send(r, dx.owner(key.v[1]), {key, e.cnt * ce.cnt});
+      }
+    }
+  }
+  DistTable t = collect_path(dx, path.arity());
+  cx.end_phase();
+  return t;
+}
+
+/// Merge the co-located (u, v) groups of the two half-cycle tables with
+/// the same merge_bucket kernel as the shared engine (that sharing is
+/// what keeps the load models in exact parity), routing every output to
+/// the owner of its slot-0 boundary image (the storage home of block
+/// tables); outputs of a root merge (out_arity 0) collapse to rank 0.
+/// Accumulates into the per-rank cycle sinks.
+void d_merge_halves(Dx& dx, DistTable& plus, DistTable& minus,
+                    const MergeSpec& spec, std::vector<AccumMap>& sinks) {
+  const ExecContext& cx = dx.cx;
+  plus.seal_shards(SortOrder::kByV0V1, dx.domain);
+  minus.seal_shards(SortOrder::kByV0V1, dx.domain);
+  for (std::uint32_t r = 0; r < dx.ranks(); ++r) {
+    const auto pe = plus.shard(r).entries();
+    const auto me = minus.shard(r).entries();
+    auto route = [&](const TableKey& key, Count cnt) {
+      const std::uint32_t dest = spec.out_arity >= 1 ? dx.owner(key.v[0]) : 0;
+      dx.comm.send(r, dest, {key, cnt});
+    };
+    // Two-pointer over the shard's slot-0 groups; merge_bucket handles
+    // the (u, v) subgroup join and the load charges within each.
+    std::size_t pi = 0, mi = 0;
+    while (pi < pe.size() && mi < me.size()) {
+      if (pe[pi].key.v[0] < me[mi].key.v[0]) {
+        ++pi;
+        continue;
+      }
+      if (me[mi].key.v[0] < pe[pi].key.v[0]) {
+        ++mi;
+        continue;
+      }
+      const VertexId u = pe[pi].key.v[0];
+      std::size_t pj = pi, mj = mi;
+      while (pj < pe.size() && pe[pj].key.v[0] == u) ++pj;
+      while (mj < me.size() && me[mj].key.v[0] == u) ++mj;
+      merge_bucket(cx, pe.subspan(pi, pj - pi), me.subspan(mi, mj - mi),
+                   spec, route);
+      pi = pj;
+      mi = mj;
+    }
+  }
+  dx.comm.exchange();
+  std::size_t total = 0;
+  for (std::uint32_t r = 0; r < dx.ranks(); ++r) {
+    for (const TableEntry& e : dx.comm.inbox(r)) sinks[r].add(e.key, e.cnt);
+    total += sinks[r].size();
+  }
+  if (total > dx.budget) {
+    throw BudgetExceeded("projection table exceeded " +
+                         std::to_string(dx.budget) + " entries");
+  }
+  cx.end_phase();
+}
+
+DistTable d_aggregate(Dx& dx, const DistTable& t, int new_arity) {
+  const ExecContext& cx = dx.cx;
+  for (std::uint32_t r = 0; r < dx.ranks(); ++r) {
+    for (const TableEntry& e : t.shard(r).entries()) {
+      TableKey key;
+      for (int s = 0; s < new_arity; ++s) key.v[s] = e.key.v[s];
+      key.sig = e.key.sig;
+      if (new_arity >= 1) cx.charge(key.v[0], 1);
+      const std::uint32_t dest = new_arity >= 1 ? dx.owner(key.v[0]) : 0;
+      dx.comm.send(r, dest, {key, e.cnt});
+    }
+  }
+  dx.comm.exchange();
+  DistTable out = DistTable::collect(new_arity, /*home_slot=*/0, dx.comm,
+                                     SortOrder::kUnsorted, dx.budget,
+                                     dx.domain);
+  cx.end_phase();
+  return out;
+}
+
+/// Solved child-block tables: stored home slot 0, shards sealed kByV0
+/// (the same convention as the shared TablePool), with lazily cached
+/// transposes produced by a transport superstep.
+class DistPool {
+ public:
+  DistPool(std::size_t num_blocks, VertexId domain)
+      : tables_(num_blocks),
+        transposed_(num_blocks),
+        has_transposed_(num_blocks, false),
+        domain_(domain) {}
+
+  void store(int block, DistTable table) {
+    table.seal_shards(SortOrder::kByV0, domain_);
+    tables_[block] = std::move(table);
+  }
+
+  const DistTable& get(int block) const { return tables_[block]; }
+
+  const DistTable& oriented(Dx& dx, int block, bool transposed) {
+    if (!transposed) return tables_[block];
+    if (!has_transposed_[block]) {
+      transposed_[block] = tables_[block].transposed(dx.comm, dx.part(),
+                                                     dx.budget, domain_);
+      has_transposed_[block] = true;
+    }
+    return transposed_[block];
+  }
+
+ private:
+  std::vector<DistTable> tables_;
+  std::vector<DistTable> transposed_;
+  std::vector<bool> has_transposed_;
+  VertexId domain_;
+};
+
+DistTable d_build_path(Dx& dx, const Block& blk, DistPool& pool,
+                       const PathSpec& spec) {
+  const std::size_t steps = spec.positions.size();
+  if (steps < 2) throw Error("build_path: path needs at least one edge");
+
+  ExtendOpts init_opts{spec.track_slot_at[1], spec.anchor_higher};
+  DistTable table;
+  {
+    const int e0 = spec.edge_index[0];
+    const int child = blk.edge_child[e0];
+    if (child < 0) {
+      table = d_init_path_from_graph(dx, init_opts);
+    } else {
+      const DistTable& oriented = pool.oriented(
+          dx, child, needs_transpose(blk, e0, spec.edge_forward[0]));
+      table = d_init_path_from_child(dx, oriented, init_opts);
+    }
+  }
+  if (spec.include_start_annot) {
+    const int child = blk.node_child[spec.positions[0]];
+    if (child >= 0) {
+      table = d_node_join(dx, table, pool.get(child), /*slot=*/0);
+    }
+  }
+
+  for (std::size_t s = 1; s < steps; ++s) {
+    const bool is_end = (s + 1 == steps);
+    if (!is_end || spec.include_end_annot) {
+      const int child = blk.node_child[spec.positions[s]];
+      if (child >= 0) {
+        table = d_node_join(dx, table, pool.get(child), /*slot=*/1);
+      }
+    }
+    if (is_end) break;
+    ExtendOpts opts{spec.track_slot_at[s + 1], spec.anchor_higher};
+    const int e = spec.edge_index[s];
+    const int child = blk.edge_child[e];
+    if (child < 0) {
+      table = d_extend_with_graph(dx, table, opts);
+    } else {
+      const DistTable& oriented = pool.oriented(
+          dx, child, needs_transpose(blk, e, spec.edge_forward[s]));
+      table = d_extend_with_child(dx, table, oriented, opts);
+    }
+  }
+  return table;
+}
+
+DistTable d_solve_cycle(Dx& dx, const Block& blk, DistPool& pool) {
+  std::vector<AccumMap> sinks(dx.ranks());
+  for (const SplitPlan& plan : splits_for(blk, dx.cx.opts.algo)) {
+    DistTable plus = d_build_path(dx, blk, pool, plan.plus);
+    DistTable minus = d_build_path(dx, blk, pool, plan.minus);
+    d_merge_halves(dx, plus, minus, plan.merge, sinks);
+  }
+  return DistTable::from_maps(blk.boundary_count(), /*home_slot=*/0,
+                              std::move(sinks));
+}
+
+DistTable d_solve_leaf_edge(Dx& dx, const Block& blk, DistPool& pool) {
+  if (blk.kind != BlockKind::kLeafEdge) {
+    throw Error("solve_leaf_edge: not a leaf-edge block");
+  }
+  ExtendOpts no_opts;
+  DistTable table;
+  const int edge_child = blk.edge_child[0];
+  if (edge_child < 0) {
+    table = d_init_path_from_graph(dx, no_opts);
+  } else {
+    table = d_init_path_from_child(
+        dx, pool.oriented(dx, edge_child, blk.edge_child_flip[0]), no_opts);
+  }
+  if (blk.node_child[1] >= 0) {
+    table = d_node_join(dx, table, pool.get(blk.node_child[1]), /*slot=*/1);
+  }
+  if (blk.node_child[0] >= 0) {
+    table = d_node_join(dx, table, pool.get(blk.node_child[0]), /*slot=*/0);
+  }
+  return d_aggregate(dx, table, /*new_arity=*/1);
+}
+
+}  // namespace
+
+DistStats run_plan_distributed(const CsrGraph& g, const DecompTree& tree,
+                               const Coloring& chi, std::uint32_t ranks,
+                               ExecOptions opts) {
+  if (tree.root < 0) throw Error("run_plan_distributed: tree has no root");
+  Timer timer;
+  const DegreeOrder order = opts.order_by_id
+                                ? DegreeOrder::by_id(g.num_vertices())
+                                : DegreeOrder(g);
+  LoadModel load(ranks);
+  const ExecContext cx{g,
+                       chi,
+                       order,
+                       BlockPartition(g.num_vertices(), ranks),
+                       &load,
+                       opts};
+  VirtualComm comm(ranks);
+  Dx dx{cx, comm, opts.max_table_entries, g.num_vertices()};
+  DistPool pool(tree.blocks.size(), g.num_vertices());
+
+  DistStats stats;
+  for (std::size_t i = 0; i < tree.blocks.size(); ++i) {
+    const Block& blk = tree.blocks[i];
+    const bool is_root = (static_cast<int>(i) == tree.root);
+
+    if (blk.kind == BlockKind::kSingleton) {
+      if (!is_root) {
+        throw Error("run_plan_distributed: singleton below the root");
+      }
+      if (blk.node_child[0] >= 0) {
+        stats.colorful =
+            comm.allreduce_sum(pool.get(blk.node_child[0]).shard_totals());
+      } else {
+        // Single-node query: every data vertex is a colorful match.
+        stats.colorful = g.num_vertices();
+      }
+      break;
+    }
+
+    DistTable table = (blk.kind == BlockKind::kLeafEdge)
+                          ? d_solve_leaf_edge(dx, blk, pool)
+                          : d_solve_cycle(dx, blk, pool);
+    if (is_root) {
+      stats.colorful = comm.allreduce_sum(table.shard_totals());
+      break;
+    }
+    pool.store(static_cast<int>(i), std::move(table));
+  }
+
+  stats.wall_seconds = timer.seconds();
+  stats.sim_time = load.sim_time();
+  stats.total_ops = load.total_ops();
+  stats.max_rank_ops = load.max_rank_ops();
+  stats.avg_rank_ops = load.avg_rank_ops();
+  stats.total_comm = load.total_comm();
+  stats.transport = comm.stats();
+  return stats;
+}
+
+}  // namespace ccbt

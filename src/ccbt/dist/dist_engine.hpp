@@ -1,0 +1,51 @@
+#pragma once
+// The virtual-MPI distributed engine (Section 7).
+//
+// run_plan_distributed executes the same decomposition-tree plan as the
+// shared-memory run_plan, but with every projection table physically
+// sharded across `ranks` virtual ranks (DistTable) and every join
+// emission routed through VirtualComm supersteps. The engine charges the
+// BSP load model exactly as the shared engine does — same phases, same
+// per-entry operation counts — so a distributed run reproduces the
+// shared run's colorful count AND its modeled load (total/max/avg ops,
+// sim_time, modeled comm) bit for bit, while additionally reporting what
+// the model cannot see: the actual transport volume, including the
+// resharding and orientation supersteps a real MPI implementation pays.
+
+#include <cstdint>
+
+#include "ccbt/decomp/block.hpp"
+#include "ccbt/dist/comm.hpp"
+#include "ccbt/dist/dist_table.hpp"
+#include "ccbt/engine/exec_context.hpp"
+#include "ccbt/graph/coloring.hpp"
+#include "ccbt/graph/csr_graph.hpp"
+
+namespace ccbt {
+
+struct DistStats {
+  Count colorful = 0;
+  double wall_seconds = 0.0;
+
+  // Modeled load — exact parity with the shared engine's ExecStats when
+  // run with sim_ranks == ranks.
+  double sim_time = 0.0;
+  std::uint64_t total_ops = 0;
+  std::uint64_t max_rank_ops = 0;
+  double avg_rank_ops = 0.0;
+  std::uint64_t total_comm = 0;
+
+  // Physical transport accounting (supersteps, entries moved, off-rank
+  // volume) — a superset of the modeled communication.
+  CommStats transport;
+};
+
+/// Count the colorful matches of the plan's query under `chi` on a
+/// virtual cluster of `ranks` ranks. Throws Error for a rootless tree or
+/// zero ranks, BudgetExceeded when a table outgrows the configured
+/// budget.
+DistStats run_plan_distributed(const CsrGraph& g, const DecompTree& tree,
+                               const Coloring& chi, std::uint32_t ranks,
+                               ExecOptions opts = {});
+
+}  // namespace ccbt

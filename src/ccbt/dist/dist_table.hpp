@@ -1,0 +1,83 @@
+#pragma once
+// DistTable: a projection table physically sharded across virtual ranks.
+//
+// Section 7: every entry (u, v, α) is owned by the rank owning the vertex
+// in its *home slot* (slot 1 = the frontier while a path table is being
+// extended; slot 0 once a block table is stored for child lookups). A
+// DistTable is the union of per-rank ProjTable shards; a table is "well
+// placed" when every entry sits on the owner of its home-slot vertex.
+//
+// Movement between placements (resharding, transposition) happens through
+// VirtualComm supersteps, so the transport statistics account for it.
+
+#include <cstdint>
+#include <vector>
+
+#include "ccbt/dist/comm.hpp"
+#include "ccbt/graph/partition.hpp"
+#include "ccbt/table/proj_table.hpp"
+
+namespace ccbt {
+
+class DistTable {
+ public:
+  DistTable() = default;
+
+  /// Drain every rank's inbox (as delivered by the last exchange) into
+  /// its shard, accumulating duplicate keys, and seal each shard in
+  /// `order` (`domain` enables the shards' O(1) bucket index). Throws
+  /// BudgetExceeded when the total entry count exceeds `budget`.
+  static DistTable collect(int arity, int home_slot, VirtualComm& comm,
+                           SortOrder order, std::size_t budget,
+                           VertexId domain = 0);
+
+  /// Materialize from per-rank accumulation maps (the cycle solver's
+  /// merge sinks), one shard per map; shards stay unsealed.
+  static DistTable from_maps(int arity, int home_slot,
+                             std::vector<AccumMap> maps);
+
+  int arity() const { return arity_; }
+  int home_slot() const { return home_slot_; }
+
+  std::uint32_t num_shards() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+
+  /// Total entries across all shards.
+  std::size_t size() const;
+
+  /// Total count across all shards (the root's colorful count).
+  Count total() const;
+
+  const ProjTable& shard(std::uint32_t rank) const { return shards_[rank]; }
+
+  /// Per-shard totals, one slot per rank (allreduce input).
+  std::vector<Count> shard_totals() const;
+
+  /// Every entry lives on the owner of its home-slot vertex.
+  bool well_placed(const BlockPartition& part) const;
+
+  /// Flatten into one shared-memory table, accumulating duplicate keys.
+  ProjTable gather() const;
+
+  /// Move every entry to the owner of its `new_home` slot vertex (one
+  /// superstep), sealing shards in `order`.
+  DistTable resharded(int new_home, VirtualComm& comm,
+                      const BlockPartition& part, SortOrder order,
+                      std::size_t budget, VertexId domain = 0) const;
+
+  /// Swap key slots 0 and 1 and re-home (one superstep); shards sealed
+  /// kByV0 — the storage convention for child-block tables.
+  DistTable transposed(VirtualComm& comm, const BlockPartition& part,
+                       std::size_t budget, VertexId domain = 0) const;
+
+  /// Seal every shard (used before per-shard merge joins).
+  void seal_shards(SortOrder order, VertexId domain = 0);
+
+ private:
+  int arity_ = 0;
+  int home_slot_ = 0;
+  std::vector<ProjTable> shards_;
+};
+
+}  // namespace ccbt

@@ -14,7 +14,7 @@ ExecStats run_plan(const ExecContext& cx, const DecompTree& tree) {
   if (tree.root < 0) throw Error("run_plan: tree has no root");
   Timer timer;
   ExecStats stats;
-  TablePool pool(tree.blocks.size());
+  TablePool pool(tree.blocks.size(), cx.g.num_vertices());
 
   for (std::size_t i = 0; i < tree.blocks.size(); ++i) {
     const Block& blk = tree.blocks[i];

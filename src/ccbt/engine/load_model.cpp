@@ -2,16 +2,79 @@
 
 #include <algorithm>
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 namespace ccbt {
 
+namespace {
+
+std::size_t max_threads() {
+#ifdef _OPENMP
+  return static_cast<std::size_t>(std::max(1, omp_get_max_threads()));
+#else
+  return 1;
+#endif
+}
+
+}  // namespace
+
+LoadModel::LoadModel(std::uint32_t ranks, double comm_cost)
+    : comm_cost_(comm_cost), bufs_(max_threads()), total_ops_(ranks, 0) {
+  for (ThreadCharges& b : bufs_) {
+    b.ops = std::make_unique<std::atomic<std::uint64_t>[]>(ranks);
+    b.recv = std::make_unique<std::atomic<std::uint64_t>[]>(ranks);
+    for (std::uint32_t r = 0; r < ranks; ++r) {
+      b.ops[r].store(0, std::memory_order_relaxed);
+      b.recv[r].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+LoadModel::ThreadCharges& LoadModel::mine() {
+#ifdef _OPENMP
+  // Engine parallel regions never exceed omp_get_max_threads() at model
+  // construction; if a caller enlarges the team afterwards, the modulo
+  // folds the surplus threads onto existing buffers, whose atomic
+  // counters keep that safe.
+  return bufs_[static_cast<std::size_t>(omp_get_thread_num()) %
+               bufs_.size()];
+#else
+  return bufs_[0];
+#endif
+}
+
+void LoadModel::add_ops(std::uint32_t rank, std::uint64_t n) {
+  mine().ops[rank].fetch_add(n, std::memory_order_relaxed);
+}
+
+void LoadModel::add_comm(std::uint32_t from, std::uint32_t to,
+                         std::uint64_t n) {
+  if (from != to) {
+    ThreadCharges& b = mine();
+    b.recv[to].fetch_add(n, std::memory_order_relaxed);
+    b.comm.fetch_add(n, std::memory_order_relaxed);
+  }
+}
+
 void LoadModel::end_phase() {
+  const std::size_t ranks = total_ops_.size();
   double makespan = 0.0;
-  for (std::size_t r = 0; r < phase_ops_.size(); ++r) {
-    const double work = static_cast<double>(phase_ops_[r]) +
-                        comm_cost_ * static_cast<double>(phase_recv_[r]);
+  for (std::size_t r = 0; r < ranks; ++r) {
+    std::uint64_t ops = 0;
+    std::uint64_t recv = 0;
+    for (ThreadCharges& b : bufs_) {
+      ops += b.ops[r].exchange(0, std::memory_order_relaxed);
+      recv += b.recv[r].exchange(0, std::memory_order_relaxed);
+    }
+    total_ops_[r] += ops;
+    const double work = static_cast<double>(ops) +
+                        comm_cost_ * static_cast<double>(recv);
     makespan = std::max(makespan, work);
-    phase_ops_[r] = 0;
-    phase_recv_[r] = 0;
+  }
+  for (ThreadCharges& b : bufs_) {
+    total_comm_ += b.comm.exchange(0, std::memory_order_relaxed);
   }
   sim_time_ += makespan;
 }

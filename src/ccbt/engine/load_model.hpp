@@ -13,8 +13,18 @@
 //
 // Improvement factors, speedups and normalized loads — the quantities in
 // every figure — are ratios of these unitless totals.
+//
+// Charging is thread-affine: add_ops/add_comm write to the calling
+// OpenMP thread's private charge buffer, so the engine's parallel join
+// loops can account load without serializing. end_phase() — always called
+// from serial code between primitives — reduces the buffers into the
+// per-rank phase totals. Charges are additive and the reduction is
+// order-independent, so a threaded simulated run produces bit-identical
+// totals to a serial one.
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "ccbt/graph/partition.hpp"
@@ -23,35 +33,28 @@ namespace ccbt {
 
 class LoadModel {
  public:
-  explicit LoadModel(std::uint32_t ranks, double comm_cost = 2.0)
-      : comm_cost_(comm_cost),
-        phase_ops_(ranks, 0),
-        phase_recv_(ranks, 0),
-        total_ops_(ranks, 0) {}
+  explicit LoadModel(std::uint32_t ranks, double comm_cost = 2.0);
 
   std::uint32_t num_ranks() const {
     return static_cast<std::uint32_t>(total_ops_.size());
   }
 
-  void add_ops(std::uint32_t rank, std::uint64_t n) {
-    phase_ops_[rank] += n;
-    total_ops_[rank] += n;
-  }
+  /// Charge `n` projection operations to `rank` (thread-safe).
+  void add_ops(std::uint32_t rank, std::uint64_t n);
 
-  void add_comm(std::uint32_t from, std::uint32_t to, std::uint64_t n) {
-    if (from != to) {
-      phase_recv_[to] += n;
-      total_comm_ += n;
-    }
-  }
+  /// Model `n` entries sent from -> to; off-rank traffic charges the
+  /// receiver (thread-safe).
+  void add_comm(std::uint32_t from, std::uint32_t to, std::uint64_t n);
 
   /// Close the current bulk-synchronous phase and charge its makespan.
+  /// Must be called outside parallel regions.
   void end_phase();
 
   /// Unitless simulated makespan across all closed phases.
   double sim_time() const { return sim_time_; }
 
-  /// Per-rank totals over the whole run (Fig 11's load metrics).
+  /// Per-rank totals over the whole run (Fig 11's load metrics). Totals
+  /// reflect closed phases only.
   std::uint64_t total_ops() const;
   std::uint64_t max_rank_ops() const;
   double avg_rank_ops() const;
@@ -60,11 +63,24 @@ class LoadModel {
   const std::vector<std::uint64_t>& rank_ops() const { return total_ops_; }
 
  private:
+  /// One OpenMP thread's uncommitted charges for the open phase. The
+  /// counters are relaxed atomics: in the expected configuration each
+  /// buffer has exactly one writer, but if a caller enlarges the OpenMP
+  /// team after construction, the surplus threads fold onto existing
+  /// buffers and the charges stay correct (additive, order-free) instead
+  /// of racing.
+  struct alignas(64) ThreadCharges {
+    std::unique_ptr<std::atomic<std::uint64_t>[]> ops;   // per rank
+    std::unique_ptr<std::atomic<std::uint64_t>[]> recv;  // per rank
+    std::atomic<std::uint64_t> comm{0};  // off-rank entry count
+  };
+
+  ThreadCharges& mine();
+
   double comm_cost_ = 2.0;
   double sim_time_ = 0.0;
   std::uint64_t total_comm_ = 0;
-  std::vector<std::uint64_t> phase_ops_;
-  std::vector<std::uint64_t> phase_recv_;
+  std::vector<ThreadCharges> bufs_;   // one per OpenMP thread
   std::vector<std::uint64_t> total_ops_;
 };
 

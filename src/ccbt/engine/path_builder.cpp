@@ -5,7 +5,7 @@
 namespace ccbt {
 
 void TablePool::store(int block, ProjTable table) {
-  table.seal(SortOrder::kByV0);
+  table.seal(SortOrder::kByV0, domain_);
   if (transposed_.empty()) {
     transposed_.resize(tables_.size());
     has_transposed_.resize(tables_.size(), false);
@@ -17,7 +17,7 @@ const ProjTable& TablePool::oriented(int block, bool transposed) {
   if (!transposed) return tables_[block];
   if (!has_transposed_[block]) {
     ProjTable t = tables_[block].transposed();
-    t.seal(SortOrder::kByV0);
+    t.seal(SortOrder::kByV0, domain_);
     transposed_[block] = std::move(t);
     has_transposed_[block] = true;
   }
@@ -30,15 +30,9 @@ std::size_t TablePool::total_entries() const {
   return sum;
 }
 
-namespace {
-
-/// Whether crossing edge `e` needs the child's transposed table: the
-/// child's first boundary must be the node we are walking *from*.
 bool needs_transpose(const Block& blk, int edge, bool forward) {
   return forward ? blk.edge_child_flip[edge] : !blk.edge_child_flip[edge];
 }
-
-}  // namespace
 
 ProjTable build_path(const ExecContext& cx, const Block& blk, TablePool& pool,
                      const PathSpec& spec) {

@@ -17,10 +17,13 @@
 
 namespace ccbt {
 
-/// Solved child tables, sealed kByV0, with cached transposes.
+/// Solved child tables, sealed kByV0, with cached transposes. `domain`
+/// (the data graph's vertex count) lets stored tables build their O(1)
+/// bucket index at seal time.
 class TablePool {
  public:
-  explicit TablePool(std::size_t num_blocks) : tables_(num_blocks) {}
+  explicit TablePool(std::size_t num_blocks, VertexId domain = 0)
+      : tables_(num_blocks), domain_(domain) {}
 
   void store(int block, ProjTable table);
   const ProjTable& get(int block) const { return tables_[block]; }
@@ -34,6 +37,7 @@ class TablePool {
   std::vector<ProjTable> tables_;
   std::vector<ProjTable> transposed_;  // lazily filled, parallel to tables_
   std::vector<bool> has_transposed_;
+  VertexId domain_ = 0;
 };
 
 struct PathSpec {
@@ -53,6 +57,11 @@ struct PathSpec {
   bool include_end_annot = false;    // NodeJoin(end)    — P+ owns it
   bool anchor_higher = false;        // DB: anchor ≻ every cycle vertex
 };
+
+/// Whether crossing edge `e` in walk direction `forward` needs the child's
+/// transposed table: the child's first boundary must be the node the walk
+/// leaves from. Shared with the distributed engine.
+bool needs_transpose(const Block& blk, int edge, bool forward);
 
 /// Build the projection table of one half-cycle path.
 ProjTable build_path(const ExecContext& cx, const Block& blk, TablePool& pool,

@@ -1,5 +1,6 @@
 #include "ccbt/engine/primitives.hpp"
 
+#include <atomic>
 #include <string>
 
 #include "ccbt/util/error.hpp"
@@ -20,34 +21,60 @@ void check_budget(const ExecContext& cx, std::size_t size) {
   }
 }
 
+#ifdef _OPENMP
+int pool_threads() { return omp_get_max_threads(); }
+#endif
+
+/// Reduce per-thread accumulation maps into one, pre-sized so the merge
+/// runs without intermediate rehashes. Single-producer case moves instead.
+AccumMap reduce_maps(const ExecContext& cx, std::vector<AccumMap>& maps) {
+  std::size_t total = 0;
+  AccumMap* only = nullptr;
+  int producers = 0;
+  for (AccumMap& m : maps) {
+    if (m.empty()) continue;
+    total += m.size();
+    only = &m;
+    ++producers;
+  }
+  if (producers == 1) {
+    check_budget(cx, only->size());
+    return std::move(*only);
+  }
+  AccumMap merged;
+  merged.reserve(total);
+  for (AccumMap& m : maps) {
+    for (const TableEntry& e : m.entries()) merged.add(e.key, e.cnt);
+    check_budget(cx, merged.size());
+  }
+  return merged;
+}
+
 /// Run `emit(index, map)` for every index in [0, n), accumulating into
-/// per-thread maps that are merged afterwards. Falls back to a single map
-/// when threading is disabled or load accounting is active (the load model
-/// is not thread safe and simulated runs must stay deterministic).
+/// per-thread maps that are merged afterwards by a pre-sized two-pass
+/// reduction. Load accounting is thread-affine (LoadModel buffers charges
+/// per OpenMP thread), so simulated runs parallelize like real ones.
 template <typename Emit>
 AccumMap accumulate_over(const ExecContext& cx, std::size_t n, Emit&& emit) {
 #ifdef _OPENMP
-  if (cx.opts.use_threads && cx.load == nullptr && n > 4096) {
-    const int threads = omp_get_max_threads();
+  if (cx.opts.use_threads && pool_threads() > 1 && n > 4096) {
+    const int threads = pool_threads();
     std::vector<AccumMap> maps(threads);
-    bool budget_hit = false;
+    std::atomic<bool> budget_hit{false};
 #pragma omp parallel num_threads(threads)
     {
       AccumMap& local = maps[omp_get_thread_num()];
 #pragma omp for schedule(dynamic, 512)
       for (std::size_t i = 0; i < n; ++i) {
-        if (budget_hit) continue;
+        if (budget_hit.load(std::memory_order_relaxed)) continue;
         emit(i, local);
-        if (local.size() > cx.opts.max_table_entries) budget_hit = true;
+        if (local.size() > cx.opts.max_table_entries) {
+          budget_hit.store(true, std::memory_order_relaxed);
+        }
       }
     }
-    if (budget_hit) check_budget(cx, cx.opts.max_table_entries + 1);
-    AccumMap merged(maps[0].size());
-    for (AccumMap& m : maps) {
-      for (const TableEntry& e : m.entries()) merged.add(e.key, e.cnt);
-      check_budget(cx, merged.size());
-    }
-    return merged;
+    if (budget_hit.load()) check_budget(cx, cx.opts.max_table_entries + 1);
+    return reduce_maps(cx, maps);
   }
 #endif
   AccumMap map;
@@ -131,7 +158,7 @@ ProjTable extend_with_graph(const ExecContext& cx, const ProjTable& path,
 
 ProjTable extend_with_child(const ExecContext& cx, ProjTable& path,
                             const ProjTable& child, const ExtendOpts& o) {
-  path.seal(SortOrder::kByV1);
+  path.seal(SortOrder::kByV1, cx.g.num_vertices());
   const auto entries = path.entries();
   AccumMap map = accumulate_over(
       cx, entries.size(), [&](std::size_t i, AccumMap& sink) {
@@ -179,10 +206,64 @@ ProjTable node_join(const ExecContext& cx, const ProjTable& path,
 
 void merge_halves(const ExecContext& cx, ProjTable& plus, ProjTable& minus,
                   const MergeSpec& spec, AccumMap& sink) {
-  plus.seal(SortOrder::kByV0V1);
-  minus.seal(SortOrder::kByV0V1);
+  const VertexId n = cx.g.num_vertices();
+  plus.seal(SortOrder::kByV0V1, n);
+  minus.seal(SortOrder::kByV0V1, n);
   const auto pe = plus.entries();
   const auto me = minus.entries();
+
+  if (plus.has_bucket_index() && minus.has_bucket_index()) {
+#ifdef _OPENMP
+    if (cx.opts.use_threads && pool_threads() > 1 &&
+        pe.size() + me.size() > 4096) {
+      // Slot-0 buckets are independent: each thread merges whole buckets
+      // into a private sink; the sinks reduce into `sink` afterwards.
+      const int threads = pool_threads();
+      std::vector<AccumMap> maps(threads);
+      std::atomic<bool> budget_hit{false};
+#pragma omp parallel num_threads(threads)
+      {
+        AccumMap& local = maps[omp_get_thread_num()];
+#pragma omp for schedule(dynamic, 256)
+        for (VertexId u = 0; u < n; ++u) {
+          if (budget_hit.load(std::memory_order_relaxed)) continue;
+          const auto pu = plus.group(0, u);
+          if (pu.empty()) continue;
+          const auto mu = minus.group(0, u);
+          if (mu.empty()) continue;
+          merge_bucket(cx, pu, mu, spec,
+                       [&](const TableKey& k, Count c) { local.add(k, c); });
+          if (local.size() > cx.opts.max_table_entries) {
+            budget_hit.store(true, std::memory_order_relaxed);
+          }
+        }
+      }
+      if (budget_hit.load()) check_budget(cx, cx.opts.max_table_entries + 1);
+      std::size_t total = sink.size();
+      for (const AccumMap& m : maps) total += m.size();
+      sink.reserve(total);
+      for (AccumMap& m : maps) {
+        for (const TableEntry& e : m.entries()) sink.add(e.key, e.cnt);
+        check_budget(cx, sink.size());
+      }
+      cx.end_phase();
+      return;
+    }
+#endif
+    for (VertexId u = 0; u < n; ++u) {
+      const auto pu = plus.group(0, u);
+      if (pu.empty()) continue;
+      const auto mu = minus.group(0, u);
+      if (mu.empty()) continue;
+      merge_bucket(cx, pu, mu, spec,
+                   [&](const TableKey& k, Count c) { sink.add(k, c); });
+      check_budget(cx, sink.size());
+    }
+    cx.end_phase();
+    return;
+  }
+
+  // No bucket index (out-of-domain keys): whole-table two-pointer merge.
   auto uv_less = [](const TableEntry& a, const TableEntry& b) {
     return a.key.v[0] != b.key.v[0] ? a.key.v[0] < b.key.v[0]
                                     : a.key.v[1] < b.key.v[1];
@@ -197,27 +278,12 @@ void merge_halves(const ExecContext& cx, ProjTable& plus, ProjTable& minus,
       ++mi;
       continue;
     }
-    // Same (u, v) group in both tables.
     const VertexId u = pe[pi].key.v[0];
-    const VertexId v = pe[pi].key.v[1];
     std::size_t pj = pi, mj = mi;
-    while (pj < pe.size() && pe[pj].key.v[0] == u && pe[pj].key.v[1] == v) ++pj;
-    while (mj < me.size() && me[mj].key.v[0] == u && me[mj].key.v[1] == v) ++mj;
-    const Signature uv_bits = cx.chi.bit(u) | cx.chi.bit(v);
-    cx.charge(v, (pj - pi) * (mj - mi));
-    for (std::size_t a = pi; a < pj; ++a) {
-      for (std::size_t b = mi; b < mj; ++b) {
-        if (!merge_compatible(pe[a].key.sig, me[b].key.sig, uv_bits)) continue;
-        TableKey key;
-        for (int s = 0; s < spec.out_arity; ++s) {
-          const MergeOut& src = spec.out[s];
-          key.v[s] = (src.side == 0 ? pe[a] : me[b]).key.v[src.slot];
-        }
-        key.sig = pe[a].key.sig | me[b].key.sig;
-        sink.add(key, pe[a].cnt * me[b].cnt);
-        if (spec.out_arity >= 2) cx.send(v, key.v[1], 1);
-      }
-    }
+    while (pj < pe.size() && pe[pj].key.v[0] == u) ++pj;
+    while (mj < me.size() && me[mj].key.v[0] == u) ++mj;
+    merge_bucket(cx, pe.subspan(pi, pj - pi), me.subspan(mi, mj - mi), spec,
+                 [&](const TableKey& k, Count c) { sink.add(k, c); });
     check_budget(cx, sink.size());
     pi = pj;
     mi = mj;

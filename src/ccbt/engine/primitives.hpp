@@ -10,6 +10,8 @@
 //   * merge_halves                      — Procedure 2 of Figs 4 and 6.
 
 #include <array>
+#include <cstddef>
+#include <span>
 
 #include "ccbt/engine/exec_context.hpp"
 #include "ccbt/table/proj_table.hpp"
@@ -67,6 +69,57 @@ struct MergeSpec {
 /// into `sink` (so the DB solver can sum over all anchor choices, Eq. 1).
 void merge_halves(const ExecContext& cx, ProjTable& plus, ProjTable& minus,
                   const MergeSpec& spec, AccumMap& sink);
+
+/// The merge-join kernel shared by merge_halves and the distributed
+/// engine: join the matching (u, v) subgroups of one slot-0 bucket pair
+/// (both ranges sorted kByV0V1) with a two-pointer sweep over the
+/// v-sorted subranges, charging the load model per group and calling
+/// `emit(key, count)` for every compatible pair. Keeping the shared and
+/// distributed engines on one kernel is what guarantees their exact
+/// load-model parity.
+template <typename Sink>
+void merge_bucket(const ExecContext& cx, std::span<const TableEntry> pu,
+                  std::span<const TableEntry> mu, const MergeSpec& spec,
+                  Sink&& emit) {
+  std::size_t pi = 0, mi = 0;
+  while (pi < pu.size() && mi < mu.size()) {
+    const VertexId pv = pu[pi].key.v[1];
+    const VertexId mv = mu[mi].key.v[1];
+    if (pv < mv) {
+      ++pi;
+      continue;
+    }
+    if (mv < pv) {
+      ++mi;
+      continue;
+    }
+    // Same (u, v) group in both tables.
+    const VertexId u = pu[pi].key.v[0];
+    const VertexId v = pv;
+    std::size_t pj = pi, mj = mi;
+    while (pj < pu.size() && pu[pj].key.v[1] == v) ++pj;
+    while (mj < mu.size() && mu[mj].key.v[1] == v) ++mj;
+    const Signature uv_bits = cx.chi.bit(u) | cx.chi.bit(v);
+    cx.charge(v, (pj - pi) * (mj - mi));
+    for (std::size_t a = pi; a < pj; ++a) {
+      for (std::size_t b = mi; b < mj; ++b) {
+        if (!merge_compatible(pu[a].key.sig, mu[b].key.sig, uv_bits)) {
+          continue;
+        }
+        TableKey key;
+        for (int s = 0; s < spec.out_arity; ++s) {
+          const MergeOut& src = spec.out[s];
+          key.v[s] = (src.side == 0 ? pu[a] : mu[b]).key.v[src.slot];
+        }
+        key.sig = pu[a].key.sig | mu[b].key.sig;
+        emit(key, pu[a].cnt * mu[b].cnt);
+        if (spec.out_arity >= 2) cx.send(v, key.v[1], 1);
+      }
+    }
+    pi = pj;
+    mi = mj;
+  }
+}
 
 /// Sum out all slots beyond the first new_arity (with phase accounting).
 ProjTable aggregate(const ExecContext& cx, const ProjTable& t, int new_arity);

@@ -42,6 +42,15 @@ class AccumMap {
   std::size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
 
+  /// Pre-size the slot array for `expected` total entries so a bulk merge
+  /// (e.g. reducing per-thread maps) runs without intermediate rehashes.
+  void reserve(std::size_t expected) {
+    if (expected > entries_.size()) {
+      entries_.reserve(expected);
+      rehash_for(expected);
+    }
+  }
+
   /// Move the dense entries out; the map is left empty.
   std::vector<TableEntry> take_entries() {
     std::vector<TableEntry> out = std::move(entries_);

@@ -4,8 +4,11 @@
 // vertices during DB path construction) and the color signature.
 //
 // Lifecycle: entries are accumulated through an AccumMap during a join,
-// then sealed into a sorted dense vector. Merge joins stream over groups
-// that share the leading key slots.
+// then sealed into a sorted dense vector. Sealing with a known key domain
+// (the data graph's vertex count) additionally builds a CSR-style bucket
+// index over the grouping slot, so group(slot, v) is a single offset
+// lookup instead of two binary searches. See README.md in this directory
+// for the memory layout and threading model.
 
 #include <cstdint>
 #include <span>
@@ -23,6 +26,17 @@ enum class SortOrder : std::uint8_t {
   kByV0V1,  // group by (slot 0, slot 1) (half-cycle merge joins)
   kByV1,    // group by slot 1 (frontier-grouped extensions)
 };
+
+/// The key slot a sort order groups by (-1 for kUnsorted).
+inline constexpr int group_slot(SortOrder order) {
+  switch (order) {
+    case SortOrder::kByV0:
+    case SortOrder::kByV0V1: return 0;
+    case SortOrder::kByV1: return 1;
+    case SortOrder::kUnsorted: break;
+  }
+  return -1;
+}
 
 class ProjTable {
  public:
@@ -46,13 +60,32 @@ class ProjTable {
   /// Total count over all entries (used at the root).
   Count total() const;
 
-  /// Sort entries for merge joins; remembers the order (no-op if sorted).
-  void seal(SortOrder order);
+  /// Sort entries for merge joins; remembers the order (no-op if sorted;
+  /// kByV0 and kByV0V1 share one comparator, so converting between them is
+  /// a relabel). `domain` is the exclusive upper bound on the grouping
+  /// slot's values (the data graph's vertex count): when positive — or
+  /// when a small bound can be detected from the data — sealing runs a
+  /// stable counting partition on the grouping slot (O(n + domain) plus
+  /// tiny per-bucket sorts) and keeps the bucket offsets as an O(1) group
+  /// index. With domain 0 and no detectable bound it falls back to a
+  /// comparison sort and group() uses binary search.
+  void seal(SortOrder order, VertexId domain = 0);
   SortOrder order() const { return order_; }
 
+  /// Whether group() resolves through the O(1) bucket index.
+  bool has_bucket_index() const { return !bucket_off_.empty(); }
+
   /// Contiguous range of entries whose slot `slot` equals v; requires the
-  /// matching seal order (kByV0 for slot 0, kByV1 for slot 1).
-  std::span<const TableEntry> group(int slot, VertexId v) const;
+  /// matching seal order (kByV0 for slot 0, kByV1 for slot 1). O(1) when
+  /// the bucket index covers `slot`, two binary searches otherwise.
+  std::span<const TableEntry> group(int slot, VertexId v) const {
+    if (slot == index_slot_) {
+      if (v >= domain_) return {};
+      return {entries_.data() + bucket_off_[v],
+              static_cast<std::size_t>(bucket_off_[v + 1] - bucket_off_[v])};
+    }
+    return group_by_search(slot, v);
+  }
 
   /// Swap slots 0 and 1 in every key — the transpose of Section 5.2
   /// ("the boundary tables are transpose of each other"). Invalidates the
@@ -64,12 +97,36 @@ class ProjTable {
   /// the block's true boundary keys.
   ProjTable aggregated(int new_arity) const;
 
-  void push_unchecked(const TableEntry& e) { entries_.push_back(e); }
+  void push_unchecked(const TableEntry& e) {
+    entries_.push_back(e);
+    drop_index();
+  }
 
  private:
+  std::span<const TableEntry> group_by_search(int slot, VertexId v) const;
+
+  /// Stable counting partition by `slot` over [0, domain), then sort each
+  /// bucket by the remaining key fields; keeps the offsets as the index.
+  void bucket_sort(int slot, VertexId domain);
+
+  /// Entries already sorted for `order_`; (re)build the offset index only.
+  void build_index(int slot, VertexId domain);
+
+  void drop_index() {
+    bucket_off_.clear();
+    index_slot_ = -1;
+    domain_ = 0;
+  }
+
   int arity_ = 0;
   SortOrder order_ = SortOrder::kUnsorted;
   std::vector<TableEntry> entries_;
+
+  // CSR bucket index over the grouping slot: entries with key slot value v
+  // occupy [bucket_off_[v], bucket_off_[v + 1]). Empty when not built.
+  std::vector<std::uint32_t> bucket_off_;
+  int index_slot_ = -1;
+  VertexId domain_ = 0;
 };
 
 }  // namespace ccbt
