@@ -13,6 +13,9 @@
 //   --query NAME   catalog query (default cycle5); see --list
 //   --algo         db (default) or ps
 //   --trials N     estimator trials (default 5)
+//   --batch B      colorings per plan execution (1, 2, 4 or 8; default 1):
+//                  trials are processed B at a time through the batched
+//                  engine, with identical per-trial counts
 //   --ranks R      attach the virtual-rank load model and report loads
 //   --exact        also run the brute-force counter (small graphs only!)
 //   --dist R       run one coloring through the virtual-MPI engine on R
@@ -73,6 +76,7 @@ int main(int argc, char** argv) {
   std::string graph_file, gen_spec = "chunglu:8000:1.8:6";
   std::string query_name = "cycle5", algo_name_str = "db";
   int trials = 5;
+  int batch = 1;
   std::uint32_t ranks = 0;
   std::uint32_t dist_ranks = 0;
   std::uint64_t seed = 1;
@@ -91,6 +95,7 @@ int main(int argc, char** argv) {
     else if (arg == "--query") query_name = next();
     else if (arg == "--algo") algo_name_str = next();
     else if (arg == "--trials") trials = std::stoi(next());
+    else if (arg == "--batch") batch = std::stoi(next());
     else if (arg == "--ranks") ranks = std::stoul(next());
     else if (arg == "--seed") seed = std::stoull(next());
     else if (arg == "--exact") run_exact = true;
@@ -135,6 +140,7 @@ int main(int argc, char** argv) {
     EstimatorOptions opts;
     opts.trials = trials;
     opts.seed = seed;
+    opts.batch = batch;
     opts.exec.algo = (algo_name_str == "ps") ? Algo::kPS : Algo::kDB;
     opts.exec.sim_ranks = ranks;
 
@@ -164,6 +170,7 @@ int main(int argc, char** argv) {
       aopts.target_cv = adaptive_cv;
       aopts.max_trials = std::max(trials, 50);
       aopts.seed = seed;
+      aopts.batch = batch;
       aopts.exec = opts.exec;
       const AdaptiveResult ar = estimate_matches_adaptive(g, q, aopts);
       r = ar.estimate;

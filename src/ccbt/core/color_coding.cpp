@@ -1,5 +1,7 @@
 #include "ccbt/core/color_coding.hpp"
 
+#include <vector>
+
 #include "ccbt/query/treewidth.hpp"
 #include "ccbt/util/error.hpp"
 
@@ -20,15 +22,21 @@ CountingSession::CountingSession(const CsrGraph& g, const QueryGraph& q,
 }
 
 ExecStats CountingSession::count_colorful(const Coloring& chi) const {
-  if (chi.num_colors() != query_.num_nodes() ||
-      chi.size() != graph_.num_vertices()) {
-    throw Error("count_colorful: coloring shape mismatch");
+  return count_colorful(ColoringBatch(chi));
+}
+
+ExecStats CountingSession::count_colorful(const ColoringBatch& batch) const {
+  for (int l = 0; l < batch.lanes(); ++l) {
+    if (batch.lane(l).num_colors() != query_.num_nodes() ||
+        batch.lane(l).size() != graph_.num_vertices()) {
+      throw Error("count_colorful: coloring shape mismatch");
+    }
   }
   const DegreeOrder& order = opts_.order_by_id ? id_order_ : degree_order_;
   std::optional<LoadModel> load;
   if (opts_.sim_ranks > 0) load.emplace(opts_.sim_ranks);
   ExecContext cx{graph_,
-                 chi,
+                 batch,
                  order,
                  BlockPartition(graph_.num_vertices(), opts_.sim_ranks),
                  load ? &*load : nullptr,
@@ -39,6 +47,16 @@ ExecStats CountingSession::count_colorful(const Coloring& chi) const {
 ExecStats CountingSession::count_colorful_seeded(std::uint64_t seed) const {
   const Coloring chi(graph_.num_vertices(), query_.num_nodes(), seed);
   return count_colorful(chi);
+}
+
+ExecStats CountingSession::count_colorful_seeded(
+    std::span<const std::uint64_t> seeds) const {
+  std::vector<Coloring> lanes;
+  lanes.reserve(seeds.size());
+  for (const std::uint64_t seed : seeds) {
+    lanes.emplace_back(graph_.num_vertices(), query_.num_nodes(), seed);
+  }
+  return count_colorful(ColoringBatch(lanes));
 }
 
 Count count_colorful_matches(const CsrGraph& g, const QueryGraph& q,

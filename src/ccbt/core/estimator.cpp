@@ -1,11 +1,57 @@
 #include "ccbt/core/estimator.hpp"
 
+#include <algorithm>
+#include <array>
+#include <span>
+
 #include "ccbt/decomp/plan.hpp"
 #include "ccbt/query/automorphism.hpp"
 #include "ccbt/util/rng.hpp"
 #include "ccbt/util/stats.hpp"
 
 namespace ccbt {
+
+namespace {
+
+/// Largest supported batch width that fits under both the user's cap and
+/// the remaining trial count.
+int next_batch_width(int remaining, int cap) {
+  const int want = std::min(remaining, std::max(cap, 1));
+  for (int w : {8, 4, 2, 1}) {
+    if (w <= want) return w;
+  }
+  return 1;
+}
+
+/// Run `width` trials in one batched plan execution, drawing lane seeds
+/// from `seeder` in trial order (so any batch decomposition consumes the
+/// same seed sequence as width-1 runs) and appending per-lane results.
+void run_batch(const CountingSession& session, Rng& seeder, int width,
+               double scale, EstimatorResult& r) {
+  std::array<std::uint64_t, kMaxBatchLanes> seeds{};
+  for (int l = 0; l < width; ++l) seeds[l] = seeder();
+  const ExecStats stats = session.count_colorful_seeded(
+      std::span<const std::uint64_t>(seeds.data(), width));
+  for (int l = 0; l < width; ++l) {
+    r.colorful_per_trial.push_back(stats.colorful_lane[l]);
+    r.estimate_per_trial.push_back(
+        static_cast<double>(stats.colorful_lane[l]) * scale);
+  }
+  r.total_wall_seconds += stats.wall_seconds;
+}
+
+void finalize(const CountingSession& session, EstimatorResult& r) {
+  const Summary summary = summarize(r.estimate_per_trial);
+  r.matches = summary.mean;
+  r.variance = summary.variance;
+  r.cv = summary.cv();
+  r.variance_over_mean =
+      summary.mean == 0.0 ? 0.0 : summary.variance / summary.mean;
+  r.automorphisms = count_automorphisms(session.query());
+  r.occurrences = r.matches / static_cast<double>(r.automorphisms);
+}
+
+}  // namespace
 
 EstimatorResult estimate_matches(const CountingSession& session,
                                  const EstimatorOptions& opts) {
@@ -14,24 +60,14 @@ EstimatorResult estimate_matches(const CountingSession& session,
   const double scale = colorful_scale(k);
   Rng seeder(opts.seed);
 
-  for (int t = 0; t < opts.trials; ++t) {
-    const std::uint64_t trial_seed = seeder();
-    const ExecStats stats = session.count_colorful_seeded(trial_seed);
-    result.colorful_per_trial.push_back(stats.colorful);
-    result.estimate_per_trial.push_back(
-        static_cast<double>(stats.colorful) * scale);
-    result.total_wall_seconds += stats.wall_seconds;
+  int remaining = opts.trials;
+  while (remaining > 0) {
+    const int width = next_batch_width(remaining, opts.batch);
+    run_batch(session, seeder, width, scale, result);
+    remaining -= width;
   }
 
-  const Summary summary = summarize(result.estimate_per_trial);
-  result.matches = summary.mean;
-  result.variance = summary.variance;
-  result.cv = summary.cv();
-  result.variance_over_mean =
-      summary.mean == 0.0 ? 0.0 : summary.variance / summary.mean;
-  result.automorphisms = count_automorphisms(session.query());
-  result.occurrences =
-      result.matches / static_cast<double>(result.automorphisms);
+  finalize(session, result);
   return result;
 }
 
@@ -49,13 +85,11 @@ AdaptiveResult estimate_matches_adaptive(const CountingSession& session,
   Rng seeder(opts.seed);
   EstimatorResult& r = out.estimate;
 
-  for (int t = 0; t < opts.max_trials; ++t) {
-    const ExecStats stats = session.count_colorful_seeded(seeder());
-    r.colorful_per_trial.push_back(stats.colorful);
-    r.estimate_per_trial.push_back(static_cast<double>(stats.colorful) *
-                                   scale);
-    r.total_wall_seconds += stats.wall_seconds;
-    out.trials_used = t + 1;
+  while (out.trials_used < opts.max_trials) {
+    const int width =
+        next_batch_width(opts.max_trials - out.trials_used, opts.batch);
+    run_batch(session, seeder, width, scale, r);
+    out.trials_used += width;
     if (out.trials_used < opts.min_trials) continue;
     if (summarize(r.estimate_per_trial).cv() <= opts.target_cv) {
       out.converged = true;
@@ -63,14 +97,7 @@ AdaptiveResult estimate_matches_adaptive(const CountingSession& session,
     }
   }
 
-  const Summary summary = summarize(r.estimate_per_trial);
-  r.matches = summary.mean;
-  r.variance = summary.variance;
-  r.cv = summary.cv();
-  r.variance_over_mean =
-      summary.mean == 0.0 ? 0.0 : summary.variance / summary.mean;
-  r.automorphisms = count_automorphisms(session.query());
-  r.occurrences = r.matches / static_cast<double>(r.automorphisms);
+  finalize(session, r);
   return out;
 }
 

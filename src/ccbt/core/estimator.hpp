@@ -14,6 +14,14 @@ namespace ccbt {
 struct EstimatorOptions {
   int trials = 10;
   std::uint64_t seed = 1;
+
+  /// Colorings per plan execution (the engine's batch width B, capped at
+  /// kMaxBatchLanes): trials are submitted in batches of the largest
+  /// supported width (8, 4, 2, 1) that fits under both this cap and the
+  /// remaining trial count. Per-trial colorful counts are identical to a
+  /// batch of 1 — batching only amortizes the execution cost.
+  int batch = 1;
+
   ExecOptions exec;
 };
 
@@ -49,6 +57,12 @@ struct AdaptiveOptions {
   int min_trials = 3;
   int max_trials = 50;
   std::uint64_t seed = 1;
+
+  /// Colorings per plan execution (see EstimatorOptions::batch). With
+  /// batch > 1 the cv is tested at batch boundaries, so a run can
+  /// overshoot the minimal trial count by at most batch - 1 trials.
+  int batch = 1;
+
   ExecOptions exec;
 };
 

@@ -1,36 +1,10 @@
 #include "ccbt/dist/comm.hpp"
 
-#include <algorithm>
-
-#include "ccbt/util/error.hpp"
-
 namespace ccbt {
 
-VirtualComm::VirtualComm(std::uint32_t ranks) {
-  if (ranks == 0) throw Error("VirtualComm: need at least one rank");
-  outbox_.resize(ranks);
-  inbox_.resize(ranks);
-}
-
-void VirtualComm::exchange() {
-  for (auto& in : inbox_) in.clear();
-  // Senders drain in rank order, each in send order: deterministic
-  // delivery independent of any real interleaving.
-  for (auto& out : outbox_) {
-    for (const Queued& q : out) inbox_[q.to].push_back(q.entry);
-    out.clear();
-  }
-  for (const auto& in : inbox_) {
-    stats_.max_step_recv =
-        std::max(stats_.max_step_recv, static_cast<std::uint64_t>(in.size()));
-  }
-  ++stats_.supersteps;
-}
-
-Count VirtualComm::allreduce_sum(const std::vector<Count>& parts) const {
-  Count sum = 0;
-  for (Count c : parts) sum += c;
-  return sum;
-}
+template class VirtualCommT<1>;
+template class VirtualCommT<2>;
+template class VirtualCommT<4>;
+template class VirtualCommT<8>;
 
 }  // namespace ccbt

@@ -11,11 +11,18 @@
 // of the engine's modeled LoadModel communication: the model sees only the
 // routing a real implementation must pay per join emission, while the
 // transport also pays for resharding and orientation supersteps.
+//
+// The transport is parameterized on the batch width B: a batched run
+// serializes whole lane-count vectors per entry (one message per
+// signature-blocked row, B counts of payload), which CommStats reflects
+// through entry_bytes.
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
 #include "ccbt/table/table_key.hpp"
+#include "ccbt/util/error.hpp"
 
 namespace ccbt {
 
@@ -26,23 +33,35 @@ struct CommStats {
   std::uint64_t max_step_recv = 0;     // max entries one rank received
                                        // in one superstep
 
-  /// Wire volume of the off-rank traffic (key + count per entry).
+  /// Wire size of one entry: key plus the lane-count vector.
+  std::uint64_t entry_bytes = sizeof(TableKey) + sizeof(Count);
+
+  /// Wire volume of the off-rank traffic.
   std::uint64_t off_rank_bytes() const {
-    return off_rank_entries * (sizeof(TableKey) + sizeof(Count));
+    return off_rank_entries * entry_bytes;
   }
 };
 
-class VirtualComm {
+template <int B>
+class VirtualCommT {
  public:
+  using Entry = TableEntryT<B>;
+
   /// Throws Error when ranks == 0.
-  explicit VirtualComm(std::uint32_t ranks);
+  explicit VirtualCommT(std::uint32_t ranks) {
+    if (ranks == 0) throw Error("VirtualComm: need at least one rank");
+    outbox_.resize(ranks);
+    inbox_.resize(ranks);
+    stats_.entry_bytes =
+        sizeof(TableKey) + sizeof(typename LaneOps<B>::Vec);
+  }
 
   std::uint32_t num_ranks() const {
     return static_cast<std::uint32_t>(outbox_.size());
   }
 
   /// Queue `e` from rank `from` to rank `to`; visible after exchange().
-  void send(std::uint32_t from, std::uint32_t to, const TableEntry& e) {
+  void send(std::uint32_t from, std::uint32_t to, const Entry& e) {
     outbox_[from].push_back({to, e});
     ++stats_.entries_sent;
     if (from != to) ++stats_.off_rank_entries;
@@ -50,27 +69,65 @@ class VirtualComm {
 
   /// Deliver all queued entries (replacing previous inboxes) and close
   /// the superstep.
-  void exchange();
+  void exchange() {
+    for (auto& in : inbox_) in.clear();
+    // Senders drain in rank order, each in send order: deterministic
+    // delivery independent of any real interleaving.
+    for (auto& out : outbox_) {
+      for (const Queued& q : out) inbox_[q.to].push_back(q.entry);
+      out.clear();
+    }
+    for (const auto& in : inbox_) {
+      stats_.max_step_recv = std::max(
+          stats_.max_step_recv, static_cast<std::uint64_t>(in.size()));
+    }
+    ++stats_.supersteps;
+  }
 
   /// Entries delivered to `rank` by the last exchange.
-  const std::vector<TableEntry>& inbox(std::uint32_t rank) const {
+  const std::vector<Entry>& inbox(std::uint32_t rank) const {
     return inbox_[rank];
   }
 
+  /// Move `rank`'s delivered entries out (the next exchange() resets the
+  /// inbox anyway); lets collectors adopt the buffer without a copy.
+  std::vector<Entry> take_inbox(std::uint32_t rank) {
+    return std::move(inbox_[rank]);
+  }
+
   /// Sum one per-rank contribution vector (MPI_Allreduce stand-in).
-  Count allreduce_sum(const std::vector<Count>& parts) const;
+  Count allreduce_sum(const std::vector<Count>& parts) const {
+    Count sum = 0;
+    for (Count c : parts) sum += c;
+    return sum;
+  }
+
+  /// Lane-wise allreduce over per-rank lane-total vectors.
+  typename LaneOps<B>::Vec allreduce_sum_lanes(
+      const std::vector<typename LaneOps<B>::Vec>& parts) const {
+    auto sum = LaneOps<B>::zero();
+    for (const auto& p : parts) LaneOps<B>::add(sum, p);
+    return sum;
+  }
 
   const CommStats& stats() const { return stats_; }
 
  private:
   struct Queued {
     std::uint32_t to;
-    TableEntry entry;
+    Entry entry;
   };
 
   std::vector<std::vector<Queued>> outbox_;  // per sender, in send order
-  std::vector<std::vector<TableEntry>> inbox_;
+  std::vector<std::vector<Entry>> inbox_;
   CommStats stats_;
 };
+
+using VirtualComm = VirtualCommT<1>;
+
+extern template class VirtualCommT<1>;
+extern template class VirtualCommT<2>;
+extern template class VirtualCommT<4>;
+extern template class VirtualCommT<8>;
 
 }  // namespace ccbt

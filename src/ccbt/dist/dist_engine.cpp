@@ -17,179 +17,158 @@ namespace ccbt {
 
 namespace {
 
+// The per-entry join logic lives in the kernels of engine/primitives.hpp,
+// shared verbatim with the shared-memory engine — that sharing is what
+// guarantees exact load-model parity at every batch width. This file only
+// routes kernel emissions through the transport.
+
 /// Distributed execution state threaded through every primitive: the
 /// shared-memory ExecContext (whose LoadModel the primitives charge
 /// exactly as the shared engine does) plus the transport.
+template <int B>
 struct Dx {
   const ExecContext& cx;
-  VirtualComm& comm;
+  VirtualCommT<B>& comm;
   std::size_t budget;
   VertexId domain;  // data-graph vertex count (bucket-index domain)
 
   const BlockPartition& part() const { return cx.part; }
   std::uint32_t ranks() const { return comm.num_ranks(); }
   std::uint32_t owner(VertexId v) const { return cx.part.owner(v); }
+
+  /// Kernel emission routed to the owner of the key's `home` slot vertex.
+  auto route_to_slot(std::uint32_t from, int home) {
+    return [this, from, home](const TableKey& key,
+                              const typename LaneOps<B>::Vec& cnt) {
+      comm.send(from, owner(key.v[home]), {key, cnt});
+    };
+  }
 };
 
 /// Deliver the queued emissions and collect them into a path table:
 /// entry (.., v, ..) lives with owner(v) (home slot 1, Section 7).
-DistTable collect_path(Dx& dx, int arity) {
+template <int B>
+DistTableT<B> collect_path(Dx<B>& dx, int arity) {
   dx.comm.exchange();
-  return DistTable::collect(arity, /*home_slot=*/1, dx.comm,
-                            SortOrder::kUnsorted, dx.budget, dx.domain);
+  return DistTableT<B>::collect(arity, /*home_slot=*/1, dx.comm,
+                                SortOrder::kUnsorted, dx.budget, dx.domain);
 }
 
-DistTable d_init_path_from_graph(Dx& dx, const ExtendOpts& o) {
+template <int B>
+DistTableT<B> d_init_path_from_graph(Dx<B>& dx, const ExtendOpts& o) {
   const ExecContext& cx = dx.cx;
-  const CsrGraph& g = cx.g;
   for (std::uint32_t r = 0; r < dx.ranks(); ++r) {
+    auto emit = dx.route_to_slot(r, 1);
     for (VertexId u = dx.part().begin(r); u < dx.part().end(r); ++u) {
-      cx.charge(u, g.degree(u));
-      for (VertexId w : g.neighbors(u)) {
-        if (o.anchor_higher && !cx.order.higher(u, w)) continue;
-        if (cx.chi.color(u) == cx.chi.color(w)) continue;
-        TableKey key;
-        key.v[0] = u;
-        key.v[1] = w;
-        if (o.track_slot >= 0) key.v[o.track_slot] = w;
-        key.sig = cx.chi.bit(u) | cx.chi.bit(w);
-        dx.comm.send(r, dx.owner(w), {key, 1});
-        cx.send(u, w, 1);
-      }
+      kernel_init_from_graph<B>(cx, u, o, emit);
     }
   }
-  DistTable t = collect_path(dx, 2);
+  DistTableT<B> t = collect_path(dx, 2);
   cx.end_phase();
   return t;
 }
 
-DistTable d_init_path_from_child(Dx& dx, const DistTable& child,
-                                 const ExtendOpts& o) {
+template <int B>
+DistTableT<B> d_init_path_from_child(Dx<B>& dx, const DistTableT<B>& child,
+                                     const ExtendOpts& o) {
   const ExecContext& cx = dx.cx;
   for (std::uint32_t r = 0; r < dx.ranks(); ++r) {
-    for (const TableEntry& e : child.shard(r).entries()) {
-      const VertexId a = e.key.v[0];
-      const VertexId b = e.key.v[1];
-      cx.charge(b, 1);
-      if (o.anchor_higher && !cx.order.higher(a, b)) continue;
-      TableKey key;
-      key.v[0] = a;
-      key.v[1] = b;
-      if (o.track_slot >= 0) key.v[o.track_slot] = b;
-      key.sig = e.key.sig;
-      dx.comm.send(r, dx.owner(b), {key, e.cnt});
+    auto emit = dx.route_to_slot(r, 1);
+    for (const TableEntryT<B>& e : child.shard(r).entries()) {
+      kernel_init_from_child<B>(cx, e, /*flip=*/false, o, emit);
     }
   }
-  DistTable t = collect_path(dx, 2);
+  DistTableT<B> t = collect_path(dx, 2);
   cx.end_phase();
   return t;
 }
 
-DistTable d_extend_with_graph(Dx& dx, const DistTable& path,
-                              const ExtendOpts& o) {
+template <int B>
+DistTableT<B> d_extend_with_graph(Dx<B>& dx, DistTableT<B>& path,
+                                  const ExtendOpts& o) {
   const ExecContext& cx = dx.cx;
-  const CsrGraph& g = cx.g;
+  // The shared engine's batched extension seals (and thereby merges) the
+  // path before iterating; sealing the shards keeps the iterated row
+  // multiset — and hence every load-model charge — in exact parity.
+  if constexpr (B > 1) path.seal_shards(SortOrder::kByV1, dx.domain);
   for (std::uint32_t r = 0; r < dx.ranks(); ++r) {
-    for (const TableEntry& e : path.shard(r).entries()) {
-      const VertexId v = e.key.v[1];
-      cx.charge(v, g.degree(v));
-      for (VertexId w : g.neighbors(v)) {
-        if (o.anchor_higher && !cx.order.higher(e.key.v[0], w)) continue;
-        const Signature w_bit = cx.chi.bit(w);
-        if ((e.key.sig & w_bit) != 0) continue;
-        TableKey key = e.key;
-        key.v[1] = w;
-        if (o.track_slot >= 0) key.v[o.track_slot] = w;
-        key.sig = e.key.sig | w_bit;
-        dx.comm.send(r, dx.owner(w), {key, e.cnt});
-        cx.send(v, w, 1);
-      }
+    auto emit = dx.route_to_slot(r, 1);
+    for (const TableEntryT<B>& e : path.shard(r).entries()) {
+      kernel_extend_with_graph<B>(cx, e, o, emit);
     }
   }
-  DistTable t = collect_path(dx, path.arity());
+  DistTableT<B> t = collect_path(dx, path.arity());
   cx.end_phase();
   return t;
 }
 
-DistTable d_extend_with_child(Dx& dx, const DistTable& path,
-                              const DistTable& child, const ExtendOpts& o) {
+template <int B>
+DistTableT<B> d_extend_with_child(Dx<B>& dx, DistTableT<B>& path,
+                                  const DistTableT<B>& child,
+                                  const ExtendOpts& o) {
   const ExecContext& cx = dx.cx;
+  if constexpr (B > 1) path.seal_shards(SortOrder::kByV1, dx.domain);
   // Path entries with frontier v and child entries (v, w, ..) are
   // co-located at owner(v): the EdgeJoin probe is rank-local.
   for (std::uint32_t r = 0; r < dx.ranks(); ++r) {
-    const ProjTable& child_shard = child.shard(r);
-    for (const TableEntry& e : path.shard(r).entries()) {
-      const VertexId v = e.key.v[1];
-      const Signature v_bit = cx.chi.bit(v);
-      const auto group = child_shard.group(0, v);
-      cx.charge(v, group.size());
-      for (const TableEntry& ce : group) {
-        if (!node_join_compatible(e.key.sig, ce.key.sig, v_bit)) continue;
-        const VertexId w = ce.key.v[1];
-        if (o.anchor_higher && !cx.order.higher(e.key.v[0], w)) continue;
-        TableKey key = e.key;
-        key.v[1] = w;
-        if (o.track_slot >= 0) key.v[o.track_slot] = w;
-        key.sig = e.key.sig | ce.key.sig;
-        dx.comm.send(r, dx.owner(w), {key, e.cnt * ce.cnt});
-        cx.send(v, w, 1);
-      }
+    const ProjTableT<B>& child_shard = child.shard(r);
+    auto emit = dx.route_to_slot(r, 1);
+    for (const TableEntryT<B>& e : path.shard(r).entries()) {
+      kernel_extend_with_child<B>(cx, e, child_shard.group(0, e.key.v[1]),
+                                  o, emit);
     }
   }
-  DistTable t = collect_path(dx, path.arity());
+  DistTableT<B> t = collect_path(dx, path.arity());
   cx.end_phase();
   return t;
 }
 
-DistTable d_node_join(Dx& dx, const DistTable& path, const DistTable& child,
-                      int slot) {
+template <int B>
+DistTableT<B> d_node_join(Dx<B>& dx, const DistTableT<B>& path,
+                          const DistTableT<B>& child, int slot) {
   const ExecContext& cx = dx.cx;
   // The unary child lives with owner(x) (home slot 0). Probing by the
   // anchor slot needs the path rehomed there first — a transport-only
   // superstep a real implementation pays, invisible to the load model.
-  const DistTable* src = &path;
-  DistTable rehomed;
+  const DistTableT<B>* src = &path;
+  DistTableT<B> rehomed;
   if (slot == 0 && dx.ranks() > 1) {
     rehomed = path.resharded(0, dx.comm, dx.part(), SortOrder::kUnsorted,
                              dx.budget, dx.domain);
     src = &rehomed;
   }
   for (std::uint32_t r = 0; r < dx.ranks(); ++r) {
-    const ProjTable& child_shard = child.shard(r);
-    for (const TableEntry& e : src->shard(r).entries()) {
-      const VertexId x = e.key.v[slot];
-      const Signature x_bit = cx.chi.bit(x);
-      const auto group = child_shard.group(0, x);
-      cx.charge(x, group.size());
-      for (const TableEntry& ce : group) {
-        if (!node_join_compatible(e.key.sig, ce.key.sig, x_bit)) continue;
-        TableKey key = e.key;
-        key.sig = e.key.sig | ce.key.sig;
-        dx.comm.send(r, dx.owner(key.v[1]), {key, e.cnt * ce.cnt});
-      }
+    const ProjTableT<B>& child_shard = child.shard(r);
+    auto emit = dx.route_to_slot(r, 1);
+    for (const TableEntryT<B>& e : src->shard(r).entries()) {
+      kernel_node_join<B>(cx, e, child_shard.group(0, e.key.v[slot]), slot,
+                          emit);
     }
   }
-  DistTable t = collect_path(dx, path.arity());
+  DistTableT<B> t = collect_path(dx, path.arity());
   cx.end_phase();
   return t;
 }
 
 /// Merge the co-located (u, v) groups of the two half-cycle tables with
-/// the same merge_bucket kernel as the shared engine (that sharing is
-/// what keeps the load models in exact parity), routing every output to
-/// the owner of its slot-0 boundary image (the storage home of block
-/// tables); outputs of a root merge (out_arity 0) collapse to rank 0.
-/// Accumulates into the per-rank cycle sinks.
-void d_merge_halves(Dx& dx, DistTable& plus, DistTable& minus,
-                    const MergeSpec& spec, std::vector<AccumMap>& sinks) {
+/// the same merge_bucket kernel as the shared engine, routing every
+/// output to the owner of its slot-0 boundary image (the storage home of
+/// block tables); outputs of a root merge (out_arity 0) collapse to rank
+/// 0. Accumulates into the per-rank cycle sinks.
+template <int B>
+void d_merge_halves(Dx<B>& dx, DistTableT<B>& plus, DistTableT<B>& minus,
+                    const MergeSpec& spec,
+                    std::vector<AccumMapT<B>>& sinks) {
   const ExecContext& cx = dx.cx;
   plus.seal_shards(SortOrder::kByV0V1, dx.domain);
   minus.seal_shards(SortOrder::kByV0V1, dx.domain);
   for (std::uint32_t r = 0; r < dx.ranks(); ++r) {
     const auto pe = plus.shard(r).entries();
     const auto me = minus.shard(r).entries();
-    auto route = [&](const TableKey& key, Count cnt) {
-      const std::uint32_t dest = spec.out_arity >= 1 ? dx.owner(key.v[0]) : 0;
+    auto route = [&](const TableKey& key,
+                     const typename LaneOps<B>::Vec& cnt) {
+      const std::uint32_t dest =
+          spec.out_arity >= 1 ? dx.owner(key.v[0]) : 0;
       dx.comm.send(r, dest, {key, cnt});
     };
     // Two-pointer over the shard's slot-0 groups; merge_bucket handles
@@ -208,8 +187,8 @@ void d_merge_halves(Dx& dx, DistTable& plus, DistTable& minus,
       std::size_t pj = pi, mj = mi;
       while (pj < pe.size() && pe[pj].key.v[0] == u) ++pj;
       while (mj < me.size() && me[mj].key.v[0] == u) ++mj;
-      merge_bucket(cx, pe.subspan(pi, pj - pi), me.subspan(mi, mj - mi),
-                   spec, route);
+      merge_bucket<B>(cx, pe.subspan(pi, pj - pi), me.subspan(mi, mj - mi),
+                      spec, route);
       pi = pj;
       mi = mj;
     }
@@ -217,7 +196,9 @@ void d_merge_halves(Dx& dx, DistTable& plus, DistTable& minus,
   dx.comm.exchange();
   std::size_t total = 0;
   for (std::uint32_t r = 0; r < dx.ranks(); ++r) {
-    for (const TableEntry& e : dx.comm.inbox(r)) sinks[r].add(e.key, e.cnt);
+    for (const TableEntryT<B>& e : dx.comm.inbox(r)) {
+      sinks[r].add(e.key, e.cnt);
+    }
     total += sinks[r].size();
   }
   if (total > dx.budget) {
@@ -227,22 +208,23 @@ void d_merge_halves(Dx& dx, DistTable& plus, DistTable& minus,
   cx.end_phase();
 }
 
-DistTable d_aggregate(Dx& dx, const DistTable& t, int new_arity) {
+template <int B>
+DistTableT<B> d_aggregate(Dx<B>& dx, const DistTableT<B>& t, int new_arity) {
   const ExecContext& cx = dx.cx;
   for (std::uint32_t r = 0; r < dx.ranks(); ++r) {
-    for (const TableEntry& e : t.shard(r).entries()) {
-      TableKey key;
-      for (int s = 0; s < new_arity; ++s) key.v[s] = e.key.v[s];
-      key.sig = e.key.sig;
-      if (new_arity >= 1) cx.charge(key.v[0], 1);
+    auto emit = [&](const TableKey& key,
+                    const typename LaneOps<B>::Vec& cnt) {
       const std::uint32_t dest = new_arity >= 1 ? dx.owner(key.v[0]) : 0;
-      dx.comm.send(r, dest, {key, e.cnt});
+      dx.comm.send(r, dest, {key, cnt});
+    };
+    for (const TableEntryT<B>& e : t.shard(r).entries()) {
+      kernel_aggregate<B>(cx, e, new_arity, emit);
     }
   }
   dx.comm.exchange();
-  DistTable out = DistTable::collect(new_arity, /*home_slot=*/0, dx.comm,
-                                     SortOrder::kUnsorted, dx.budget,
-                                     dx.domain);
+  DistTableT<B> out =
+      DistTableT<B>::collect(new_arity, /*home_slot=*/0, dx.comm,
+                             SortOrder::kUnsorted, dx.budget, dx.domain);
   cx.end_phase();
   return out;
 }
@@ -250,6 +232,7 @@ DistTable d_aggregate(Dx& dx, const DistTable& t, int new_arity) {
 /// Solved child-block tables: stored home slot 0, shards sealed kByV0
 /// (the same convention as the shared TablePool), with lazily cached
 /// transposes produced by a transport superstep.
+template <int B>
 class DistPool {
  public:
   DistPool(std::size_t num_blocks, VertexId domain)
@@ -258,14 +241,14 @@ class DistPool {
         has_transposed_(num_blocks, false),
         domain_(domain) {}
 
-  void store(int block, DistTable table) {
+  void store(int block, DistTableT<B> table) {
     table.seal_shards(SortOrder::kByV0, domain_);
     tables_[block] = std::move(table);
   }
 
-  const DistTable& get(int block) const { return tables_[block]; }
+  const DistTableT<B>& get(int block) const { return tables_[block]; }
 
-  const DistTable& oriented(Dx& dx, int block, bool transposed) {
+  const DistTableT<B>& oriented(Dx<B>& dx, int block, bool transposed) {
     if (!transposed) return tables_[block];
     if (!has_transposed_[block]) {
       transposed_[block] = tables_[block].transposed(dx.comm, dx.part(),
@@ -276,26 +259,27 @@ class DistPool {
   }
 
  private:
-  std::vector<DistTable> tables_;
-  std::vector<DistTable> transposed_;
+  std::vector<DistTableT<B>> tables_;
+  std::vector<DistTableT<B>> transposed_;
   std::vector<bool> has_transposed_;
   VertexId domain_;
 };
 
-DistTable d_build_path(Dx& dx, const Block& blk, DistPool& pool,
-                       const PathSpec& spec) {
+template <int B>
+DistTableT<B> d_build_path(Dx<B>& dx, const Block& blk, DistPool<B>& pool,
+                           const PathSpec& spec) {
   const std::size_t steps = spec.positions.size();
   if (steps < 2) throw Error("build_path: path needs at least one edge");
 
   ExtendOpts init_opts{spec.track_slot_at[1], spec.anchor_higher};
-  DistTable table;
+  DistTableT<B> table;
   {
     const int e0 = spec.edge_index[0];
     const int child = blk.edge_child[e0];
     if (child < 0) {
       table = d_init_path_from_graph(dx, init_opts);
     } else {
-      const DistTable& oriented = pool.oriented(
+      const DistTableT<B>& oriented = pool.oriented(
           dx, child, needs_transpose(blk, e0, spec.edge_forward[0]));
       table = d_init_path_from_child(dx, oriented, init_opts);
     }
@@ -322,7 +306,7 @@ DistTable d_build_path(Dx& dx, const Block& blk, DistPool& pool,
     if (child < 0) {
       table = d_extend_with_graph(dx, table, opts);
     } else {
-      const DistTable& oriented = pool.oriented(
+      const DistTableT<B>& oriented = pool.oriented(
           dx, child, needs_transpose(blk, e, spec.edge_forward[s]));
       table = d_extend_with_child(dx, table, oriented, opts);
     }
@@ -330,23 +314,26 @@ DistTable d_build_path(Dx& dx, const Block& blk, DistPool& pool,
   return table;
 }
 
-DistTable d_solve_cycle(Dx& dx, const Block& blk, DistPool& pool) {
-  std::vector<AccumMap> sinks(dx.ranks());
+template <int B>
+DistTableT<B> d_solve_cycle(Dx<B>& dx, const Block& blk, DistPool<B>& pool) {
+  std::vector<AccumMapT<B>> sinks(dx.ranks());
   for (const SplitPlan& plan : splits_for(blk, dx.cx.opts.algo)) {
-    DistTable plus = d_build_path(dx, blk, pool, plan.plus);
-    DistTable minus = d_build_path(dx, blk, pool, plan.minus);
+    DistTableT<B> plus = d_build_path(dx, blk, pool, plan.plus);
+    DistTableT<B> minus = d_build_path(dx, blk, pool, plan.minus);
     d_merge_halves(dx, plus, minus, plan.merge, sinks);
   }
-  return DistTable::from_maps(blk.boundary_count(), /*home_slot=*/0,
-                              std::move(sinks));
+  return DistTableT<B>::from_maps(blk.boundary_count(), /*home_slot=*/0,
+                                  std::move(sinks));
 }
 
-DistTable d_solve_leaf_edge(Dx& dx, const Block& blk, DistPool& pool) {
+template <int B>
+DistTableT<B> d_solve_leaf_edge(Dx<B>& dx, const Block& blk,
+                                DistPool<B>& pool) {
   if (blk.kind != BlockKind::kLeafEdge) {
     throw Error("solve_leaf_edge: not a leaf-edge block");
   }
   ExtendOpts no_opts;
-  DistTable table;
+  DistTableT<B> table;
   const int edge_child = blk.edge_child[0];
   if (edge_child < 0) {
     table = d_init_path_from_graph(dx, no_opts);
@@ -363,28 +350,34 @@ DistTable d_solve_leaf_edge(Dx& dx, const Block& blk, DistPool& pool) {
   return d_aggregate(dx, table, /*new_arity=*/1);
 }
 
-}  // namespace
-
-DistStats run_plan_distributed(const CsrGraph& g, const DecompTree& tree,
-                               const Coloring& chi, std::uint32_t ranks,
-                               ExecOptions opts) {
-  if (tree.root < 0) throw Error("run_plan_distributed: tree has no root");
+template <int B>
+DistStats run_plan_distributed_impl(const CsrGraph& g, const DecompTree& tree,
+                                    const ColoringBatch& batch,
+                                    std::uint32_t ranks, ExecOptions opts) {
   Timer timer;
   const DegreeOrder order = opts.order_by_id
                                 ? DegreeOrder::by_id(g.num_vertices())
                                 : DegreeOrder(g);
   LoadModel load(ranks);
   const ExecContext cx{g,
-                       chi,
+                       batch,
                        order,
                        BlockPartition(g.num_vertices(), ranks),
                        &load,
                        opts};
-  VirtualComm comm(ranks);
-  Dx dx{cx, comm, opts.max_table_entries, g.num_vertices()};
-  DistPool pool(tree.blocks.size(), g.num_vertices());
+  VirtualCommT<B> comm(ranks);
+  Dx<B> dx{cx, comm, opts.max_table_entries, g.num_vertices()};
+  DistPool<B> pool(tree.blocks.size(), g.num_vertices());
 
   DistStats stats;
+  stats.lanes_used = batch.lanes();
+  auto record_root = [&](const typename LaneOps<B>::Vec& totals) {
+    for (int l = 0; l < B; ++l) {
+      stats.colorful_lane[l] = LaneOps<B>::lane(totals, l);
+    }
+    stats.colorful = stats.colorful_lane[0];
+  };
+
   for (std::size_t i = 0; i < tree.blocks.size(); ++i) {
     const Block& blk = tree.blocks[i];
     const bool is_root = (static_cast<int>(i) == tree.root);
@@ -394,20 +387,24 @@ DistStats run_plan_distributed(const CsrGraph& g, const DecompTree& tree,
         throw Error("run_plan_distributed: singleton below the root");
       }
       if (blk.node_child[0] >= 0) {
-        stats.colorful =
-            comm.allreduce_sum(pool.get(blk.node_child[0]).shard_totals());
+        record_root(comm.allreduce_sum_lanes(
+            pool.get(blk.node_child[0]).shard_lane_totals()));
       } else {
-        // Single-node query: every data vertex is a colorful match.
+        // Single-node query: every data vertex is a colorful match under
+        // every coloring.
+        for (int l = 0; l < B; ++l) {
+          stats.colorful_lane[l] = g.num_vertices();
+        }
         stats.colorful = g.num_vertices();
       }
       break;
     }
 
-    DistTable table = (blk.kind == BlockKind::kLeafEdge)
-                          ? d_solve_leaf_edge(dx, blk, pool)
-                          : d_solve_cycle(dx, blk, pool);
+    DistTableT<B> table = (blk.kind == BlockKind::kLeafEdge)
+                              ? d_solve_leaf_edge(dx, blk, pool)
+                              : d_solve_cycle(dx, blk, pool);
     if (is_root) {
-      stats.colorful = comm.allreduce_sum(table.shard_totals());
+      record_root(comm.allreduce_sum_lanes(table.shard_lane_totals()));
       break;
     }
     pool.store(static_cast<int>(i), std::move(table));
@@ -421,6 +418,28 @@ DistStats run_plan_distributed(const CsrGraph& g, const DecompTree& tree,
   stats.total_comm = load.total_comm();
   stats.transport = comm.stats();
   return stats;
+}
+
+}  // namespace
+
+DistStats run_plan_distributed(const CsrGraph& g, const DecompTree& tree,
+                               const Coloring& chi, std::uint32_t ranks,
+                               ExecOptions opts) {
+  return run_plan_distributed(g, tree, ColoringBatch(chi), ranks, opts);
+}
+
+DistStats run_plan_distributed(const CsrGraph& g, const DecompTree& tree,
+                               const ColoringBatch& batch,
+                               std::uint32_t ranks, ExecOptions opts) {
+  if (tree.root < 0) throw Error("run_plan_distributed: tree has no root");
+  switch (batch.lanes()) {
+    case 1: return run_plan_distributed_impl<1>(g, tree, batch, ranks, opts);
+    case 2: return run_plan_distributed_impl<2>(g, tree, batch, ranks, opts);
+    case 4: return run_plan_distributed_impl<4>(g, tree, batch, ranks, opts);
+    case 8: return run_plan_distributed_impl<8>(g, tree, batch, ranks, opts);
+    default: break;
+  }
+  throw Error("run_plan_distributed: batch width must be 1, 2, 4 or 8");
 }
 
 }  // namespace ccbt

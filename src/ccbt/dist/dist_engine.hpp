@@ -12,6 +12,7 @@
 // the model cannot see: the actual transport volume, including the
 // resharding and orientation supersteps a real MPI implementation pays.
 
+#include <array>
 #include <cstdint>
 
 #include "ccbt/decomp/block.hpp"
@@ -24,7 +25,13 @@
 namespace ccbt {
 
 struct DistStats {
+  /// Lane-0 colorful count (the full answer of a single-coloring run).
   Count colorful = 0;
+
+  /// Per-lane colorful counts; lanes_used entries are meaningful.
+  std::array<Count, kMaxBatchLanes> colorful_lane{};
+  int lanes_used = 1;
+
   double wall_seconds = 0.0;
 
   // Modeled load — exact parity with the shared engine's ExecStats when
@@ -47,5 +54,13 @@ struct DistStats {
 DistStats run_plan_distributed(const CsrGraph& g, const DecompTree& tree,
                                const Coloring& chi, std::uint32_t ranks,
                                ExecOptions opts = {});
+
+/// Batched variant: one distributed execution over every lane of `batch`
+/// (1, 2, 4 or 8 lanes — other widths throw Error). Lane l of
+/// stats.colorful_lane matches a single-coloring distributed run under
+/// batch.lane(l); supersteps serialize whole lane-count vectors.
+DistStats run_plan_distributed(const CsrGraph& g, const DecompTree& tree,
+                               const ColoringBatch& batch,
+                               std::uint32_t ranks, ExecOptions opts = {});
 
 }  // namespace ccbt

@@ -1,113 +1,10 @@
 #include "ccbt/dist/dist_table.hpp"
 
-#include <string>
-#include <utility>
-
-#include "ccbt/util/error.hpp"
-
 namespace ccbt {
 
-DistTable DistTable::collect(int arity, int home_slot, VirtualComm& comm,
-                             SortOrder order, std::size_t budget,
-                             VertexId domain) {
-  DistTable t;
-  t.arity_ = arity;
-  t.home_slot_ = home_slot;
-  t.shards_.resize(comm.num_ranks());
-  std::size_t total = 0;
-  for (std::uint32_t r = 0; r < comm.num_ranks(); ++r) {
-    const std::vector<TableEntry>& in = comm.inbox(r);
-    AccumMap map(in.size());
-    for (const TableEntry& e : in) map.add(e.key, e.cnt);
-    total += map.size();
-    if (total > budget) {
-      throw BudgetExceeded("distributed table exceeded " +
-                           std::to_string(budget) + " entries");
-    }
-    ProjTable shard = ProjTable::from_map(arity, std::move(map));
-    shard.seal(order, domain);
-    t.shards_[r] = std::move(shard);
-  }
-  return t;
-}
-
-DistTable DistTable::from_maps(int arity, int home_slot,
-                               std::vector<AccumMap> maps) {
-  DistTable t;
-  t.arity_ = arity;
-  t.home_slot_ = home_slot;
-  t.shards_.reserve(maps.size());
-  for (AccumMap& m : maps) {
-    t.shards_.push_back(ProjTable::from_map(arity, std::move(m)));
-  }
-  return t;
-}
-
-std::size_t DistTable::size() const {
-  std::size_t sum = 0;
-  for (const ProjTable& s : shards_) sum += s.size();
-  return sum;
-}
-
-Count DistTable::total() const {
-  Count sum = 0;
-  for (const ProjTable& s : shards_) sum += s.total();
-  return sum;
-}
-
-std::vector<Count> DistTable::shard_totals() const {
-  std::vector<Count> parts(shards_.size(), 0);
-  for (std::size_t r = 0; r < shards_.size(); ++r) {
-    parts[r] = shards_[r].total();
-  }
-  return parts;
-}
-
-bool DistTable::well_placed(const BlockPartition& part) const {
-  for (std::uint32_t r = 0; r < num_shards(); ++r) {
-    for (const TableEntry& e : shards_[r].entries()) {
-      if (part.owner(e.key.v[home_slot_]) != r) return false;
-    }
-  }
-  return true;
-}
-
-ProjTable DistTable::gather() const {
-  AccumMap map(size());
-  for (const ProjTable& s : shards_) {
-    for (const TableEntry& e : s.entries()) map.add(e.key, e.cnt);
-  }
-  return ProjTable::from_map(arity_, std::move(map));
-}
-
-DistTable DistTable::resharded(int new_home, VirtualComm& comm,
-                               const BlockPartition& part, SortOrder order,
-                               std::size_t budget, VertexId domain) const {
-  for (std::uint32_t r = 0; r < num_shards(); ++r) {
-    for (const TableEntry& e : shards_[r].entries()) {
-      comm.send(r, part.owner(e.key.v[new_home]), e);
-    }
-  }
-  comm.exchange();
-  return collect(arity_, new_home, comm, order, budget, domain);
-}
-
-DistTable DistTable::transposed(VirtualComm& comm,
-                                const BlockPartition& part,
-                                std::size_t budget, VertexId domain) const {
-  for (std::uint32_t r = 0; r < num_shards(); ++r) {
-    for (const TableEntry& e : shards_[r].entries()) {
-      TableEntry t = e;
-      std::swap(t.key.v[0], t.key.v[1]);
-      comm.send(r, part.owner(t.key.v[home_slot_]), t);
-    }
-  }
-  comm.exchange();
-  return collect(arity_, home_slot_, comm, SortOrder::kByV0, budget, domain);
-}
-
-void DistTable::seal_shards(SortOrder order, VertexId domain) {
-  for (ProjTable& s : shards_) s.seal(order, domain);
-}
+template class DistTableT<1>;
+template class DistTableT<2>;
+template class DistTableT<4>;
+template class DistTableT<8>;
 
 }  // namespace ccbt

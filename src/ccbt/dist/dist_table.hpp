@@ -9,32 +9,82 @@
 //
 // Movement between placements (resharding, transposition) happens through
 // VirtualComm supersteps, so the transport statistics account for it.
+//
+// Parameterized on the batch width B: shards hold lane-indexed entries
+// and every superstep serializes whole lane-count vectors, so a batched
+// distributed run moves one message per signature-blocked row.
 
 #include <cstdint>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "ccbt/dist/comm.hpp"
 #include "ccbt/graph/partition.hpp"
 #include "ccbt/table/proj_table.hpp"
+#include "ccbt/util/error.hpp"
 
 namespace ccbt {
 
-class DistTable {
+template <int B>
+class DistTableT {
  public:
-  DistTable() = default;
+  using Entry = TableEntryT<B>;
+  using Vec = typename LaneOps<B>::Vec;
+
+  DistTableT() = default;
 
   /// Drain every rank's inbox (as delivered by the last exchange) into
   /// its shard, accumulating duplicate keys, and seal each shard in
   /// `order` (`domain` enables the shards' O(1) bucket index). Throws
   /// BudgetExceeded when the total entry count exceeds `budget`.
-  static DistTable collect(int arity, int home_slot, VirtualComm& comm,
-                           SortOrder order, std::size_t budget,
-                           VertexId domain = 0);
+  ///
+  /// Batched widths adopt the inbox rows flat (duplicates merge at the
+  /// shard's first sorting seal), mirroring the shared engine's flat
+  /// accumulation so both engines iterate identical row multisets — the
+  /// invariant behind their exact load-model parity.
+  static DistTableT collect(int arity, int home_slot, VirtualCommT<B>& comm,
+                            SortOrder order, std::size_t budget,
+                            VertexId domain = 0) {
+    DistTableT t;
+    t.arity_ = arity;
+    t.home_slot_ = home_slot;
+    t.shards_.resize(comm.num_ranks());
+    std::size_t total = 0;
+    for (std::uint32_t r = 0; r < comm.num_ranks(); ++r) {
+      ProjTableT<B> shard;
+      if constexpr (B == 1) {
+        const std::vector<Entry>& in = comm.inbox(r);
+        AccumMapT<B> map(in.size());
+        for (const Entry& e : in) map.add(e.key, e.cnt);
+        shard = ProjTableT<B>::from_map(arity, std::move(map));
+      } else {
+        shard = ProjTableT<B>::from_flat(arity, comm.take_inbox(r));
+      }
+      total += shard.size();
+      if (total > budget) {
+        throw BudgetExceeded("distributed table exceeded " +
+                             std::to_string(budget) + " entries");
+      }
+      shard.seal(order, domain);
+      t.shards_[r] = std::move(shard);
+    }
+    return t;
+  }
 
   /// Materialize from per-rank accumulation maps (the cycle solver's
   /// merge sinks), one shard per map; shards stay unsealed.
-  static DistTable from_maps(int arity, int home_slot,
-                             std::vector<AccumMap> maps);
+  static DistTableT from_maps(int arity, int home_slot,
+                              std::vector<AccumMapT<B>> maps) {
+    DistTableT t;
+    t.arity_ = arity;
+    t.home_slot_ = home_slot;
+    t.shards_.reserve(maps.size());
+    for (AccumMapT<B>& m : maps) {
+      t.shards_.push_back(ProjTableT<B>::from_map(arity, std::move(m)));
+    }
+    return t;
+  }
 
   int arity() const { return arity_; }
   int home_slot() const { return home_slot_; }
@@ -44,40 +94,106 @@ class DistTable {
   }
 
   /// Total entries across all shards.
-  std::size_t size() const;
+  std::size_t size() const {
+    std::size_t sum = 0;
+    for (const auto& s : shards_) sum += s.size();
+    return sum;
+  }
 
-  /// Total count across all shards (the root's colorful count).
-  Count total() const;
+  /// Total lane-0 count across all shards.
+  Count total() const {
+    Count sum = 0;
+    for (const auto& s : shards_) sum += s.total();
+    return sum;
+  }
 
-  const ProjTable& shard(std::uint32_t rank) const { return shards_[rank]; }
+  const ProjTableT<B>& shard(std::uint32_t rank) const {
+    return shards_[rank];
+  }
 
-  /// Per-shard totals, one slot per rank (allreduce input).
-  std::vector<Count> shard_totals() const;
+  /// Per-shard lane-0 totals, one slot per rank (allreduce input).
+  std::vector<Count> shard_totals() const {
+    std::vector<Count> parts(shards_.size(), 0);
+    for (std::size_t r = 0; r < shards_.size(); ++r) {
+      parts[r] = shards_[r].total();
+    }
+    return parts;
+  }
+
+  /// Per-shard per-lane totals (lane-wise allreduce input).
+  std::vector<Vec> shard_lane_totals() const {
+    std::vector<Vec> parts(shards_.size());
+    for (std::size_t r = 0; r < shards_.size(); ++r) {
+      parts[r] = shards_[r].lane_totals();
+    }
+    return parts;
+  }
 
   /// Every entry lives on the owner of its home-slot vertex.
-  bool well_placed(const BlockPartition& part) const;
+  bool well_placed(const BlockPartition& part) const {
+    for (std::uint32_t r = 0; r < num_shards(); ++r) {
+      for (const Entry& e : shards_[r].entries()) {
+        if (part.owner(e.key.v[home_slot_]) != r) return false;
+      }
+    }
+    return true;
+  }
 
   /// Flatten into one shared-memory table, accumulating duplicate keys.
-  ProjTable gather() const;
+  ProjTableT<B> gather() const {
+    AccumMapT<B> map(size());
+    for (const auto& s : shards_) {
+      for (const Entry& e : s.entries()) map.add(e.key, e.cnt);
+    }
+    return ProjTableT<B>::from_map(arity_, std::move(map));
+  }
 
   /// Move every entry to the owner of its `new_home` slot vertex (one
   /// superstep), sealing shards in `order`.
-  DistTable resharded(int new_home, VirtualComm& comm,
-                      const BlockPartition& part, SortOrder order,
-                      std::size_t budget, VertexId domain = 0) const;
+  DistTableT resharded(int new_home, VirtualCommT<B>& comm,
+                       const BlockPartition& part, SortOrder order,
+                       std::size_t budget, VertexId domain = 0) const {
+    for (std::uint32_t r = 0; r < num_shards(); ++r) {
+      for (const Entry& e : shards_[r].entries()) {
+        comm.send(r, part.owner(e.key.v[new_home]), e);
+      }
+    }
+    comm.exchange();
+    return collect(arity_, new_home, comm, order, budget, domain);
+  }
 
   /// Swap key slots 0 and 1 and re-home (one superstep); shards sealed
   /// kByV0 — the storage convention for child-block tables.
-  DistTable transposed(VirtualComm& comm, const BlockPartition& part,
-                       std::size_t budget, VertexId domain = 0) const;
+  DistTableT transposed(VirtualCommT<B>& comm, const BlockPartition& part,
+                        std::size_t budget, VertexId domain = 0) const {
+    for (std::uint32_t r = 0; r < num_shards(); ++r) {
+      for (const Entry& e : shards_[r].entries()) {
+        Entry t = e;
+        std::swap(t.key.v[0], t.key.v[1]);
+        comm.send(r, part.owner(t.key.v[home_slot_]), t);
+      }
+    }
+    comm.exchange();
+    return collect(arity_, home_slot_, comm, SortOrder::kByV0, budget,
+                   domain);
+  }
 
   /// Seal every shard (used before per-shard merge joins).
-  void seal_shards(SortOrder order, VertexId domain = 0);
+  void seal_shards(SortOrder order, VertexId domain = 0) {
+    for (auto& s : shards_) s.seal(order, domain);
+  }
 
  private:
   int arity_ = 0;
   int home_slot_ = 0;
-  std::vector<ProjTable> shards_;
+  std::vector<ProjTableT<B>> shards_;
 };
+
+using DistTable = DistTableT<1>;
+
+extern template class DistTableT<1>;
+extern template class DistTableT<2>;
+extern template class DistTableT<4>;
+extern template class DistTableT<8>;
 
 }  // namespace ccbt

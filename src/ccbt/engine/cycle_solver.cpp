@@ -1,21 +1,14 @@
 #include "ccbt/engine/cycle_solver.hpp"
 
-#include "ccbt/engine/split_plan.hpp"
-#include "ccbt/util/error.hpp"
-
 namespace ccbt {
 
-ProjTable solve_cycle(const ExecContext& cx, const Block& blk,
-                      TablePool& pool) {
-  AccumMap sink;
-  for (const SplitPlan& plan : splits_for(blk, cx.opts.algo)) {
-    ProjTable plus = build_path(cx, blk, pool, plan.plus);
-    ProjTable minus = build_path(cx, blk, pool, plan.minus);
-    merge_halves(cx, plus, minus, plan.merge, sink);
-  }
-  // The merge spec emitted exactly the boundary slots, so the accumulated
-  // keys already project to the block's boundary images.
-  return ProjTable::from_map(blk.boundary_count(), std::move(sink));
-}
+template ProjTableT<1> solve_cycle<1>(const ExecContext&, const Block&,
+                                      TablePoolT<1>&);
+template ProjTableT<2> solve_cycle<2>(const ExecContext&, const Block&,
+                                      TablePoolT<2>&);
+template ProjTableT<4> solve_cycle<4>(const ExecContext&, const Block&,
+                                      TablePoolT<4>&);
+template ProjTableT<8> solve_cycle<8>(const ExecContext&, const Block&,
+                                      TablePoolT<8>&);
 
 }  // namespace ccbt

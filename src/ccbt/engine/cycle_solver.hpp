@@ -3,13 +3,34 @@
 
 #include "ccbt/decomp/block.hpp"
 #include "ccbt/engine/path_builder.hpp"
+#include "ccbt/engine/split_plan.hpp"
 
 namespace ccbt {
 
 /// Compute the projection table of a (possibly annotated) cycle block.
 /// Output arity equals the block's boundary count; keys are ordered
 /// (nodes[boundary_pos[0]], nodes[boundary_pos[1]]).
-ProjTable solve_cycle(const ExecContext& cx, const Block& blk,
-                      TablePool& pool);
+template <int B>
+ProjTableT<B> solve_cycle(const ExecContext& cx, const Block& blk,
+                          TablePoolT<B>& pool) {
+  AccumMapT<B> sink(16, cx.opts.compact_accum);
+  for (const SplitPlan& plan : splits_for(blk, cx.opts.algo)) {
+    ProjTableT<B> plus = build_path<B>(cx, blk, pool, plan.plus);
+    ProjTableT<B> minus = build_path<B>(cx, blk, pool, plan.minus);
+    merge_halves<B>(cx, plus, minus, plan.merge, sink);
+  }
+  // The merge spec emitted exactly the boundary slots, so the accumulated
+  // keys already project to the block's boundary images.
+  return ProjTableT<B>::from_map(blk.boundary_count(), std::move(sink));
+}
+
+extern template ProjTableT<1> solve_cycle<1>(const ExecContext&, const Block&,
+                                             TablePoolT<1>&);
+extern template ProjTableT<2> solve_cycle<2>(const ExecContext&, const Block&,
+                                             TablePoolT<2>&);
+extern template ProjTableT<4> solve_cycle<4>(const ExecContext&, const Block&,
+                                             TablePoolT<4>&);
+extern template ProjTableT<8> solve_cycle<8>(const ExecContext&, const Block&,
+                                             TablePoolT<8>&);
 
 }  // namespace ccbt

@@ -44,11 +44,15 @@ struct ExecOptions {
 
   /// Use OpenMP in the join primitives.
   bool use_threads = true;
+
+  /// Accumulate single-coloring joins through the packed 16-byte AccumMap
+  /// rows when keys permit (see table/accum_map.hpp).
+  bool compact_accum = true;
 };
 
 struct ExecContext {
   const CsrGraph& g;
-  const Coloring& chi;
+  ColoringBatch chi;  // 1..kMaxBatchLanes colorings; lane 0 = scalar view
   const DegreeOrder& order;
   BlockPartition part;       // ownership map for the load model
   LoadModel* load = nullptr;  // optional

@@ -10,11 +10,21 @@
 
 namespace ccbt {
 
-ExecStats run_plan(const ExecContext& cx, const DecompTree& tree) {
-  if (tree.root < 0) throw Error("run_plan: tree has no root");
+namespace {
+
+template <int B>
+ExecStats run_plan_impl(const ExecContext& cx, const DecompTree& tree) {
   Timer timer;
   ExecStats stats;
-  TablePool pool(tree.blocks.size(), cx.g.num_vertices());
+  stats.lanes_used = cx.chi.lanes();
+  TablePoolT<B> pool(tree.blocks.size(), cx.g.num_vertices());
+
+  auto record_root = [&](const typename LaneOps<B>::Vec& totals) {
+    for (int l = 0; l < B; ++l) {
+      stats.colorful_lane[l] = LaneOps<B>::lane(totals, l);
+    }
+    stats.colorful = stats.colorful_lane[0];
+  };
 
   for (std::size_t i = 0; i < tree.blocks.size(); ++i) {
     const Block& blk = tree.blocks[i];
@@ -23,21 +33,25 @@ ExecStats run_plan(const ExecContext& cx, const DecompTree& tree) {
     if (blk.kind == BlockKind::kSingleton) {
       if (!is_root) throw Error("run_plan: singleton below the root");
       if (blk.node_child[0] >= 0) {
-        stats.colorful = pool.get(blk.node_child[0]).total();
+        record_root(pool.get(blk.node_child[0]).lane_totals());
       } else {
-        // Single-node query: every data vertex is a colorful match.
+        // Single-node query: every data vertex is a colorful match under
+        // every coloring.
+        for (int l = 0; l < B; ++l) {
+          stats.colorful_lane[l] = cx.g.num_vertices();
+        }
         stats.colorful = cx.g.num_vertices();
       }
       break;
     }
 
-    ProjTable table = (blk.kind == BlockKind::kLeafEdge)
-                          ? solve_leaf_edge(cx, blk, pool)
-                          : solve_cycle(cx, blk, pool);
+    ProjTableT<B> table = (blk.kind == BlockKind::kLeafEdge)
+                              ? solve_leaf_edge<B>(cx, blk, pool)
+                              : solve_cycle<B>(cx, blk, pool);
     stats.peak_table_entries =
         std::max(stats.peak_table_entries, table.size());
     if (is_root) {
-      stats.colorful = table.total();
+      record_root(table.lane_totals());
       break;
     }
     pool.store(static_cast<int>(i), std::move(table));
@@ -52,6 +66,20 @@ ExecStats run_plan(const ExecContext& cx, const DecompTree& tree) {
     stats.total_comm = cx.load->total_comm();
   }
   return stats;
+}
+
+}  // namespace
+
+ExecStats run_plan(const ExecContext& cx, const DecompTree& tree) {
+  if (tree.root < 0) throw Error("run_plan: tree has no root");
+  switch (cx.chi.lanes()) {
+    case 1: return run_plan_impl<1>(cx, tree);
+    case 2: return run_plan_impl<2>(cx, tree);
+    case 4: return run_plan_impl<4>(cx, tree);
+    case 8: return run_plan_impl<8>(cx, tree);
+    default: break;
+  }
+  throw Error("run_plan: batch width must be 1, 2, 4 or 8");
 }
 
 }  // namespace ccbt

@@ -1,7 +1,10 @@
 #pragma once
 // Bottom-up traversal of the decomposition tree (Fig 3, "Overall
 // Algorithm"): solve each block from its children's projection tables;
-// the root emits the number of colorful matches.
+// the root emits the number of colorful matches — per lane, when the
+// context carries a multi-coloring batch.
+
+#include <array>
 
 #include "ccbt/decomp/block.hpp"
 #include "ccbt/engine/exec_context.hpp"
@@ -9,7 +12,13 @@
 namespace ccbt {
 
 struct ExecStats {
+  /// Lane-0 colorful count (the full answer of a single-coloring run).
   Count colorful = 0;
+
+  /// Per-lane colorful counts; lanes_used entries are meaningful.
+  std::array<Count, kMaxBatchLanes> colorful_lane{};
+  int lanes_used = 1;
+
   double wall_seconds = 0.0;
   std::size_t peak_table_entries = 0;
 
@@ -21,7 +30,8 @@ struct ExecStats {
   std::uint64_t total_comm = 0;
 };
 
-/// Count the colorful matches of the plan's query under cx.chi.
+/// Count the colorful matches of the plan's query under every lane of
+/// cx.chi (1, 2, 4 or 8 lanes — other widths throw Error).
 /// Throws BudgetExceeded when a table outgrows the configured budget.
 ExecStats run_plan(const ExecContext& cx, const DecompTree& tree);
 

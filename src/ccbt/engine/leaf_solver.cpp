@@ -1,36 +1,14 @@
 #include "ccbt/engine/leaf_solver.hpp"
 
-#include "ccbt/util/error.hpp"
-
 namespace ccbt {
 
-ProjTable solve_leaf_edge(const ExecContext& cx, const Block& blk,
-                          TablePool& pool) {
-  if (blk.kind != BlockKind::kLeafEdge) {
-    throw Error("solve_leaf_edge: not a leaf-edge block");
-  }
-  // Table keyed (π(a)=slot0, π(b)=slot1): the edge itself...
-  ExtendOpts no_opts;
-  ProjTable table;
-  const int edge_child = blk.edge_child[0];
-  if (edge_child < 0) {
-    table = init_path_from_graph(cx, no_opts);
-  } else {
-    // The child's first boundary must be the block's boundary node a.
-    table = init_path_from_child(
-        cx, pool.oriented(edge_child, blk.edge_child_flip[0]),
-        /*flip=*/false, no_opts);
-  }
-  // ...joined with the leaf node b's annotation...
-  if (blk.node_child[1] >= 0) {
-    table = node_join(cx, table, pool.get(blk.node_child[1]), /*slot=*/1);
-  }
-  // ...and the boundary node a's annotation...
-  if (blk.node_child[0] >= 0) {
-    table = node_join(cx, table, pool.get(blk.node_child[0]), /*slot=*/0);
-  }
-  // ...then projected onto a.
-  return aggregate(cx, table, /*new_arity=*/1);
-}
+template ProjTableT<1> solve_leaf_edge<1>(const ExecContext&, const Block&,
+                                          TablePoolT<1>&);
+template ProjTableT<2> solve_leaf_edge<2>(const ExecContext&, const Block&,
+                                          TablePoolT<2>&);
+template ProjTableT<4> solve_leaf_edge<4>(const ExecContext&, const Block&,
+                                          TablePoolT<4>&);
+template ProjTableT<8> solve_leaf_edge<8>(const ExecContext&, const Block&,
+                                          TablePoolT<8>&);
 
 }  // namespace ccbt

@@ -1,85 +1,18 @@
 #include "ccbt/engine/path_builder.hpp"
 
-#include "ccbt/util/error.hpp"
-
 namespace ccbt {
-
-void TablePool::store(int block, ProjTable table) {
-  table.seal(SortOrder::kByV0, domain_);
-  if (transposed_.empty()) {
-    transposed_.resize(tables_.size());
-    has_transposed_.resize(tables_.size(), false);
-  }
-  tables_[block] = std::move(table);
-}
-
-const ProjTable& TablePool::oriented(int block, bool transposed) {
-  if (!transposed) return tables_[block];
-  if (!has_transposed_[block]) {
-    ProjTable t = tables_[block].transposed();
-    t.seal(SortOrder::kByV0, domain_);
-    transposed_[block] = std::move(t);
-    has_transposed_[block] = true;
-  }
-  return transposed_[block];
-}
-
-std::size_t TablePool::total_entries() const {
-  std::size_t sum = 0;
-  for (const auto& t : tables_) sum += t.size();
-  return sum;
-}
 
 bool needs_transpose(const Block& blk, int edge, bool forward) {
   return forward ? blk.edge_child_flip[edge] : !blk.edge_child_flip[edge];
 }
 
-ProjTable build_path(const ExecContext& cx, const Block& blk, TablePool& pool,
-                     const PathSpec& spec) {
-  const std::size_t steps = spec.positions.size();
-  if (steps < 2) throw Error("build_path: path needs at least one edge");
-
-  // --- Initial table: the first edge of the walk.
-  ExtendOpts init_opts{spec.track_slot_at[1], spec.anchor_higher};
-  ProjTable table;
-  {
-    const int e0 = spec.edge_index[0];
-    const int child = blk.edge_child[e0];
-    if (child < 0) {
-      table = init_path_from_graph(cx, init_opts);
-    } else {
-      const ProjTable& oriented =
-          pool.oriented(child, needs_transpose(blk, e0, spec.edge_forward[0]));
-      table = init_path_from_child(cx, oriented, /*flip=*/false, init_opts);
-    }
-  }
-  if (spec.include_start_annot) {
-    const int child = blk.node_child[spec.positions[0]];
-    if (child >= 0) table = node_join(cx, table, pool.get(child), /*slot=*/0);
-  }
-
-  // --- Walk: NodeJoin at each reached position, then extend (Fig 7).
-  for (std::size_t s = 1; s < steps; ++s) {
-    const bool is_end = (s + 1 == steps);
-    if (!is_end || spec.include_end_annot) {
-      const int child = blk.node_child[spec.positions[s]];
-      if (child >= 0) {
-        table = node_join(cx, table, pool.get(child), /*slot=*/1);
-      }
-    }
-    if (is_end) break;
-    ExtendOpts opts{spec.track_slot_at[s + 1], spec.anchor_higher};
-    const int e = spec.edge_index[s];
-    const int child = blk.edge_child[e];
-    if (child < 0) {
-      table = extend_with_graph(cx, table, opts);
-    } else {
-      const ProjTable& oriented =
-          pool.oriented(child, needs_transpose(blk, e, spec.edge_forward[s]));
-      table = extend_with_child(cx, table, oriented, opts);
-    }
-  }
-  return table;
-}
+template ProjTableT<1> build_path<1>(const ExecContext&, const Block&,
+                                     TablePoolT<1>&, const PathSpec&);
+template ProjTableT<2> build_path<2>(const ExecContext&, const Block&,
+                                     TablePoolT<2>&, const PathSpec&);
+template ProjTableT<4> build_path<4>(const ExecContext&, const Block&,
+                                     TablePoolT<4>&, const PathSpec&);
+template ProjTableT<8> build_path<8>(const ExecContext&, const Block&,
+                                     TablePoolT<8>&, const PathSpec&);
 
 }  // namespace ccbt

@@ -7,6 +7,10 @@
 // *tracked* into extra key slots (interior boundary nodes of the DB
 // configurations), and which of the two shared endpoints' annotations this
 // path owns (P+ owns the end's, P- owns the anchor's — Section 5.2).
+//
+// Pool and builder are parameterized on the batch width B (the aliases
+// keep the scalar names); the construction sequence itself is coloring
+// independent, so all widths share it.
 
 #include <vector>
 
@@ -14,31 +18,56 @@
 #include "ccbt/engine/exec_context.hpp"
 #include "ccbt/engine/primitives.hpp"
 #include "ccbt/table/proj_table.hpp"
+#include "ccbt/util/error.hpp"
 
 namespace ccbt {
 
 /// Solved child tables, sealed kByV0, with cached transposes. `domain`
 /// (the data graph's vertex count) lets stored tables build their O(1)
 /// bucket index at seal time.
-class TablePool {
+template <int B>
+class TablePoolT {
  public:
-  explicit TablePool(std::size_t num_blocks, VertexId domain = 0)
+  explicit TablePoolT(std::size_t num_blocks, VertexId domain = 0)
       : tables_(num_blocks), domain_(domain) {}
 
-  void store(int block, ProjTable table);
-  const ProjTable& get(int block) const { return tables_[block]; }
+  void store(int block, ProjTableT<B> table) {
+    table.seal(SortOrder::kByV0, domain_);
+    if (transposed_.empty()) {
+      transposed_.resize(tables_.size());
+      has_transposed_.resize(tables_.size(), false);
+    }
+    tables_[block] = std::move(table);
+  }
+
+  const ProjTableT<B>& get(int block) const { return tables_[block]; }
 
   /// The child table with slot 0 = `from`'s image; transposes lazily.
-  const ProjTable& oriented(int block, bool transposed);
+  const ProjTableT<B>& oriented(int block, bool transposed) {
+    if (!transposed) return tables_[block];
+    if (!has_transposed_[block]) {
+      ProjTableT<B> t = tables_[block].transposed();
+      t.seal(SortOrder::kByV0, domain_);
+      transposed_[block] = std::move(t);
+      has_transposed_[block] = true;
+    }
+    return transposed_[block];
+  }
 
-  std::size_t total_entries() const;
+  std::size_t total_entries() const {
+    std::size_t sum = 0;
+    for (const auto& t : tables_) sum += t.size();
+    return sum;
+  }
 
  private:
-  std::vector<ProjTable> tables_;
-  std::vector<ProjTable> transposed_;  // lazily filled, parallel to tables_
+  std::vector<ProjTableT<B>> tables_;
+  std::vector<ProjTableT<B>> transposed_;  // lazily filled
   std::vector<bool> has_transposed_;
   VertexId domain_ = 0;
 };
+
+using TablePool = TablePoolT<1>;
 
 struct PathSpec {
   /// Positions (indices into Block::nodes) visited, anchor first.
@@ -64,7 +93,64 @@ struct PathSpec {
 bool needs_transpose(const Block& blk, int edge, bool forward);
 
 /// Build the projection table of one half-cycle path.
-ProjTable build_path(const ExecContext& cx, const Block& blk, TablePool& pool,
-                     const PathSpec& spec);
+template <int B>
+ProjTableT<B> build_path(const ExecContext& cx, const Block& blk,
+                         TablePoolT<B>& pool, const PathSpec& spec) {
+  const std::size_t steps = spec.positions.size();
+  if (steps < 2) throw Error("build_path: path needs at least one edge");
+
+  // --- Initial table: the first edge of the walk.
+  ExtendOpts init_opts{spec.track_slot_at[1], spec.anchor_higher};
+  ProjTableT<B> table;
+  {
+    const int e0 = spec.edge_index[0];
+    const int child = blk.edge_child[e0];
+    if (child < 0) {
+      table = init_path_from_graph<B>(cx, init_opts);
+    } else {
+      const ProjTableT<B>& oriented =
+          pool.oriented(child, needs_transpose(blk, e0, spec.edge_forward[0]));
+      table = init_path_from_child<B>(cx, oriented, /*flip=*/false, init_opts);
+    }
+  }
+  if (spec.include_start_annot) {
+    const int child = blk.node_child[spec.positions[0]];
+    if (child >= 0) {
+      table = node_join<B>(cx, table, pool.get(child), /*slot=*/0);
+    }
+  }
+
+  // --- Walk: NodeJoin at each reached position, then extend (Fig 7).
+  for (std::size_t s = 1; s < steps; ++s) {
+    const bool is_end = (s + 1 == steps);
+    if (!is_end || spec.include_end_annot) {
+      const int child = blk.node_child[spec.positions[s]];
+      if (child >= 0) {
+        table = node_join<B>(cx, table, pool.get(child), /*slot=*/1);
+      }
+    }
+    if (is_end) break;
+    ExtendOpts opts{spec.track_slot_at[s + 1], spec.anchor_higher};
+    const int e = spec.edge_index[s];
+    const int child = blk.edge_child[e];
+    if (child < 0) {
+      table = extend_with_graph<B>(cx, table, opts);
+    } else {
+      const ProjTableT<B>& oriented =
+          pool.oriented(child, needs_transpose(blk, e, spec.edge_forward[s]));
+      table = extend_with_child<B>(cx, table, oriented, opts);
+    }
+  }
+  return table;
+}
+
+extern template ProjTableT<1> build_path<1>(const ExecContext&, const Block&,
+                                            TablePoolT<1>&, const PathSpec&);
+extern template ProjTableT<2> build_path<2>(const ExecContext&, const Block&,
+                                            TablePoolT<2>&, const PathSpec&);
+extern template ProjTableT<4> build_path<4>(const ExecContext&, const Block&,
+                                            TablePoolT<4>&, const PathSpec&);
+extern template ProjTableT<8> build_path<8>(const ExecContext&, const Block&,
+                                            TablePoolT<8>&, const PathSpec&);
 
 }  // namespace ccbt

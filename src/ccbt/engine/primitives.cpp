@@ -1,308 +1,36 @@
 #include "ccbt/engine/primitives.hpp"
 
-#include <atomic>
-#include <string>
-
-#include "ccbt/util/error.hpp"
-
-#ifdef _OPENMP
-#include <omp.h>
-#endif
-
 namespace ccbt {
 
-namespace {
+// Compile every supported batch width of the table-producing primitives
+// once; TUs that only call through these signatures reuse them.
+#define CCBT_INSTANTIATE_PRIMITIVES(B)                                       \
+  template ProjTableT<B> init_path_from_graph<B>(const ExecContext&,         \
+                                                 const ExtendOpts&);         \
+  template ProjTableT<B> init_path_from_child<B>(                            \
+      const ExecContext&, const ProjTableT<B>&, bool, const ExtendOpts&);    \
+  template ProjTableT<B> extend_with_graph<B>(                               \
+      const ExecContext&, ProjTableT<B>&, const ExtendOpts&);                \
+  template ProjTableT<B> extend_with_graph<B>(                               \
+      const ExecContext&, const ProjTableT<B>&, const ExtendOpts&);          \
+  template ProjTableT<B> extend_with_child<B>(const ExecContext&,            \
+                                              ProjTableT<B>&,               \
+                                              const ProjTableT<B>&,          \
+                                              const ExtendOpts&);            \
+  template ProjTableT<B> node_join<B>(const ExecContext&,                    \
+                                      const ProjTableT<B>&,                  \
+                                      const ProjTableT<B>&, int);            \
+  template void merge_halves<B>(const ExecContext&, ProjTableT<B>&,          \
+                                ProjTableT<B>&, const MergeSpec&,            \
+                                AccumMapT<B>&);                              \
+  template ProjTableT<B> aggregate<B>(const ExecContext&,                    \
+                                      const ProjTableT<B>&, int);
 
-void check_budget(const ExecContext& cx, std::size_t size) {
-  if (size > cx.opts.max_table_entries) {
-    throw BudgetExceeded("projection table exceeded " +
-                         std::to_string(cx.opts.max_table_entries) +
-                         " entries");
-  }
-}
+CCBT_INSTANTIATE_PRIMITIVES(1)
+CCBT_INSTANTIATE_PRIMITIVES(2)
+CCBT_INSTANTIATE_PRIMITIVES(4)
+CCBT_INSTANTIATE_PRIMITIVES(8)
 
-#ifdef _OPENMP
-int pool_threads() { return omp_get_max_threads(); }
-#endif
-
-/// Reduce per-thread accumulation maps into one, pre-sized so the merge
-/// runs without intermediate rehashes. Single-producer case moves instead.
-AccumMap reduce_maps(const ExecContext& cx, std::vector<AccumMap>& maps) {
-  std::size_t total = 0;
-  AccumMap* only = nullptr;
-  int producers = 0;
-  for (AccumMap& m : maps) {
-    if (m.empty()) continue;
-    total += m.size();
-    only = &m;
-    ++producers;
-  }
-  if (producers == 1) {
-    check_budget(cx, only->size());
-    return std::move(*only);
-  }
-  AccumMap merged;
-  merged.reserve(total);
-  for (AccumMap& m : maps) {
-    for (const TableEntry& e : m.entries()) merged.add(e.key, e.cnt);
-    check_budget(cx, merged.size());
-  }
-  return merged;
-}
-
-/// Run `emit(index, map)` for every index in [0, n), accumulating into
-/// per-thread maps that are merged afterwards by a pre-sized two-pass
-/// reduction. Load accounting is thread-affine (LoadModel buffers charges
-/// per OpenMP thread), so simulated runs parallelize like real ones.
-template <typename Emit>
-AccumMap accumulate_over(const ExecContext& cx, std::size_t n, Emit&& emit) {
-#ifdef _OPENMP
-  if (cx.opts.use_threads && pool_threads() > 1 && n > 4096) {
-    const int threads = pool_threads();
-    std::vector<AccumMap> maps(threads);
-    std::atomic<bool> budget_hit{false};
-#pragma omp parallel num_threads(threads)
-    {
-      AccumMap& local = maps[omp_get_thread_num()];
-#pragma omp for schedule(dynamic, 512)
-      for (std::size_t i = 0; i < n; ++i) {
-        if (budget_hit.load(std::memory_order_relaxed)) continue;
-        emit(i, local);
-        if (local.size() > cx.opts.max_table_entries) {
-          budget_hit.store(true, std::memory_order_relaxed);
-        }
-      }
-    }
-    if (budget_hit.load()) check_budget(cx, cx.opts.max_table_entries + 1);
-    return reduce_maps(cx, maps);
-  }
-#endif
-  AccumMap map;
-  for (std::size_t i = 0; i < n; ++i) {
-    emit(i, map);
-    if ((i & 0xFFF) == 0) check_budget(cx, map.size());
-  }
-  check_budget(cx, map.size());
-  return map;
-}
-
-}  // namespace
-
-ProjTable init_path_from_graph(const ExecContext& cx, const ExtendOpts& o) {
-  const CsrGraph& g = cx.g;
-  AccumMap map = accumulate_over(
-      cx, g.num_vertices(), [&](std::size_t ui, AccumMap& sink) {
-        const auto u = static_cast<VertexId>(ui);
-        cx.charge(u, g.degree(u));
-        for (VertexId w : g.neighbors(u)) {
-          if (o.anchor_higher && !cx.order.higher(u, w)) continue;
-          if (cx.chi.color(u) == cx.chi.color(w)) continue;
-          TableKey key;
-          key.v[0] = u;
-          key.v[1] = w;
-          if (o.track_slot >= 0) key.v[o.track_slot] = w;
-          key.sig = cx.chi.bit(u) | cx.chi.bit(w);
-          sink.add(key, 1);
-          cx.send(u, w, 1);
-        }
-      });
-  cx.end_phase();
-  return ProjTable::from_map(2, std::move(map));
-}
-
-ProjTable init_path_from_child(const ExecContext& cx, const ProjTable& child,
-                               bool flip, const ExtendOpts& o) {
-  const auto entries = child.entries();
-  AccumMap map = accumulate_over(
-      cx, entries.size(), [&](std::size_t i, AccumMap& sink) {
-        const TableEntry& e = entries[i];
-        const VertexId a = e.key.v[flip ? 1 : 0];
-        const VertexId b = e.key.v[flip ? 0 : 1];
-        cx.charge(b, 1);
-        if (o.anchor_higher && !cx.order.higher(a, b)) return;
-        TableKey key;
-        key.v[0] = a;
-        key.v[1] = b;
-        if (o.track_slot >= 0) key.v[o.track_slot] = b;
-        key.sig = e.key.sig;
-        sink.add(key, e.cnt);
-      });
-  cx.end_phase();
-  return ProjTable::from_map(2, std::move(map));
-}
-
-ProjTable extend_with_graph(const ExecContext& cx, const ProjTable& path,
-                            const ExtendOpts& o) {
-  const CsrGraph& g = cx.g;
-  const auto entries = path.entries();
-  AccumMap map = accumulate_over(
-      cx, entries.size(), [&](std::size_t i, AccumMap& sink) {
-        const TableEntry& e = entries[i];
-        const VertexId v = e.key.v[1];
-        cx.charge(v, g.degree(v));
-        for (VertexId w : g.neighbors(v)) {
-          if (o.anchor_higher && !cx.order.higher(e.key.v[0], w)) continue;
-          const Signature w_bit = cx.chi.bit(w);
-          if ((e.key.sig & w_bit) != 0) continue;
-          TableKey key = e.key;
-          key.v[1] = w;
-          if (o.track_slot >= 0) key.v[o.track_slot] = w;
-          key.sig = e.key.sig | w_bit;
-          sink.add(key, e.cnt);
-          cx.send(v, w, 1);
-        }
-      });
-  cx.end_phase();
-  return ProjTable::from_map(path.arity(), std::move(map));
-}
-
-ProjTable extend_with_child(const ExecContext& cx, ProjTable& path,
-                            const ProjTable& child, const ExtendOpts& o) {
-  path.seal(SortOrder::kByV1, cx.g.num_vertices());
-  const auto entries = path.entries();
-  AccumMap map = accumulate_over(
-      cx, entries.size(), [&](std::size_t i, AccumMap& sink) {
-        const TableEntry& e = entries[i];
-        const VertexId v = e.key.v[1];
-        const Signature v_bit = cx.chi.bit(v);
-        const auto group = child.group(0, v);
-        cx.charge(v, group.size());
-        for (const TableEntry& ce : group) {
-          if (!node_join_compatible(e.key.sig, ce.key.sig, v_bit)) continue;
-          const VertexId w = ce.key.v[1];
-          if (o.anchor_higher && !cx.order.higher(e.key.v[0], w)) continue;
-          TableKey key = e.key;
-          key.v[1] = w;
-          if (o.track_slot >= 0) key.v[o.track_slot] = w;
-          key.sig = e.key.sig | ce.key.sig;
-          sink.add(key, e.cnt * ce.cnt);
-          cx.send(v, w, 1);
-        }
-      });
-  cx.end_phase();
-  return ProjTable::from_map(path.arity(), std::move(map));
-}
-
-ProjTable node_join(const ExecContext& cx, const ProjTable& path,
-                    const ProjTable& child, int slot) {
-  const auto entries = path.entries();
-  AccumMap map = accumulate_over(
-      cx, entries.size(), [&](std::size_t i, AccumMap& sink) {
-        const TableEntry& e = entries[i];
-        const VertexId x = e.key.v[slot];
-        const Signature x_bit = cx.chi.bit(x);
-        const auto group = child.group(0, x);
-        cx.charge(x, group.size());
-        for (const TableEntry& ce : group) {
-          if (!node_join_compatible(e.key.sig, ce.key.sig, x_bit)) continue;
-          TableKey key = e.key;
-          key.sig = e.key.sig | ce.key.sig;
-          sink.add(key, e.cnt * ce.cnt);
-        }
-      });
-  cx.end_phase();
-  return ProjTable::from_map(path.arity(), std::move(map));
-}
-
-void merge_halves(const ExecContext& cx, ProjTable& plus, ProjTable& minus,
-                  const MergeSpec& spec, AccumMap& sink) {
-  const VertexId n = cx.g.num_vertices();
-  plus.seal(SortOrder::kByV0V1, n);
-  minus.seal(SortOrder::kByV0V1, n);
-  const auto pe = plus.entries();
-  const auto me = minus.entries();
-
-  if (plus.has_bucket_index() && minus.has_bucket_index()) {
-#ifdef _OPENMP
-    if (cx.opts.use_threads && pool_threads() > 1 &&
-        pe.size() + me.size() > 4096) {
-      // Slot-0 buckets are independent: each thread merges whole buckets
-      // into a private sink; the sinks reduce into `sink` afterwards.
-      const int threads = pool_threads();
-      std::vector<AccumMap> maps(threads);
-      std::atomic<bool> budget_hit{false};
-#pragma omp parallel num_threads(threads)
-      {
-        AccumMap& local = maps[omp_get_thread_num()];
-#pragma omp for schedule(dynamic, 256)
-        for (VertexId u = 0; u < n; ++u) {
-          if (budget_hit.load(std::memory_order_relaxed)) continue;
-          const auto pu = plus.group(0, u);
-          if (pu.empty()) continue;
-          const auto mu = minus.group(0, u);
-          if (mu.empty()) continue;
-          merge_bucket(cx, pu, mu, spec,
-                       [&](const TableKey& k, Count c) { local.add(k, c); });
-          if (local.size() > cx.opts.max_table_entries) {
-            budget_hit.store(true, std::memory_order_relaxed);
-          }
-        }
-      }
-      if (budget_hit.load()) check_budget(cx, cx.opts.max_table_entries + 1);
-      std::size_t total = sink.size();
-      for (const AccumMap& m : maps) total += m.size();
-      sink.reserve(total);
-      for (AccumMap& m : maps) {
-        for (const TableEntry& e : m.entries()) sink.add(e.key, e.cnt);
-        check_budget(cx, sink.size());
-      }
-      cx.end_phase();
-      return;
-    }
-#endif
-    for (VertexId u = 0; u < n; ++u) {
-      const auto pu = plus.group(0, u);
-      if (pu.empty()) continue;
-      const auto mu = minus.group(0, u);
-      if (mu.empty()) continue;
-      merge_bucket(cx, pu, mu, spec,
-                   [&](const TableKey& k, Count c) { sink.add(k, c); });
-      check_budget(cx, sink.size());
-    }
-    cx.end_phase();
-    return;
-  }
-
-  // No bucket index (out-of-domain keys): whole-table two-pointer merge.
-  auto uv_less = [](const TableEntry& a, const TableEntry& b) {
-    return a.key.v[0] != b.key.v[0] ? a.key.v[0] < b.key.v[0]
-                                    : a.key.v[1] < b.key.v[1];
-  };
-  std::size_t pi = 0, mi = 0;
-  while (pi < pe.size() && mi < me.size()) {
-    if (uv_less(pe[pi], me[mi])) {
-      ++pi;
-      continue;
-    }
-    if (uv_less(me[mi], pe[pi])) {
-      ++mi;
-      continue;
-    }
-    const VertexId u = pe[pi].key.v[0];
-    std::size_t pj = pi, mj = mi;
-    while (pj < pe.size() && pe[pj].key.v[0] == u) ++pj;
-    while (mj < me.size() && me[mj].key.v[0] == u) ++mj;
-    merge_bucket(cx, pe.subspan(pi, pj - pi), me.subspan(mi, mj - mi), spec,
-                 [&](const TableKey& k, Count c) { sink.add(k, c); });
-    check_budget(cx, sink.size());
-    pi = pj;
-    mi = mj;
-  }
-  cx.end_phase();
-}
-
-ProjTable aggregate(const ExecContext& cx, const ProjTable& t, int new_arity) {
-  AccumMap map(t.size());
-  for (const TableEntry& e : t.entries()) {
-    TableKey key;
-    for (int s = 0; s < new_arity; ++s) key.v[s] = e.key.v[s];
-    key.sig = e.key.sig;
-    if (new_arity >= 1) cx.charge(key.v[0], 1);
-    map.add(key, e.cnt);
-  }
-  check_budget(cx, map.size());
-  cx.end_phase();
-  return ProjTable::from_map(new_arity, std::move(map));
-}
+#undef CCBT_INSTANTIATE_PRIMITIVES
 
 }  // namespace ccbt

@@ -8,14 +8,42 @@
 //   * init/extend with a child table    — EdgeJoin of Fig 7;
 //   * node_join with a unary child      — NodeJoin of Fig 7;
 //   * merge_halves                      — Procedure 2 of Figs 4 and 6.
+//
+// Everything is parameterized on the batch width B: one execution carries
+// B colorings ("lanes"), counts are per-lane vectors, and entries are
+// signature-blocked — lanes whose colorings give a partial match the same
+// signature share one table entry and therefore one probe. Per-lane logic
+// only appears where a coloring is consulted:
+//   * graph-driven steps group a new vertex's lanes by the signature they
+//     produce (SigGroups) and emit one entry per distinct signature;
+//   * join compatibility ("shares exactly the joint colors") splits into
+//     a lane-independent half — the signature intersection must be the
+//     right size — and a per-lane half — the intersection must equal the
+//     joint vertex's lane colors (ColoringBatch::mask_bit_eq/mask_pair_eq).
+// B = 1 takes the original scalar code paths via if constexpr.
+//
+// The per-entry loop bodies are exposed as kernels (emit-callback form):
+// the shared-memory primitives here and the virtual-MPI engine in
+// ccbt/dist run the same kernels, which is what guarantees their exact
+// load-model parity at every batch width.
 
 #include <array>
+#include <atomic>
+#include <bit>
 #include <cstddef>
 #include <span>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "ccbt/engine/exec_context.hpp"
 #include "ccbt/table/proj_table.hpp"
 #include "ccbt/table/signature.hpp"
+#include "ccbt/util/error.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 
 namespace ccbt {
 
@@ -28,30 +56,621 @@ struct ExtendOpts {
   bool anchor_higher = false;
 };
 
+namespace detail {
+
+inline void check_budget(const ExecContext& cx, std::size_t size) {
+  if (size > cx.opts.max_table_entries) {
+    throw BudgetExceeded("projection table exceeded " +
+                         std::to_string(cx.opts.max_table_entries) +
+                         " entries");
+  }
+}
+
+#ifdef _OPENMP
+inline int pool_threads() { return omp_get_max_threads(); }
+#endif
+
+/// Lanes of one (entry, new vertex) step grouped by the signature their
+/// coloring produces: at most B distinct signatures, found by linear scan
+/// (B <= 8).
+template <int B>
+struct SigGroups {
+  std::array<Signature, B> sig;
+  std::array<LaneMask, B> mask;
+  int n = 0;
+
+  void add(Signature s, int lane) {
+    for (int i = 0; i < n; ++i) {
+      if (sig[i] == s) {
+        mask[i] |= LaneMask{1} << lane;
+        return;
+      }
+    }
+    sig[n] = s;
+    mask[n] = LaneMask{1} << lane;
+    ++n;
+  }
+};
+
+/// Reduce per-thread accumulation maps into one, pre-sized so the merge
+/// runs without intermediate rehashes. Single-producer case moves instead.
+template <int B>
+AccumMapT<B> reduce_maps(const ExecContext& cx,
+                         std::vector<AccumMapT<B>>& maps) {
+  std::size_t total = 0;
+  AccumMapT<B>* only = nullptr;
+  int producers = 0;
+  for (AccumMapT<B>& m : maps) {
+    if (m.empty()) continue;
+    total += m.size();
+    only = &m;
+    ++producers;
+  }
+  if (producers == 1) {
+    check_budget(cx, only->size());
+    return std::move(*only);
+  }
+  AccumMapT<B> merged(16, cx.opts.compact_accum);
+  merged.reserve(total);
+  for (AccumMapT<B>& m : maps) {
+    m.for_each([&](const TableKey& k, const typename LaneOps<B>::Vec& c) {
+      merged.add(k, c);
+    });
+    check_budget(cx, merged.size());
+  }
+  return merged;
+}
+
+/// Run `emit(index, map)` for every index in [0, n), accumulating into
+/// per-thread maps that are merged afterwards by a pre-sized two-pass
+/// reduction. Load accounting is thread-affine (LoadModel buffers charges
+/// per OpenMP thread), so simulated runs parallelize like real ones.
+template <int B, typename Emit>
+AccumMapT<B> accumulate_over(const ExecContext& cx, std::size_t n,
+                             Emit&& emit) {
+#ifdef _OPENMP
+  if (cx.opts.use_threads && pool_threads() > 1 && n > 4096) {
+    const int threads = pool_threads();
+    std::vector<AccumMapT<B>> maps;
+    maps.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+      maps.emplace_back(16, cx.opts.compact_accum);
+    }
+    std::atomic<bool> budget_hit{false};
+#pragma omp parallel num_threads(threads)
+    {
+      AccumMapT<B>& local = maps[omp_get_thread_num()];
+#pragma omp for schedule(dynamic, 512)
+      for (std::size_t i = 0; i < n; ++i) {
+        if (budget_hit.load(std::memory_order_relaxed)) continue;
+        emit(i, local);
+        if (local.size() > cx.opts.max_table_entries) {
+          budget_hit.store(true, std::memory_order_relaxed);
+        }
+      }
+    }
+    if (budget_hit.load()) check_budget(cx, cx.opts.max_table_entries + 1);
+    return reduce_maps(cx, maps);
+  }
+#endif
+  AccumMapT<B> map(16, cx.opts.compact_accum);
+  for (std::size_t i = 0; i < n; ++i) {
+    emit(i, map);
+    if ((i & 0xFFF) == 0) check_budget(cx, map.size());
+  }
+  check_budget(cx, map.size());
+  return map;
+}
+
+/// Flat variant of accumulate_over for the batched (B > 1) graph-driven
+/// primitives: rows are appended without hashing — duplicate keys are
+/// summed later by the table's sorting seal (sort-merge consolidation),
+/// which is far cheaper than a hash probe per emitted lane-vector row.
+/// The budget therefore bounds pre-merge rows at B > 1.
+template <int B, typename Emit>
+std::vector<TableEntryT<B>> accumulate_flat(const ExecContext& cx,
+                                            std::size_t n, Emit&& emit) {
+#ifdef _OPENMP
+  if (cx.opts.use_threads && pool_threads() > 1 && n > 4096) {
+    const int threads = pool_threads();
+    std::vector<std::vector<TableEntryT<B>>> rows(threads);
+    std::atomic<bool> budget_hit{false};
+#pragma omp parallel num_threads(threads)
+    {
+      std::vector<TableEntryT<B>>& local = rows[omp_get_thread_num()];
+#pragma omp for schedule(dynamic, 512)
+      for (std::size_t i = 0; i < n; ++i) {
+        if (budget_hit.load(std::memory_order_relaxed)) continue;
+        emit(i, local);
+        if (local.size() > cx.opts.max_table_entries) {
+          budget_hit.store(true, std::memory_order_relaxed);
+        }
+      }
+    }
+    if (budget_hit.load()) check_budget(cx, cx.opts.max_table_entries + 1);
+    std::size_t total = 0;
+    for (const auto& r : rows) total += r.size();
+    check_budget(cx, total);
+    std::vector<TableEntryT<B>>* biggest = &rows[0];
+    for (auto& r : rows) {
+      if (r.size() > biggest->size()) biggest = &r;
+    }
+    std::vector<TableEntryT<B>> out = std::move(*biggest);
+    out.reserve(total);
+    for (auto& r : rows) {
+      if (&r == biggest) continue;
+      out.insert(out.end(), r.begin(), r.end());
+    }
+    return out;
+  }
+#endif
+  std::vector<TableEntryT<B>> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    emit(i, out);
+    if ((i & 0xFFF) == 0) check_budget(cx, out.size());
+  }
+  check_budget(cx, out.size());
+  return out;
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------- kernels
+// Per-item loop bodies shared verbatim by the shared-memory primitives and
+// the distributed engine. Each kernel performs the load-model charges
+// itself and hands finished rows to `emit(key, lane-counts)`; the caller
+// only chooses where rows go (a hash-map sink or a transport).
+
+/// Initial path entries out of one data vertex u (Procedure 1 init).
+template <int B, typename Emit>
+void kernel_init_from_graph(const ExecContext& cx, VertexId u,
+                            const ExtendOpts& o, Emit&& emit) {
+  const CsrGraph& g = cx.g;
+  cx.charge(u, g.degree(u));
+  for (VertexId w : g.neighbors(u)) {
+    if (o.anchor_higher && !cx.order.higher(u, w)) continue;
+    if constexpr (B == 1) {
+      if (cx.chi.color(u) == cx.chi.color(w)) continue;
+      TableKey key;
+      key.v[0] = u;
+      key.v[1] = w;
+      if (o.track_slot >= 0) key.v[o.track_slot] = w;
+      key.sig = cx.chi.bit(u) | cx.chi.bit(w);
+      emit(key, Count{1});
+      cx.send(u, w, 1);
+    } else {
+      detail::SigGroups<B> groups;
+      std::uint64_t cu = cx.chi.colors_word(u);
+      std::uint64_t cw = cx.chi.colors_word(w);
+      for (int l = 0; l < B; ++l, cu >>= 8, cw >>= 8) {
+        if ((cu & 0xFF) == (cw & 0xFF)) continue;
+        groups.add((Signature{1} << (cu & 0xFF)) |
+                       (Signature{1} << (cw & 0xFF)),
+                   l);
+      }
+      if (groups.n == 0) continue;
+      TableKey key;
+      key.v[0] = u;
+      key.v[1] = w;
+      if (o.track_slot >= 0) key.v[o.track_slot] = w;
+      for (int i = 0; i < groups.n; ++i) {
+        key.sig = groups.sig[i];
+        emit(key, LaneOps<B>::ones(groups.mask[i]));
+      }
+      cx.send(u, w, 1);
+    }
+  }
+}
+
+/// Re-key one child-table entry as an initial path entry. Signatures are
+/// per-entry at every width, so no lane logic is needed.
+template <int B, typename Emit>
+void kernel_init_from_child(const ExecContext& cx, const TableEntryT<B>& e,
+                            bool flip, const ExtendOpts& o, Emit&& emit) {
+  const VertexId a = e.key.v[flip ? 1 : 0];
+  const VertexId b = e.key.v[flip ? 0 : 1];
+  cx.charge(b, 1);
+  if (o.anchor_higher && !cx.order.higher(a, b)) return;
+  TableKey key;
+  key.v[0] = a;
+  key.v[1] = b;
+  if (o.track_slot >= 0) key.v[o.track_slot] = b;
+  key.sig = e.key.sig;
+  emit(key, e.cnt);
+}
+
+/// Extend one path entry by every data-graph edge out of its frontier.
+template <int B, typename Emit>
+void kernel_extend_with_graph(const ExecContext& cx, const TableEntryT<B>& e,
+                              const ExtendOpts& o, Emit&& emit) {
+  const CsrGraph& g = cx.g;
+  const VertexId v = e.key.v[1];
+  cx.charge(v, g.degree(v));
+  for (VertexId w : g.neighbors(v)) {
+    if (o.anchor_higher && !cx.order.higher(e.key.v[0], w)) continue;
+    if constexpr (B == 1) {
+      const Signature w_bit = cx.chi.bit(w);
+      if ((e.key.sig & w_bit) != 0) continue;
+      TableKey key = e.key;
+      key.v[1] = w;
+      if (o.track_slot >= 0) key.v[o.track_slot] = w;
+      key.sig = e.key.sig | w_bit;
+      emit(key, e.cnt);
+      cx.send(v, w, 1);
+    } else {
+      detail::SigGroups<B> groups;
+      std::uint64_t cw = cx.chi.colors_word(w);
+      for (int l = 0; l < B; ++l, cw >>= 8) {
+        if (LaneOps<B>::lane(e.cnt, l) == 0) continue;  // dead lane
+        const Signature w_bit = Signature{1} << (cw & 0xFF);
+        if ((e.key.sig & w_bit) != 0) continue;
+        groups.add(e.key.sig | w_bit, l);
+      }
+      if (groups.n == 0) continue;
+      TableKey key = e.key;
+      key.v[1] = w;
+      if (o.track_slot >= 0) key.v[o.track_slot] = w;
+      for (int i = 0; i < groups.n; ++i) {
+        key.sig = groups.sig[i];
+        emit(key, LaneOps<B>::masked(e.cnt, groups.mask[i]));
+      }
+      cx.send(v, w, 1);
+    }
+  }
+}
+
+/// EdgeJoin: extend one path entry through its frontier's group of a
+/// child block's binary table.
+template <int B, typename Emit>
+void kernel_extend_with_child(const ExecContext& cx, const TableEntryT<B>& e,
+                              std::span<const TableEntryT<B>> group,
+                              const ExtendOpts& o, Emit&& emit) {
+  const VertexId v = e.key.v[1];
+  cx.charge(v, group.size());
+  if constexpr (B == 1) {
+    const Signature v_bit = cx.chi.bit(v);
+    for (const TableEntryT<B>& ce : group) {
+      if (!node_join_compatible(e.key.sig, ce.key.sig, v_bit)) continue;
+      const VertexId w = ce.key.v[1];
+      if (o.anchor_higher && !cx.order.higher(e.key.v[0], w)) continue;
+      TableKey key = e.key;
+      key.v[1] = w;
+      if (o.track_slot >= 0) key.v[o.track_slot] = w;
+      key.sig = e.key.sig | ce.key.sig;
+      emit(key, e.cnt * ce.cnt);
+      cx.send(v, w, 1);
+    }
+  } else {
+    for (const TableEntryT<B>& ce : group) {
+      // Lane-independent half of the compatibility test: the matches may
+      // share exactly one color (the joint vertex's).
+      const Signature inter = e.key.sig & ce.key.sig;
+      if (std::popcount(inter) != 1) continue;
+      const VertexId w = ce.key.v[1];
+      if (o.anchor_higher && !cx.order.higher(e.key.v[0], w)) continue;
+      // Per-lane half: that color must be the joint vertex's lane color.
+      const LaneMask m = cx.chi.mask_bit_eq(v, inter);
+      if (m == 0) continue;
+      const auto cnt = LaneOps<B>::mul_masked(e.cnt, ce.cnt, m);
+      if (LaneOps<B>::is_zero(cnt)) continue;
+      TableKey key = e.key;
+      key.v[1] = w;
+      if (o.track_slot >= 0) key.v[o.track_slot] = w;
+      key.sig = e.key.sig | ce.key.sig;
+      emit(key, cnt);
+      cx.send(v, w, 1);
+    }
+  }
+}
+
+/// NodeJoin: multiply one path entry against the unary child group of its
+/// key slot `slot` vertex.
+template <int B, typename Emit>
+void kernel_node_join(const ExecContext& cx, const TableEntryT<B>& e,
+                      std::span<const TableEntryT<B>> group, int slot,
+                      Emit&& emit) {
+  const VertexId x = e.key.v[slot];
+  cx.charge(x, group.size());
+  if constexpr (B == 1) {
+    const Signature x_bit = cx.chi.bit(x);
+    for (const TableEntryT<B>& ce : group) {
+      if (!node_join_compatible(e.key.sig, ce.key.sig, x_bit)) continue;
+      TableKey key = e.key;
+      key.sig = e.key.sig | ce.key.sig;
+      emit(key, e.cnt * ce.cnt);
+    }
+  } else {
+    for (const TableEntryT<B>& ce : group) {
+      const Signature inter = e.key.sig & ce.key.sig;
+      if (std::popcount(inter) != 1) continue;
+      const LaneMask m = cx.chi.mask_bit_eq(x, inter);
+      if (m == 0) continue;
+      const auto cnt = LaneOps<B>::mul_masked(e.cnt, ce.cnt, m);
+      if (LaneOps<B>::is_zero(cnt)) continue;
+      TableKey key = e.key;
+      key.sig = e.key.sig | ce.key.sig;
+      emit(key, cnt);
+    }
+  }
+}
+
+/// Project one entry onto its first new_arity slots.
+template <int B, typename Emit>
+void kernel_aggregate(const ExecContext& cx, const TableEntryT<B>& e,
+                      int new_arity, Emit&& emit) {
+  TableKey key;
+  for (int s = 0; s < new_arity; ++s) key.v[s] = e.key.v[s];
+  key.sig = e.key.sig;
+  if (new_arity >= 1) cx.charge(key.v[0], 1);
+  emit(key, e.cnt);
+}
+
+// ------------------------------------------------------------- primitives
+
 /// Initial path table over all data-graph edges: one entry per ordered
-/// pair (u, w) of adjacent, distinctly colored vertices (u ≻ w when
-/// anchor_higher).
-ProjTable init_path_from_graph(const ExecContext& cx, const ExtendOpts& o);
+/// pair (u, w) of adjacent vertices, per distinct lane signature (u ≻ w
+/// when anchor_higher; lanes coloring u and w alike contribute nothing).
+template <int B = 1>
+ProjTableT<B> init_path_from_graph(const ExecContext& cx,
+                                   const ExtendOpts& o) {
+  if constexpr (B == 1) {
+    AccumMapT<B> map = detail::accumulate_over<B>(
+        cx, cx.g.num_vertices(), [&](std::size_t ui, AccumMapT<B>& sink) {
+          kernel_init_from_graph<B>(
+              cx, static_cast<VertexId>(ui), o,
+              [&](const TableKey& k, Count c) { sink.add(k, c); });
+        });
+    cx.end_phase();
+    return ProjTableT<B>::from_map(2, std::move(map));
+  } else {
+    auto rows = detail::accumulate_flat<B>(
+        cx, cx.g.num_vertices(),
+        [&](std::size_t ui, std::vector<TableEntryT<B>>& sink) {
+          kernel_init_from_graph<B>(
+              cx, static_cast<VertexId>(ui), o,
+              [&](const TableKey& k, const typename LaneOps<B>::Vec& c) {
+                sink.push_back({k, c});
+              });
+        });
+    cx.end_phase();
+    return ProjTableT<B>::from_flat(2, std::move(rows));
+  }
+}
 
 /// Initial path table from a child block's binary table. `flip` swaps the
 /// child's boundary orientation so slot 0 is the walk's starting node.
-ProjTable init_path_from_child(const ExecContext& cx, const ProjTable& child,
-                               bool flip, const ExtendOpts& o);
+template <int B>
+ProjTableT<B> init_path_from_child(const ExecContext& cx,
+                                   const ProjTableT<B>& child, bool flip,
+                                   const ExtendOpts& o) {
+  const auto entries = child.entries();
+  if constexpr (B == 1) {
+    AccumMapT<B> map = detail::accumulate_over<B>(
+        cx, entries.size(), [&](std::size_t i, AccumMapT<B>& sink) {
+          kernel_init_from_child<B>(
+              cx, entries[i], flip, o,
+              [&](const TableKey& k, Count c) { sink.add(k, c); });
+        });
+    cx.end_phase();
+    return ProjTableT<B>::from_map(2, std::move(map));
+  } else {
+    auto rows = detail::accumulate_flat<B>(
+        cx, entries.size(),
+        [&](std::size_t i, std::vector<TableEntryT<B>>& sink) {
+          kernel_init_from_child<B>(
+              cx, entries[i], flip, o,
+              [&](const TableKey& k, const typename LaneOps<B>::Vec& c) {
+                sink.push_back({k, c});
+              });
+        });
+    cx.end_phase();
+    return ProjTableT<B>::from_flat(2, std::move(rows));
+  }
+}
+
+namespace detail {
+
+/// Entry-scan extension: one kernel call per path entry.
+template <int B>
+ProjTableT<B> extend_with_graph_scan(const ExecContext& cx,
+                                     const ProjTableT<B>& path,
+                                     const ExtendOpts& o) {
+  const auto entries = path.entries();
+  if constexpr (B == 1) {
+    AccumMapT<B> map = detail::accumulate_over<B>(
+        cx, entries.size(), [&](std::size_t i, AccumMapT<B>& sink) {
+          kernel_extend_with_graph<B>(
+              cx, entries[i], o,
+              [&](const TableKey& k, Count c) { sink.add(k, c); });
+        });
+    cx.end_phase();
+    return ProjTableT<B>::from_map(path.arity(), std::move(map));
+  } else {
+    auto rows = detail::accumulate_flat<B>(
+        cx, entries.size(),
+        [&](std::size_t i, std::vector<TableEntryT<B>>& sink) {
+          kernel_extend_with_graph<B>(
+              cx, entries[i], o,
+              [&](const TableKey& k, const typename LaneOps<B>::Vec& c) {
+                sink.push_back({k, c});
+              });
+        });
+    cx.end_phase();
+    return ProjTableT<B>::from_flat(path.arity(), std::move(rows));
+  }
+}
+
+/// Frontier-grouped extension (B > 1): seal the path by frontier, then
+/// walk each frontier vertex's adjacency list ONCE for its whole bucket
+/// of entries, with the per-lane color groups of every neighbor computed
+/// once per (v, w) instead of once per (entry, w). Emits exactly the
+/// entry-scan kernel's rows and load-model charges — only the loop
+/// nesting (and therefore the constant factor) differs.
+template <int B>
+ProjTableT<B> extend_with_graph_grouped(const ExecContext& cx,
+                                        ProjTableT<B>& path,
+                                        const ExtendOpts& o) {
+  using Ops = LaneOps<B>;
+  const CsrGraph& g = cx.g;
+  const VertexId n = g.num_vertices();
+  path.seal(SortOrder::kByV1, n);
+  if (!path.has_bucket_index()) {
+    return extend_with_graph_scan<B>(cx, path, o);
+  }
+  // Per-neighbor color groups, precomputed once per frontier vertex and
+  // reused by its whole bucket (thread-local so the heap allocation
+  // amortizes across buckets).
+  struct WGroup {
+    VertexId w;
+    std::uint8_t nc;
+    std::array<std::uint8_t, B> col;    // distinct lane colors of w
+    std::array<LaneMask, B> mask;       // lanes carrying each color
+    std::array<Signature, B> bit;       // 1 << col
+  };
+  thread_local std::vector<WGroup> scratch;
+
+  auto rows = detail::accumulate_flat<B>(
+      cx, n, [&](std::size_t vi, std::vector<TableEntryT<B>>& sink) {
+        const auto v = static_cast<VertexId>(vi);
+        const auto bucket = path.group(1, v);
+        if (bucket.empty()) return;
+        cx.charge(v, std::uint64_t{g.degree(v)} * bucket.size());
+
+        scratch.clear();
+        for (VertexId w : g.neighbors(v)) {
+          WGroup wg;
+          wg.w = w;
+          wg.nc = 0;
+          std::uint64_t cw = cx.chi.colors_word(w);
+          for (int l = 0; l < B; ++l, cw >>= 8) {
+            const auto c = static_cast<std::uint8_t>(cw & 0xFF);
+            int i = 0;
+            while (i < wg.nc && wg.col[i] != c) ++i;
+            if (i == wg.nc) {
+              wg.col[i] = c;
+              wg.mask[i] = 0;
+              wg.bit[i] = Signature{1} << c;
+              ++wg.nc;
+            }
+            wg.mask[i] |= LaneMask{1} << l;
+          }
+          scratch.push_back(wg);
+        }
+
+        for (const TableEntryT<B>& e : bucket) {
+          // Lanes this entry can extend at all.
+          LaneMask alive = 0;
+          for (int l = 0; l < B; ++l) {
+            alive |= static_cast<LaneMask>(Ops::lane(e.cnt, l) != 0) << l;
+          }
+          if (alive == 0) continue;
+          for (const WGroup& wg : scratch) {
+            if (o.anchor_higher && !cx.order.higher(e.key.v[0], wg.w)) {
+              continue;
+            }
+            bool any = false;
+            for (int i = 0; i < wg.nc; ++i) {
+              const LaneMask m = wg.mask[i] & alive;
+              if (m == 0 || (e.key.sig & wg.bit[i]) != 0) continue;
+              TableKey key = e.key;
+              key.v[1] = wg.w;
+              if (o.track_slot >= 0) key.v[o.track_slot] = wg.w;
+              key.sig = e.key.sig | wg.bit[i];
+              sink.push_back({key, Ops::masked(e.cnt, m)});
+              any = true;
+            }
+            if (any) cx.send(v, wg.w, 1);
+          }
+        }
+      });
+  cx.end_phase();
+  return ProjTableT<B>::from_flat(path.arity(), std::move(rows));
+}
+
+}  // namespace detail
 
 /// Extend every path entry by one data-graph edge out of the frontier.
-ProjTable extend_with_graph(const ExecContext& cx, const ProjTable& path,
-                            const ExtendOpts& o);
+/// The mutable overload may reseal the path (frontier-grouped traversal
+/// at B > 1); results are identical either way.
+template <int B>
+ProjTableT<B> extend_with_graph(const ExecContext& cx, ProjTableT<B>& path,
+                                const ExtendOpts& o) {
+  if constexpr (B == 1) {
+    return detail::extend_with_graph_scan<B>(cx, path, o);
+  } else {
+    return detail::extend_with_graph_grouped<B>(cx, path, o);
+  }
+}
+
+template <int B>
+ProjTableT<B> extend_with_graph(const ExecContext& cx,
+                                const ProjTableT<B>& path,
+                                const ExtendOpts& o) {
+  return detail::extend_with_graph_scan<B>(cx, path, o);
+}
 
 /// Extend through a child block's binary table (EdgeJoin): path frontier v
 /// joins child entries (v, w, sig2). `child` must be sealed kByV0 and
 /// already oriented (use TablePool::oriented).
-ProjTable extend_with_child(const ExecContext& cx, ProjTable& path,
-                            const ProjTable& child, const ExtendOpts& o);
+template <int B>
+ProjTableT<B> extend_with_child(const ExecContext& cx, ProjTableT<B>& path,
+                                const ProjTableT<B>& child,
+                                const ExtendOpts& o) {
+  path.seal(SortOrder::kByV1, cx.g.num_vertices());
+  const auto entries = path.entries();
+  if constexpr (B == 1) {
+    AccumMapT<B> map = detail::accumulate_over<B>(
+        cx, entries.size(), [&](std::size_t i, AccumMapT<B>& sink) {
+          kernel_extend_with_child<B>(
+              cx, entries[i], child.group(0, entries[i].key.v[1]), o,
+              [&](const TableKey& k, Count c) { sink.add(k, c); });
+        });
+    cx.end_phase();
+    return ProjTableT<B>::from_map(path.arity(), std::move(map));
+  } else {
+    auto rows = detail::accumulate_flat<B>(
+        cx, entries.size(),
+        [&](std::size_t i, std::vector<TableEntryT<B>>& sink) {
+          kernel_extend_with_child<B>(
+              cx, entries[i], child.group(0, entries[i].key.v[1]), o,
+              [&](const TableKey& k, const typename LaneOps<B>::Vec& c) {
+                sink.push_back({k, c});
+              });
+        });
+    cx.end_phase();
+    return ProjTableT<B>::from_flat(path.arity(), std::move(rows));
+  }
+}
 
 /// NodeJoin: multiply in a unary child at key slot `slot` (0 = anchor,
 /// 1 = frontier). `child` must be sealed kByV0.
-ProjTable node_join(const ExecContext& cx, const ProjTable& path,
-                    const ProjTable& child, int slot);
+template <int B>
+ProjTableT<B> node_join(const ExecContext& cx, const ProjTableT<B>& path,
+                        const ProjTableT<B>& child, int slot) {
+  const auto entries = path.entries();
+  if constexpr (B == 1) {
+    AccumMapT<B> map = detail::accumulate_over<B>(
+        cx, entries.size(), [&](std::size_t i, AccumMapT<B>& sink) {
+          kernel_node_join<B>(
+              cx, entries[i], child.group(0, entries[i].key.v[slot]), slot,
+              [&](const TableKey& k, Count c) { sink.add(k, c); });
+        });
+    cx.end_phase();
+    return ProjTableT<B>::from_map(path.arity(), std::move(map));
+  } else {
+    auto rows = detail::accumulate_flat<B>(
+        cx, entries.size(),
+        [&](std::size_t i, std::vector<TableEntryT<B>>& sink) {
+          kernel_node_join<B>(
+              cx, entries[i], child.group(0, entries[i].key.v[slot]), slot,
+              [&](const TableKey& k, const typename LaneOps<B>::Vec& c) {
+                sink.push_back({k, c});
+              });
+        });
+    cx.end_phase();
+    return ProjTableT<B>::from_flat(path.arity(), std::move(rows));
+  }
+}
 
 /// Where each output key slot of a merge comes from.
 struct MergeOut {
@@ -64,22 +683,16 @@ struct MergeSpec {
   std::array<MergeOut, 2> out{};
 };
 
-/// Join the two half-cycle tables on their shared (anchor, end) pair with
-/// the signature-compatibility test of Fig 6 Procedure 2, accumulating
-/// into `sink` (so the DB solver can sum over all anchor choices, Eq. 1).
-void merge_halves(const ExecContext& cx, ProjTable& plus, ProjTable& minus,
-                  const MergeSpec& spec, AccumMap& sink);
-
 /// The merge-join kernel shared by merge_halves and the distributed
 /// engine: join the matching (u, v) subgroups of one slot-0 bucket pair
 /// (both ranges sorted kByV0V1) with a two-pointer sweep over the
 /// v-sorted subranges, charging the load model per group and calling
-/// `emit(key, count)` for every compatible pair. Keeping the shared and
+/// `emit(key, counts)` for every compatible pair. Keeping the shared and
 /// distributed engines on one kernel is what guarantees their exact
 /// load-model parity.
-template <typename Sink>
-void merge_bucket(const ExecContext& cx, std::span<const TableEntry> pu,
-                  std::span<const TableEntry> mu, const MergeSpec& spec,
+template <int B, typename Sink>
+void merge_bucket(const ExecContext& cx, std::span<const TableEntryT<B>> pu,
+                  std::span<const TableEntryT<B>> mu, const MergeSpec& spec,
                   Sink&& emit) {
   std::size_t pi = 0, mi = 0;
   while (pi < pu.size() && mi < mu.size()) {
@@ -99,21 +712,45 @@ void merge_bucket(const ExecContext& cx, std::span<const TableEntry> pu,
     std::size_t pj = pi, mj = mi;
     while (pj < pu.size() && pu[pj].key.v[1] == v) ++pj;
     while (mj < mu.size() && mu[mj].key.v[1] == v) ++mj;
-    const Signature uv_bits = cx.chi.bit(u) | cx.chi.bit(v);
     cx.charge(v, (pj - pi) * (mj - mi));
-    for (std::size_t a = pi; a < pj; ++a) {
-      for (std::size_t b = mi; b < mj; ++b) {
-        if (!merge_compatible(pu[a].key.sig, mu[b].key.sig, uv_bits)) {
-          continue;
+    if constexpr (B == 1) {
+      const Signature uv_bits = cx.chi.bit(u) | cx.chi.bit(v);
+      for (std::size_t a = pi; a < pj; ++a) {
+        for (std::size_t b = mi; b < mj; ++b) {
+          if (!merge_compatible(pu[a].key.sig, mu[b].key.sig, uv_bits)) {
+            continue;
+          }
+          TableKey key;
+          for (int s = 0; s < spec.out_arity; ++s) {
+            const MergeOut& src = spec.out[s];
+            key.v[s] = (src.side == 0 ? pu[a] : mu[b]).key.v[src.slot];
+          }
+          key.sig = pu[a].key.sig | mu[b].key.sig;
+          emit(key, pu[a].cnt * mu[b].cnt);
+          if (spec.out_arity >= 2) cx.send(v, key.v[1], 1);
         }
-        TableKey key;
-        for (int s = 0; s < spec.out_arity; ++s) {
-          const MergeOut& src = spec.out[s];
-          key.v[s] = (src.side == 0 ? pu[a] : mu[b]).key.v[src.slot];
+      }
+    } else {
+      for (std::size_t a = pi; a < pj; ++a) {
+        for (std::size_t b = mi; b < mj; ++b) {
+          // Lane-independent half: the halves may share exactly the two
+          // endpoint colors.
+          const Signature inter = pu[a].key.sig & mu[b].key.sig;
+          if (std::popcount(inter) != 2) continue;
+          // Per-lane half: those colors must be {χ_l(u), χ_l(v)}.
+          const LaneMask m = cx.chi.mask_pair_eq(u, v, inter);
+          if (m == 0) continue;
+          const auto cnt = LaneOps<B>::mul_masked(pu[a].cnt, mu[b].cnt, m);
+          if (LaneOps<B>::is_zero(cnt)) continue;
+          TableKey key;
+          for (int s = 0; s < spec.out_arity; ++s) {
+            const MergeOut& src = spec.out[s];
+            key.v[s] = (src.side == 0 ? pu[a] : mu[b]).key.v[src.slot];
+          }
+          key.sig = pu[a].key.sig | mu[b].key.sig;
+          emit(key, cnt);
+          if (spec.out_arity >= 2) cx.send(v, key.v[1], 1);
         }
-        key.sig = pu[a].key.sig | mu[b].key.sig;
-        emit(key, pu[a].cnt * mu[b].cnt);
-        if (spec.out_arity >= 2) cx.send(v, key.v[1], 1);
       }
     }
     pi = pj;
@@ -121,7 +758,123 @@ void merge_bucket(const ExecContext& cx, std::span<const TableEntry> pu,
   }
 }
 
+/// Join the two half-cycle tables on their shared (anchor, end) pair with
+/// the signature-compatibility test of Fig 6 Procedure 2, accumulating
+/// into `sink` (so the DB solver can sum over all anchor choices, Eq. 1).
+template <int B>
+void merge_halves(const ExecContext& cx, ProjTableT<B>& plus,
+                  ProjTableT<B>& minus, const MergeSpec& spec,
+                  AccumMapT<B>& sink) {
+  using Vec = typename LaneOps<B>::Vec;
+  const VertexId n = cx.g.num_vertices();
+  plus.seal(SortOrder::kByV0V1, n);
+  minus.seal(SortOrder::kByV0V1, n);
+  const auto pe = plus.entries();
+  const auto me = minus.entries();
+
+  if (plus.has_bucket_index() && minus.has_bucket_index()) {
+#ifdef _OPENMP
+    if (cx.opts.use_threads && detail::pool_threads() > 1 &&
+        pe.size() + me.size() > 4096) {
+      // Slot-0 buckets are independent: each thread merges whole buckets
+      // into a private sink; the sinks reduce into `sink` afterwards.
+      const int threads = detail::pool_threads();
+      std::vector<AccumMapT<B>> maps;
+      maps.reserve(threads);
+      for (int t = 0; t < threads; ++t) {
+        maps.emplace_back(16, cx.opts.compact_accum);
+      }
+      std::atomic<bool> budget_hit{false};
+#pragma omp parallel num_threads(threads)
+      {
+        AccumMapT<B>& local = maps[omp_get_thread_num()];
+#pragma omp for schedule(dynamic, 256)
+        for (VertexId u = 0; u < n; ++u) {
+          if (budget_hit.load(std::memory_order_relaxed)) continue;
+          const auto pu = plus.group(0, u);
+          if (pu.empty()) continue;
+          const auto mu = minus.group(0, u);
+          if (mu.empty()) continue;
+          merge_bucket<B>(
+              cx, pu, mu, spec,
+              [&](const TableKey& k, const Vec& c) { local.add(k, c); });
+          if (local.size() > cx.opts.max_table_entries) {
+            budget_hit.store(true, std::memory_order_relaxed);
+          }
+        }
+      }
+      if (budget_hit.load()) {
+        detail::check_budget(cx, cx.opts.max_table_entries + 1);
+      }
+      std::size_t total = sink.size();
+      for (const AccumMapT<B>& m : maps) total += m.size();
+      sink.reserve(total);
+      for (AccumMapT<B>& m : maps) {
+        m.for_each(
+            [&](const TableKey& k, const Vec& c) { sink.add(k, c); });
+        detail::check_budget(cx, sink.size());
+      }
+      cx.end_phase();
+      return;
+    }
+#endif
+    for (VertexId u = 0; u < n; ++u) {
+      const auto pu = plus.group(0, u);
+      if (pu.empty()) continue;
+      const auto mu = minus.group(0, u);
+      if (mu.empty()) continue;
+      merge_bucket<B>(cx, pu, mu, spec,
+                      [&](const TableKey& k, const Vec& c) { sink.add(k, c); });
+      detail::check_budget(cx, sink.size());
+    }
+    cx.end_phase();
+    return;
+  }
+
+  // No bucket index (out-of-domain keys): whole-table two-pointer merge.
+  auto uv_less = [](const TableEntryT<B>& a, const TableEntryT<B>& b) {
+    return a.key.v[0] != b.key.v[0] ? a.key.v[0] < b.key.v[0]
+                                    : a.key.v[1] < b.key.v[1];
+  };
+  std::size_t pi = 0, mi = 0;
+  while (pi < pe.size() && mi < me.size()) {
+    if (uv_less(pe[pi], me[mi])) {
+      ++pi;
+      continue;
+    }
+    if (uv_less(me[mi], pe[pi])) {
+      ++mi;
+      continue;
+    }
+    const VertexId u = pe[pi].key.v[0];
+    std::size_t pj = pi, mj = mi;
+    while (pj < pe.size() && pe[pj].key.v[0] == u) ++pj;
+    while (mj < me.size() && me[mj].key.v[0] == u) ++mj;
+    merge_bucket<B>(cx, pe.subspan(pi, pj - pi), me.subspan(mi, mj - mi),
+                    spec,
+                    [&](const TableKey& k, const Vec& c) { sink.add(k, c); });
+    detail::check_budget(cx, sink.size());
+    pi = pj;
+    mi = mj;
+  }
+  cx.end_phase();
+}
+
 /// Sum out all slots beyond the first new_arity (with phase accounting).
-ProjTable aggregate(const ExecContext& cx, const ProjTable& t, int new_arity);
+template <int B>
+ProjTableT<B> aggregate(const ExecContext& cx, const ProjTableT<B>& t,
+                        int new_arity) {
+  AccumMapT<B> map(t.size(), cx.opts.compact_accum);
+  for (const TableEntryT<B>& e : t.entries()) {
+    kernel_aggregate<B>(cx, e, new_arity,
+                        [&](const TableKey& k,
+                            const typename LaneOps<B>::Vec& c) {
+                          map.add(k, c);
+                        });
+  }
+  detail::check_budget(cx, map.size());
+  cx.end_phase();
+  return ProjTableT<B>::from_map(new_arity, std::move(map));
+}
 
 }  // namespace ccbt

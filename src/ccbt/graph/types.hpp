@@ -24,4 +24,12 @@ using Signature = std::uint32_t;
 /// Signature width limit; queries may have at most this many nodes.
 inline constexpr int kMaxQueryNodes = 16;
 
+/// Maximum number of colorings one plan execution can process at once
+/// (the engine's batch width B; see table/README.md, "Lane layout").
+inline constexpr int kMaxBatchLanes = 8;
+
+/// Bit i set <=> lane i participates (e.g. lanes whose coloring gives a
+/// vertex a particular color). Always < 2^kMaxBatchLanes.
+using LaneMask = std::uint32_t;
+
 }  // namespace ccbt

@@ -6,8 +6,18 @@
 // shared-memory equivalent: a power-of-two slot array of indices into a
 // dense entry vector. Only insertion and accumulation are needed during a
 // join; afterwards the entries are sealed (sorted) for merge joins.
+//
+// The map is parameterized on the batch width B (counts are per-lane
+// vectors; see table_key.hpp). The B = 1 instantiation additionally
+// supports a compact storage mode: while every inserted key is packable
+// (two boundary slots, signature < 256 — see pack_key), entries are held
+// as 16-byte (uint64 key, count) rows, halving the bandwidth of the
+// accumulation probes against the 32-byte wide row. The first unpackable
+// key migrates the map to the wide layout transparently; take_entries()
+// always yields wide rows.
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "ccbt/table/table_key.hpp"
@@ -15,13 +25,103 @@
 
 namespace ccbt {
 
-class AccumMap {
+template <int B>
+class AccumMapT {
  public:
-  explicit AccumMap(std::size_t expected = 16) { rehash_for(expected); }
+  using Vec = typename LaneOps<B>::Vec;
+  using Entry = TableEntryT<B>;
+
+  /// `compact` requests the packed 16-byte layout (B = 1 only; ignored —
+  /// and never entered — at wider widths).
+  explicit AccumMapT(std::size_t expected = 16, bool compact = false) {
+    if constexpr (B == 1) packed_mode_ = compact;
+    rehash_for(expected);
+  }
 
   /// Add `cnt` to the entry for `key`, creating it if absent.
-  void add(const TableKey& key, Count cnt) {
-    if (entries_.size() + 1 > grow_at_) rehash_for(entries_.size() * 2 + 16);
+  void add(const TableKey& key, const Vec& cnt) {
+    if (size() + 1 > grow_at_) rehash_for(size() * 2 + 16);
+    if constexpr (B == 1) {
+      if (packed_mode_) {
+        if (!packable_key(key)) {
+          migrate_to_wide();
+        } else {
+          add_packed(pack_key(key), cnt);
+          return;
+        }
+      }
+    }
+    add_wide(key, cnt);
+  }
+
+  std::size_t size() const {
+    return packed_mode_ ? packed_.size() : entries_.size();
+  }
+  bool empty() const { return size() == 0; }
+
+  /// Whether the map currently holds packed 16-byte rows.
+  bool packed() const { return packed_mode_; }
+
+  /// Pre-size the slot array for `expected` total entries so a bulk merge
+  /// (e.g. reducing per-thread maps) runs without intermediate rehashes.
+  void reserve(std::size_t expected) {
+    if (expected > size()) {
+      if (packed_mode_) {
+        packed_.reserve(expected);
+      } else {
+        entries_.reserve(expected);
+      }
+      rehash_for(expected);
+    }
+  }
+
+  /// Visit every (key, counts) pair; layout-independent.
+  template <typename F>
+  void for_each(F&& f) const {
+    if constexpr (B == 1) {
+      if (packed_mode_) {
+        for (const PackedEntry& e : packed_) f(unpack_key(e.key), e.cnt);
+        return;
+      }
+    }
+    for (const Entry& e : entries_) f(e.key, e.cnt);
+  }
+
+  /// Move the dense entries out (unpacking if needed); the map is left
+  /// empty but keeps its slot capacity.
+  std::vector<Entry> take_entries() {
+    std::vector<Entry> out;
+    if (packed_mode_) {
+      out.reserve(packed_.size());
+      for (const PackedEntry& e : packed_) {
+        out.push_back({unpack_key(e.key), e.cnt});
+      }
+      packed_.clear();
+    } else {
+      out = std::move(entries_);
+      entries_.clear();
+    }
+    slots_.assign(slots_.size(), kEmpty);
+    return out;
+  }
+
+  /// Dense wide rows; only valid outside packed mode (tests and callers
+  /// that construct the map without `compact`). Engine code iterates
+  /// through for_each instead.
+  const std::vector<Entry>& entries() const {
+    if (packed_mode_) throw Error("AccumMap::entries(): map is packed");
+    return entries_;
+  }
+
+ private:
+  static constexpr std::uint32_t kEmpty = 0xFFFFFFFFu;
+
+  struct PackedEntry {
+    std::uint64_t key;
+    Count cnt;
+  };
+
+  void add_wide(const TableKey& key, const Vec& cnt) {
     const std::size_t mask = slots_.size() - 1;
     std::size_t pos = hash_key(key) & mask;
     while (true) {
@@ -32,37 +132,54 @@ class AccumMap {
         return;
       }
       if (entries_[idx].key == key) {
-        entries_[idx].cnt += cnt;
+        LaneOps<B>::add(entries_[idx].cnt, cnt);
         return;
       }
       pos = (pos + 1) & mask;
     }
   }
 
-  std::size_t size() const { return entries_.size(); }
-  bool empty() const { return entries_.empty(); }
-
-  /// Pre-size the slot array for `expected` total entries so a bulk merge
-  /// (e.g. reducing per-thread maps) runs without intermediate rehashes.
-  void reserve(std::size_t expected) {
-    if (expected > entries_.size()) {
-      entries_.reserve(expected);
-      rehash_for(expected);
+  void add_packed(std::uint64_t pkey, Count cnt) {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t pos = hash_packed_key(pkey) & mask;
+    while (true) {
+      const std::uint32_t idx = slots_[pos];
+      if (idx == kEmpty) {
+        slots_[pos] = static_cast<std::uint32_t>(packed_.size());
+        packed_.push_back({pkey, cnt});
+        return;
+      }
+      if (packed_[idx].key == pkey) {
+        packed_[idx].cnt += cnt;
+        return;
+      }
+      pos = (pos + 1) & mask;
     }
   }
 
-  /// Move the dense entries out; the map is left empty.
-  std::vector<TableEntry> take_entries() {
-    std::vector<TableEntry> out = std::move(entries_);
-    entries_.clear();
-    slots_.assign(slots_.size(), kEmpty);
-    return out;
+  /// One-time fallback: unpack every row into the wide layout and rebuild
+  /// the slot array under hash_key (the two hashes disagree, so the old
+  /// probe table cannot be reused).
+  void migrate_to_wide() {
+    entries_.reserve(packed_.size() + 1);
+    for (const PackedEntry& e : packed_) {
+      entries_.push_back({unpack_key(e.key), e.cnt});
+    }
+    packed_.clear();
+    packed_.shrink_to_fit();
+    packed_mode_ = false;
+    reindex();
   }
 
-  const std::vector<TableEntry>& entries() const { return entries_; }
-
- private:
-  static constexpr std::uint32_t kEmpty = 0xFFFFFFFFu;
+  void reindex() {
+    const std::size_t mask = slots_.size() - 1;
+    slots_.assign(slots_.size(), kEmpty);
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      std::size_t pos = hash_key(entries_[i].key) & mask;
+      while (slots_[pos] != kEmpty) pos = (pos + 1) & mask;
+      slots_[pos] = static_cast<std::uint32_t>(i);
+    }
+  }
 
   void rehash_for(std::size_t expected) {
     std::size_t cap = 32;
@@ -74,6 +191,14 @@ class AccumMap {
     slots_.assign(cap, kEmpty);
     grow_at_ = cap * 3 / 5;
     const std::size_t mask = cap - 1;
+    if (packed_mode_) {
+      for (std::size_t i = 0; i < packed_.size(); ++i) {
+        std::size_t pos = hash_packed_key(packed_[i].key) & mask;
+        while (slots_[pos] != kEmpty) pos = (pos + 1) & mask;
+        slots_[pos] = static_cast<std::uint32_t>(i);
+      }
+      return;
+    }
     for (std::size_t i = 0; i < entries_.size(); ++i) {
       std::size_t pos = hash_key(entries_[i].key) & mask;
       while (slots_[pos] != kEmpty) pos = (pos + 1) & mask;
@@ -82,8 +207,12 @@ class AccumMap {
   }
 
   std::vector<std::uint32_t> slots_;
-  std::vector<TableEntry> entries_;
+  std::vector<Entry> entries_;
+  std::vector<PackedEntry> packed_;  // active only in packed mode (B = 1)
   std::size_t grow_at_ = 0;
+  bool packed_mode_ = false;
 };
+
+using AccumMap = AccumMapT<1>;
 
 }  // namespace ccbt

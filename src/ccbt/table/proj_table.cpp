@@ -1,200 +1,12 @@
 #include "ccbt/table/proj_table.hpp"
 
-#include <algorithm>
-#include <limits>
-
-#ifdef _OPENMP
-#include <omp.h>
-#endif
-
 namespace ccbt {
 
-namespace {
-
-bool less_by_v0(const TableEntry& a, const TableEntry& b) {
-  if (a.key.v[0] != b.key.v[0]) return a.key.v[0] < b.key.v[0];
-  if (a.key.v[1] != b.key.v[1]) return a.key.v[1] < b.key.v[1];
-  if (a.key.v[2] != b.key.v[2]) return a.key.v[2] < b.key.v[2];
-  if (a.key.v[3] != b.key.v[3]) return a.key.v[3] < b.key.v[3];
-  return a.key.sig < b.key.sig;
-}
-
-bool less_by_v1(const TableEntry& a, const TableEntry& b) {
-  if (a.key.v[1] != b.key.v[1]) return a.key.v[1] < b.key.v[1];
-  return less_by_v0(a, b);
-}
-
-/// Tie-break inside one slot-0 bucket (slot 0 equal by construction).
-bool less_tail_v0(const TableEntry& a, const TableEntry& b) {
-  if (a.key.v[1] != b.key.v[1]) return a.key.v[1] < b.key.v[1];
-  if (a.key.v[2] != b.key.v[2]) return a.key.v[2] < b.key.v[2];
-  if (a.key.v[3] != b.key.v[3]) return a.key.v[3] < b.key.v[3];
-  return a.key.sig < b.key.sig;
-}
-
-/// Tie-break inside one slot-1 bucket (slot 1 equal by construction).
-bool less_tail_v1(const TableEntry& a, const TableEntry& b) {
-  if (a.key.v[0] != b.key.v[0]) return a.key.v[0] < b.key.v[0];
-  if (a.key.v[2] != b.key.v[2]) return a.key.v[2] < b.key.v[2];
-  if (a.key.v[3] != b.key.v[3]) return a.key.v[3] < b.key.v[3];
-  return a.key.sig < b.key.sig;
-}
-
-/// Whether a counting partition over `domain` buckets pays off for n
-/// entries: the offsets array must not dominate the sort itself. Applies
-/// to explicit domains too — a tiny late-stage table on a huge graph must
-/// not pay O(num_vertices) per seal.
-bool domain_worthwhile(std::size_t n, VertexId domain) {
-  return domain > 0 &&
-         std::uint64_t{domain} <=
-             8 * std::uint64_t{std::max<std::size_t>(n, 1)} + 1024;
-}
-
-/// Smallest detectable domain for an index-less seal: max slot value + 1,
-/// or 0 when the values are too sparse (or are kNoVertex) for a counting
-/// partition to pay off.
-VertexId detect_domain(const std::vector<TableEntry>& entries, int slot) {
-  VertexId max_v = 0;
-  for (const TableEntry& e : entries) max_v = std::max(max_v, e.key.v[slot]);
-  if (max_v == std::numeric_limits<VertexId>::max()) return 0;  // kNoVertex
-  const std::uint64_t domain = std::uint64_t{max_v} + 1;
-  if (!domain_worthwhile(entries.size(), static_cast<VertexId>(domain))) {
-    return 0;
-  }
-  return static_cast<VertexId>(domain);
-}
-
-}  // namespace
-
-Count ProjTable::total() const {
-  Count sum = 0;
-  for (const auto& e : entries_) sum += e.cnt;
-  return sum;
-}
-
-void ProjTable::seal(SortOrder order, VertexId domain) {
-  if (order == SortOrder::kUnsorted) {
-    order_ = order;
-    drop_index();
-    return;
-  }
-  const int slot = group_slot(order);
-  // kByV0 sorting is a refinement that also groups by (v0, v1): both
-  // orders share one comparator, so converting between them (and staying
-  // put) never re-sorts — at most the index is (re)built.
-  const bool sorted_already =
-      order_ == order || group_slot(order_) == slot;
-  if (!domain_worthwhile(entries_.size(), domain)) {
-    domain = detect_domain(entries_, slot);
-  }
-  if (sorted_already) {
-    order_ = order;
-    if (!has_bucket_index() || index_slot_ != slot) {
-      if (domain > 0 &&
-          entries_.size() < std::numeric_limits<std::uint32_t>::max()) {
-        build_index(slot, domain);
-      }
-    }
-    return;
-  }
-  drop_index();
-  if (domain > 0 &&
-      entries_.size() < std::numeric_limits<std::uint32_t>::max()) {
-    bucket_sort(slot, domain);
-  } else {
-    std::stable_sort(entries_.begin(), entries_.end(),
-                     slot == 0 ? less_by_v0 : less_by_v1);
-  }
-  order_ = order;
-}
-
-void ProjTable::build_index(int slot, VertexId domain) {
-  std::vector<std::uint32_t> off(static_cast<std::size_t>(domain) + 1, 0);
-  for (const TableEntry& e : entries_) {
-    const VertexId v = e.key.v[slot];
-    if (v >= domain) return;  // out-of-domain key: keep binary search
-    ++off[v + 1];
-  }
-  for (std::size_t v = 1; v <= domain; ++v) off[v] += off[v - 1];
-  bucket_off_ = std::move(off);
-  index_slot_ = slot;
-  domain_ = domain;
-}
-
-void ProjTable::bucket_sort(int slot, VertexId domain) {
-  const std::size_t n = entries_.size();
-  std::vector<std::uint32_t> off(static_cast<std::size_t>(domain) + 1, 0);
-  for (const TableEntry& e : entries_) {
-    const VertexId v = e.key.v[slot];
-    if (v >= domain) {  // out-of-domain key: fall back, no index
-      std::stable_sort(entries_.begin(), entries_.end(),
-                       slot == 0 ? less_by_v0 : less_by_v1);
-      return;
-    }
-    ++off[v + 1];
-  }
-  for (std::size_t v = 1; v <= domain; ++v) off[v] += off[v - 1];
-
-  // Stable scatter: cursor[v] walks its bucket in input order.
-  std::vector<TableEntry> sorted(n);
-  {
-    std::vector<std::uint32_t> cursor(off.begin(), off.end() - 1);
-    for (const TableEntry& e : entries_) sorted[cursor[e.key.v[slot]]++] = e;
-  }
-  entries_ = std::move(sorted);
-
-  // Buckets are independent: sort each by the remaining key fields.
-  auto tail_less = slot == 0 ? less_tail_v0 : less_tail_v1;
-#ifdef _OPENMP
-#pragma omp parallel for schedule(dynamic, 1024) if (n > (1u << 15))
-#endif
-  for (std::size_t v = 0; v < domain; ++v) {
-    const std::uint32_t lo = off[v];
-    const std::uint32_t hi = off[v + 1];
-    if (hi - lo > 1) {
-      std::stable_sort(entries_.begin() + lo, entries_.begin() + hi,
-                       tail_less);
-    }
-  }
-
-  bucket_off_ = std::move(off);
-  index_slot_ = slot;
-  domain_ = domain;
-}
-
-std::span<const TableEntry> ProjTable::group_by_search(int slot,
-                                                       VertexId v) const {
-  auto key_slot = [slot](const TableEntry& e) { return e.key.v[slot]; };
-  auto lo = std::partition_point(
-      entries_.begin(), entries_.end(),
-      [&](const TableEntry& e) { return key_slot(e) < v; });
-  auto hi = std::partition_point(
-      lo, entries_.end(),
-      [&](const TableEntry& e) { return key_slot(e) <= v; });
-  return {entries_.data() + (lo - entries_.begin()),
-          static_cast<std::size_t>(hi - lo)};
-}
-
-ProjTable ProjTable::transposed() const {
-  ProjTable out(arity_);
-  out.entries_.reserve(entries_.size());
-  for (const auto& e : entries_) {
-    TableEntry t = e;
-    std::swap(t.key.v[0], t.key.v[1]);
-    out.entries_.push_back(t);
-  }
-  return out;
-}
-
-ProjTable ProjTable::aggregated(int new_arity) const {
-  AccumMap map(entries_.size());
-  for (const auto& e : entries_) {
-    TableKey key;
-    for (int s = 0; s < new_arity; ++s) key.v[s] = e.key.v[s];
-    key.sig = e.key.sig;
-    map.add(key, e.cnt);
-  }
-  return ProjTable::from_map(new_arity, std::move(map));
-}
+// One compiled copy of every supported batch width (the header declares
+// the matching extern templates).
+template class ProjTableT<1>;
+template class ProjTableT<2>;
+template class ProjTableT<4>;
+template class ProjTableT<8>;
 
 }  // namespace ccbt

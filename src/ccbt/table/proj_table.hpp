@@ -8,11 +8,22 @@
 // (the data graph's vertex count) additionally builds a CSR-style bucket
 // index over the grouping slot, so group(slot, v) is a single offset
 // lookup instead of two binary searches. See README.md in this directory
-// for the memory layout and threading model.
+// for the memory layout, the lane dimension, and the threading model.
+//
+// The table is parameterized on the batch width B: entry counts are
+// per-lane vectors (see table_key.hpp). Sorting, grouping and the bucket
+// index depend only on keys, so all widths share one implementation;
+// `ProjTable` aliases the scalar B = 1 instantiation.
 
+#include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 
 #include "ccbt/table/accum_map.hpp"
 #include "ccbt/table/table_key.hpp"
@@ -38,27 +49,120 @@ inline constexpr int group_slot(SortOrder order) {
   return -1;
 }
 
-class ProjTable {
+namespace detail {
+
+template <typename E>
+bool less_by_v0(const E& a, const E& b) {
+  if (a.key.v[0] != b.key.v[0]) return a.key.v[0] < b.key.v[0];
+  if (a.key.v[1] != b.key.v[1]) return a.key.v[1] < b.key.v[1];
+  if (a.key.v[2] != b.key.v[2]) return a.key.v[2] < b.key.v[2];
+  if (a.key.v[3] != b.key.v[3]) return a.key.v[3] < b.key.v[3];
+  return a.key.sig < b.key.sig;
+}
+
+template <typename E>
+bool less_by_v1(const E& a, const E& b) {
+  if (a.key.v[1] != b.key.v[1]) return a.key.v[1] < b.key.v[1];
+  return less_by_v0(a, b);
+}
+
+/// Tie-break inside one slot-0 bucket (slot 0 equal by construction).
+template <typename E>
+bool less_tail_v0(const E& a, const E& b) {
+  if (a.key.v[1] != b.key.v[1]) return a.key.v[1] < b.key.v[1];
+  if (a.key.v[2] != b.key.v[2]) return a.key.v[2] < b.key.v[2];
+  if (a.key.v[3] != b.key.v[3]) return a.key.v[3] < b.key.v[3];
+  return a.key.sig < b.key.sig;
+}
+
+/// Tie-break inside one slot-1 bucket (slot 1 equal by construction).
+template <typename E>
+bool less_tail_v1(const E& a, const E& b) {
+  if (a.key.v[0] != b.key.v[0]) return a.key.v[0] < b.key.v[0];
+  if (a.key.v[2] != b.key.v[2]) return a.key.v[2] < b.key.v[2];
+  if (a.key.v[3] != b.key.v[3]) return a.key.v[3] < b.key.v[3];
+  return a.key.sig < b.key.sig;
+}
+
+/// Whether a counting partition over `domain` buckets pays off for n
+/// entries: the offsets array must not dominate the sort itself. Applies
+/// to explicit domains too — a tiny late-stage table on a huge graph must
+/// not pay O(num_vertices) per seal.
+inline bool domain_worthwhile(std::size_t n, VertexId domain) {
+  return domain > 0 &&
+         std::uint64_t{domain} <=
+             8 * std::uint64_t{std::max<std::size_t>(n, 1)} + 1024;
+}
+
+/// Smallest detectable domain for an index-less seal: max slot value + 1,
+/// or 0 when the values are too sparse (or are kNoVertex) for a counting
+/// partition to pay off.
+template <typename E>
+VertexId detect_domain(const std::vector<E>& entries, int slot) {
+  VertexId max_v = 0;
+  for (const E& e : entries) max_v = std::max(max_v, e.key.v[slot]);
+  if (max_v == std::numeric_limits<VertexId>::max()) return 0;  // kNoVertex
+  const std::uint64_t domain = std::uint64_t{max_v} + 1;
+  if (!domain_worthwhile(entries.size(), static_cast<VertexId>(domain))) {
+    return 0;
+  }
+  return static_cast<VertexId>(domain);
+}
+
+}  // namespace detail
+
+template <int B>
+class ProjTableT {
  public:
-  ProjTable() = default;
+  using Entry = TableEntryT<B>;
+  using Vec = typename LaneOps<B>::Vec;
+
+  ProjTableT() = default;
 
   /// arity = number of meaningful leading vertex slots (0..4).
-  explicit ProjTable(int arity) : arity_(arity) {}
+  explicit ProjTableT(int arity) : arity_(arity) {}
 
-  static ProjTable from_map(int arity, AccumMap&& map) {
-    ProjTable t(arity);
+  static ProjTableT from_map(int arity, AccumMapT<B>&& map) {
+    ProjTableT t(arity);
     t.entries_ = map.take_entries();
     return t;
   }
+
+  /// Adopt rows that may contain duplicate keys (the batched engine's
+  /// graph-driven primitives emit without hashing): counts of equal keys
+  /// are summed by the next seal(). Until then the table behaves like a
+  /// multiset — joins and totals are bilinear, so duplicate rows are
+  /// semantically identical to their merged sum.
+  static ProjTableT from_flat(int arity, std::vector<Entry>&& rows) {
+    ProjTableT t(arity);
+    t.entries_ = std::move(rows);
+    t.dedup_pending_ = !t.entries_.empty();
+    return t;
+  }
+
+  /// Whether rows with duplicate keys may still be present (cleared by
+  /// the first sorting seal).
+  bool dedup_pending() const { return dedup_pending_; }
 
   int arity() const { return arity_; }
   std::size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
 
-  std::span<const TableEntry> entries() const { return entries_; }
+  std::span<const Entry> entries() const { return entries_; }
 
-  /// Total count over all entries (used at the root).
-  Count total() const;
+  /// Total lane-0 count over all entries (used at the root for B = 1).
+  Count total() const {
+    Count sum = 0;
+    for (const auto& e : entries_) sum += LaneOps<B>::lane(e.cnt, 0);
+    return sum;
+  }
+
+  /// Per-lane totals over all entries (the root's colorful counts).
+  Vec lane_totals() const {
+    Vec sum = LaneOps<B>::zero();
+    for (const auto& e : entries_) LaneOps<B>::add(sum, e.cnt);
+    return sum;
+  }
 
   /// Sort entries for merge joins; remembers the order (no-op if sorted;
   /// kByV0 and kByV0V1 share one comparator, so converting between them is
@@ -78,7 +182,7 @@ class ProjTable {
   /// Contiguous range of entries whose slot `slot` equals v; requires the
   /// matching seal order (kByV0 for slot 0, kByV1 for slot 1). O(1) when
   /// the bucket index covers `slot`, two binary searches otherwise.
-  std::span<const TableEntry> group(int slot, VertexId v) const {
+  std::span<const Entry> group(int slot, VertexId v) const {
     if (slot == index_slot_) {
       if (v >= domain_) return {};
       return {entries_.data() + bucket_off_[v],
@@ -90,20 +194,48 @@ class ProjTable {
   /// Swap slots 0 and 1 in every key — the transpose of Section 5.2
   /// ("the boundary tables are transpose of each other"). Invalidates the
   /// seal order.
-  ProjTable transposed() const;
+  ProjTableT transposed() const {
+    ProjTableT out(arity_);
+    out.dedup_pending_ = dedup_pending_;
+    out.entries_.reserve(entries_.size());
+    for (const auto& e : entries_) {
+      Entry t = e;
+      std::swap(t.key.v[0], t.key.v[1]);
+      out.entries_.push_back(t);
+    }
+    return out;
+  }
 
   /// Sum out every slot except slot 0 (projection to a unary table), or to
   /// arity 0. Used when a cycle's diagonal split must be re-aggregated to
   /// the block's true boundary keys.
-  ProjTable aggregated(int new_arity) const;
+  ProjTableT aggregated(int new_arity) const {
+    AccumMapT<B> map(entries_.size());
+    for (const auto& e : entries_) {
+      TableKey key;
+      for (int s = 0; s < new_arity; ++s) key.v[s] = e.key.v[s];
+      key.sig = e.key.sig;
+      map.add(key, e.cnt);
+    }
+    return ProjTableT::from_map(new_arity, std::move(map));
+  }
 
-  void push_unchecked(const TableEntry& e) {
+  void push_unchecked(const Entry& e) {
     entries_.push_back(e);
     drop_index();
   }
 
  private:
-  std::span<const TableEntry> group_by_search(int slot, VertexId v) const;
+  std::span<const Entry> group_by_search(int slot, VertexId v) const {
+    auto key_slot = [slot](const Entry& e) { return e.key.v[slot]; };
+    auto lo = std::partition_point(
+        entries_.begin(), entries_.end(),
+        [&](const Entry& e) { return key_slot(e) < v; });
+    auto hi = std::partition_point(
+        lo, entries_.end(), [&](const Entry& e) { return key_slot(e) <= v; });
+    return {entries_.data() + (lo - entries_.begin()),
+            static_cast<std::size_t>(hi - lo)};
+  }
 
   /// Stable counting partition by `slot` over [0, domain), then sort each
   /// bucket by the remaining key fields; keeps the offsets as the index.
@@ -112,15 +244,62 @@ class ProjTable {
   /// Entries already sorted for `order_`; (re)build the offset index only.
   void build_index(int slot, VertexId domain);
 
+  /// After the counting partition: buckets are independent, sort each by
+  /// the remaining key fields. Flat-built tables (duplicates pending) use
+  /// an unstable sort — the tail order is a total order over the full
+  /// key, so equal keys are about to be merged and stability buys
+  /// nothing, while std::sort avoids stable_sort's buffer traffic on the
+  /// wide lane-vector rows.
+  void finish_buckets(int slot, const std::vector<std::uint32_t>& off) {
+    auto tail_less = slot == 0 ? detail::less_tail_v0<Entry>
+                               : detail::less_tail_v1<Entry>;
+    const std::size_t domain = off.size() - 1;
+    const std::size_t n = entries_.size();
+    (void)n;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic, 1024) if (n > (1u << 15))
+#endif
+    for (std::size_t v = 0; v < domain; ++v) {
+      const std::uint32_t lo = off[v];
+      const std::uint32_t hi = off[v + 1];
+      if (hi - lo > 1) {
+        if (dedup_pending_) {
+          std::sort(entries_.begin() + lo, entries_.begin() + hi, tail_less);
+        } else {
+          std::stable_sort(entries_.begin() + lo, entries_.begin() + hi,
+                           tail_less);
+        }
+      }
+    }
+  }
+
   void drop_index() {
     bucket_off_.clear();
     index_slot_ = -1;
     domain_ = 0;
   }
 
+  /// Sum runs of equal keys after a full-key sort (flat-built tables).
+  void merge_duplicates() {
+    std::size_t w = 0;
+    std::size_t i = 0;
+    while (i < entries_.size()) {
+      Entry acc = entries_[i];
+      std::size_t j = i + 1;
+      while (j < entries_.size() && entries_[j].key == acc.key) {
+        LaneOps<B>::add(acc.cnt, entries_[j].cnt);
+        ++j;
+      }
+      entries_[w++] = acc;
+      i = j;
+    }
+    entries_.resize(w);
+  }
+
   int arity_ = 0;
   SortOrder order_ = SortOrder::kUnsorted;
-  std::vector<TableEntry> entries_;
+  bool dedup_pending_ = false;
+  std::vector<Entry> entries_;
 
   // CSR bucket index over the grouping slot: entries with key slot value v
   // occupy [bucket_off_[v], bucket_off_[v + 1]). Empty when not built.
@@ -128,5 +307,179 @@ class ProjTable {
   int index_slot_ = -1;
   VertexId domain_ = 0;
 };
+
+template <int B>
+void ProjTableT<B>::seal(SortOrder order, VertexId domain) {
+  if (order == SortOrder::kUnsorted) {
+    order_ = order;
+    drop_index();
+    return;
+  }
+  const int slot = group_slot(order);
+  // kByV0 sorting is a refinement that also groups by (v0, v1): both
+  // orders share one comparator, so converting between them (and staying
+  // put) never re-sorts — at most the index is (re)built.
+  const bool sorted_already = order_ == order || group_slot(order_) == slot;
+  if (!detail::domain_worthwhile(entries_.size(), domain)) {
+    domain = detail::detect_domain(entries_, slot);
+  }
+  if (sorted_already) {
+    order_ = order;
+    if (!has_bucket_index() || index_slot_ != slot) {
+      if (domain > 0 &&
+          entries_.size() < std::numeric_limits<std::uint32_t>::max()) {
+        build_index(slot, domain);
+      }
+    }
+    return;
+  }
+  drop_index();
+  if (domain > 0 &&
+      entries_.size() < std::numeric_limits<std::uint32_t>::max()) {
+    bucket_sort(slot, domain);
+  } else {
+    std::stable_sort(entries_.begin(), entries_.end(),
+                     slot == 0 ? detail::less_by_v0<Entry>
+                               : detail::less_by_v1<Entry>);
+  }
+  // Both sort paths leave entries in full-key order, so flat-built rows
+  // with equal keys are adjacent: one linear pass sums them, then the
+  // bucket index (now stale) is recounted over the merged rows.
+  if (dedup_pending_) {
+    merge_duplicates();
+    dedup_pending_ = false;
+    if (has_bucket_index()) {
+      const VertexId d = domain_;
+      drop_index();
+      build_index(slot, d);
+    }
+  }
+  order_ = order;
+}
+
+template <int B>
+void ProjTableT<B>::build_index(int slot, VertexId domain) {
+  std::vector<std::uint32_t> off(static_cast<std::size_t>(domain) + 1, 0);
+  for (const Entry& e : entries_) {
+    const VertexId v = e.key.v[slot];
+    if (v >= domain) return;  // out-of-domain key: keep binary search
+    ++off[v + 1];
+  }
+  for (std::size_t v = 1; v <= domain; ++v) off[v] += off[v - 1];
+  bucket_off_ = std::move(off);
+  index_slot_ = slot;
+  domain_ = domain;
+}
+
+template <int B>
+void ProjTableT<B>::bucket_sort(int slot, VertexId domain) {
+  const std::size_t n = entries_.size();
+  std::vector<std::uint32_t> off(static_cast<std::size_t>(domain) + 1, 0);
+
+#ifdef _OPENMP
+  // Parallel counting pass + stable scatter with per-chunk histograms:
+  // the input splits into a fixed number of contiguous chunks, each
+  // chunk counts into its own histogram, the per-bucket cursors are laid
+  // out so chunk c's share of bucket v starts after chunks < c (chunks
+  // are in input order, so the scatter stays stable), and each chunk then
+  // scatters independently. Work is distributed over chunk INDICES with
+  // `omp for`, so the result is identical for any team size the runtime
+  // actually delivers (dynamic teams, nested regions, 1 core). Gated on
+  // dense-ish domains so the histograms (chunks x domain u32) stay
+  // within the table's own footprint.
+  const int max_threads = omp_get_max_threads();
+  if (max_threads > 1 && n >= (1u << 16) && domain <= n) {
+    const int nchunks = max_threads;
+    const std::size_t chunk = (n + nchunks - 1) / nchunks;
+    std::vector<std::vector<std::uint32_t>> hist(nchunks);
+    bool out_of_domain = false;
+#pragma omp parallel for schedule(static, 1) reduction(|| : out_of_domain)
+    for (int c = 0; c < nchunks; ++c) {
+      const std::size_t lo = std::min(n, c * chunk);
+      const std::size_t hi = std::min(n, lo + chunk);
+      auto& h = hist[c];
+      h.assign(static_cast<std::size_t>(domain), 0);
+      for (std::size_t i = lo; i < hi; ++i) {
+        const VertexId v = entries_[i].key.v[slot];
+        if (v >= domain) {
+          out_of_domain = true;
+          break;
+        }
+        ++h[v];
+      }
+    }
+    if (!out_of_domain) {
+      // off[v+1] = bucket totals -> exclusive prefix; then rebase each
+      // chunk's histogram into its scatter cursor for bucket v.
+      for (int c = 0; c < nchunks; ++c) {
+        for (std::size_t v = 0; v < domain; ++v) off[v + 1] += hist[c][v];
+      }
+      for (std::size_t v = 1; v <= domain; ++v) off[v] += off[v - 1];
+#pragma omp parallel for schedule(static)
+      for (std::size_t v = 0; v < domain; ++v) {
+        std::uint32_t cursor = off[v];
+        for (int c = 0; c < nchunks; ++c) {
+          const std::uint32_t cnt = hist[c][v];
+          hist[c][v] = cursor;
+          cursor += cnt;
+        }
+      }
+      std::vector<Entry> sorted(n);
+#pragma omp parallel for schedule(static, 1)
+      for (int c = 0; c < nchunks; ++c) {
+        const std::size_t lo = std::min(n, c * chunk);
+        const std::size_t hi = std::min(n, lo + chunk);
+        auto& cur = hist[c];
+        for (std::size_t i = lo; i < hi; ++i) {
+          sorted[cur[entries_[i].key.v[slot]]++] = entries_[i];
+        }
+      }
+      entries_ = std::move(sorted);
+      finish_buckets(slot, off);
+      bucket_off_ = std::move(off);
+      index_slot_ = slot;
+      domain_ = domain;
+      return;
+    }
+    // Out-of-domain key seen: fall through to the serial path, which
+    // handles the comparison-sort fallback.
+    off.assign(static_cast<std::size_t>(domain) + 1, 0);
+  }
+#endif
+
+  for (const Entry& e : entries_) {
+    const VertexId v = e.key.v[slot];
+    if (v >= domain) {  // out-of-domain key: fall back, no index
+      std::stable_sort(entries_.begin(), entries_.end(),
+                       slot == 0 ? detail::less_by_v0<Entry>
+                                 : detail::less_by_v1<Entry>);
+      return;
+    }
+    ++off[v + 1];
+  }
+  for (std::size_t v = 1; v <= domain; ++v) off[v] += off[v - 1];
+
+  // Stable scatter: cursor[v] walks its bucket in input order.
+  std::vector<Entry> sorted(n);
+  {
+    std::vector<std::uint32_t> cursor(off.begin(), off.end() - 1);
+    for (const Entry& e : entries_) sorted[cursor[e.key.v[slot]]++] = e;
+  }
+  entries_ = std::move(sorted);
+
+  finish_buckets(slot, off);
+  bucket_off_ = std::move(off);
+  index_slot_ = slot;
+  domain_ = domain;
+}
+
+using ProjTable = ProjTableT<1>;
+
+// The scalar table is the hot instantiation; compiled once in
+// proj_table.cpp (alongside the batched widths) rather than per TU.
+extern template class ProjTableT<1>;
+extern template class ProjTableT<2>;
+extern template class ProjTableT<4>;
+extern template class ProjTableT<8>;
 
 }  // namespace ccbt

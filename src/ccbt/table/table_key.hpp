@@ -1,5 +1,5 @@
 #pragma once
-// Projection-table keys.
+// Projection-table keys and lane-indexed entries.
 //
 // A key holds up to four data-vertex slots plus a color signature:
 //   slot 0 — the anchor (π of the path's start node / first boundary node)
@@ -8,6 +8,13 @@
 //               in the interior of a DB path (the additional fields of
 //               Section 5.1, configurations (A) and (B)).
 // Unused slots hold kNoVertex so equality and hashing are uniform.
+//
+// Entries are parameterized on the engine's batch width B: one plan
+// execution processes B independent colorings ("lanes") at once, and an
+// entry's count becomes a lane-indexed vector. Lanes share an entry when
+// their colorings give the partial match the same signature, so the key
+// stays (vertex tuple, signature) at every width. B = 1 keeps the original
+// scalar layout bit for bit.
 
 #include <array>
 #include <cstdint>
@@ -39,10 +46,135 @@ inline std::uint64_t hash_key(const TableKey& k) {
   return h;
 }
 
-/// An accumulated (key -> count) row.
-struct TableEntry {
+/// Per-width count representation and the lane arithmetic the join
+/// primitives need. The generic case is an array of per-lane counts; the
+/// B = 1 specialization collapses to a plain scalar so the single-coloring
+/// engine compiles to exactly the pre-batching code.
+template <int B>
+struct LaneOps {
+  static_assert(B >= 2 && B <= kMaxBatchLanes, "unsupported batch width");
+  using Vec = std::array<Count, B>;
+
+  static constexpr Vec zero() { return Vec{}; }
+
+  static constexpr bool is_zero(const Vec& v) {
+    for (int l = 0; l < B; ++l) {
+      if (v[l] != 0) return false;
+    }
+    return true;
+  }
+
+  static constexpr Count lane(const Vec& v, int l) { return v[l]; }
+  static constexpr void set_lane(Vec& v, int l, Count c) { v[l] = c; }
+
+  static constexpr void add(Vec& d, const Vec& s) {
+    for (int l = 0; l < B; ++l) d[l] += s[l];
+  }
+
+  // The mask-parameterized ops are branchless (multiply by the mask bit)
+  // so the compiler can vectorize the B-wide loops.
+
+  /// 1 in every lane of `m`, 0 elsewhere.
+  static constexpr Vec ones(LaneMask m) {
+    Vec v{};
+    for (int l = 0; l < B; ++l) v[l] = (m >> l) & 1u;
+    return v;
+  }
+
+  /// a with lanes outside `m` zeroed.
+  static constexpr Vec masked(const Vec& a, LaneMask m) {
+    Vec v{};
+    for (int l = 0; l < B; ++l) v[l] = a[l] * ((m >> l) & 1u);
+    return v;
+  }
+
+  /// Lane-wise product, restricted to the lanes of `m`.
+  static constexpr Vec mul_masked(const Vec& a, const Vec& b, LaneMask m) {
+    Vec v{};
+    for (int l = 0; l < B; ++l) v[l] = a[l] * b[l] * ((m >> l) & 1u);
+    return v;
+  }
+
+  static constexpr Count total(const Vec& v) {
+    Count t = 0;
+    for (int l = 0; l < B; ++l) t += v[l];
+    return t;
+  }
+};
+
+template <>
+struct LaneOps<1> {
+  using Vec = Count;
+  static constexpr Vec zero() { return 0; }
+  static constexpr bool is_zero(Vec v) { return v == 0; }
+  static constexpr Count lane(Vec v, int) { return v; }
+  static constexpr void set_lane(Vec& v, int, Count c) { v = c; }
+  static constexpr void add(Vec& d, Vec s) { d += s; }
+  static constexpr Vec ones(LaneMask m) { return m & 1u; }
+  static constexpr Vec masked(Vec a, LaneMask m) { return (m & 1u) ? a : 0; }
+  static constexpr Vec mul_masked(Vec a, Vec b, LaneMask m) {
+    return (m & 1u) ? a * b : 0;
+  }
+  static constexpr Count total(Vec v) { return v; }
+};
+
+/// An accumulated (key -> per-lane counts) row.
+template <int B>
+struct TableEntryT {
+  TableKey key;
+  typename LaneOps<B>::Vec cnt{};
+};
+
+/// B = 1 keeps the original scalar row (32 bytes).
+template <>
+struct TableEntryT<1> {
   TableKey key;
   Count cnt = 0;
 };
+
+using TableEntry = TableEntryT<1>;
+
+// ------------------------------------------------------------------ packed
+// Compact accumulation layout (à la Malík et al.): for queries with at
+// most 8 mapped vertices (signature fits a byte) and keys that use only
+// the two boundary slots on graphs below 2^28 - 1 vertices, the whole key
+// packs into one 64-bit word — v0:28 | v1:28 | sig:8 — giving a 16-byte
+// (key, count) entry that halves join bandwidth against the 32-byte wide
+// row. kNoVertex maps to the reserved all-ones 28-bit pattern.
+
+inline constexpr std::uint32_t kPacked28NoVertex = 0x0FFFFFFFu;
+
+inline constexpr bool packable_slot(VertexId v) {
+  return v < kPacked28NoVertex || v == kNoVertex;
+}
+
+inline constexpr bool packable_key(const TableKey& k) {
+  return k.v[2] == kNoVertex && k.v[3] == kNoVertex && k.sig < 256 &&
+         packable_slot(k.v[0]) && packable_slot(k.v[1]);
+}
+
+inline constexpr std::uint64_t pack_key(const TableKey& k) {
+  const std::uint64_t v0 = k.v[0] == kNoVertex ? kPacked28NoVertex : k.v[0];
+  const std::uint64_t v1 = k.v[1] == kNoVertex ? kPacked28NoVertex : k.v[1];
+  return (v0 << 36) | (v1 << 8) | k.sig;
+}
+
+inline constexpr TableKey unpack_key(std::uint64_t p) {
+  TableKey k;
+  const auto v0 = static_cast<std::uint32_t>(p >> 36) & kPacked28NoVertex;
+  const auto v1 = static_cast<std::uint32_t>(p >> 8) & kPacked28NoVertex;
+  k.v[0] = v0 == kPacked28NoVertex ? kNoVertex : v0;
+  k.v[1] = v1 == kPacked28NoVertex ? kNoVertex : v1;
+  k.sig = static_cast<Signature>(p & 0xFFu);
+  return k;
+}
+
+/// splitmix64 finalizer — the packed-key hash.
+inline constexpr std::uint64_t hash_packed_key(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
 
 }  // namespace ccbt

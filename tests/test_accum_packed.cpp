@@ -1,0 +1,169 @@
+// Regression tests for the compact (packed 16-byte) AccumMap layout
+// against the wide 32-byte layout: identical accumulation semantics on
+// packable keys, transparent migration on the first unpackable key, and
+// byte-for-byte key round-tripping through pack/unpack.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "ccbt/table/accum_map.hpp"
+#include "ccbt/table/proj_table.hpp"
+#include "ccbt/util/rng.hpp"
+
+namespace ccbt {
+namespace {
+
+TableKey key2(VertexId u, VertexId v, Signature sig) {
+  TableKey k;
+  k.v[0] = u;
+  k.v[1] = v;
+  k.sig = sig;
+  return k;
+}
+
+bool entry_less(const TableEntry& a, const TableEntry& b) {
+  if (a.key.v[0] != b.key.v[0]) return a.key.v[0] < b.key.v[0];
+  if (a.key.v[1] != b.key.v[1]) return a.key.v[1] < b.key.v[1];
+  if (a.key.v[2] != b.key.v[2]) return a.key.v[2] < b.key.v[2];
+  if (a.key.v[3] != b.key.v[3]) return a.key.v[3] < b.key.v[3];
+  return a.key.sig < b.key.sig;
+}
+
+void expect_same_contents(std::vector<TableEntry> a,
+                          std::vector<TableEntry> b) {
+  ASSERT_EQ(a.size(), b.size());
+  std::sort(a.begin(), a.end(), entry_less);
+  std::sort(b.begin(), b.end(), entry_less);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key, b[i].key);
+    EXPECT_EQ(a[i].cnt, b[i].cnt);
+  }
+}
+
+TEST(PackedKey, RoundTripsPackableKeys) {
+  for (const TableKey k :
+       {key2(0, 0, 0), key2(1, 2, 0b11), key2(kPacked28NoVertex - 1, 7, 255),
+        key2(kNoVertex, kNoVertex, 0), key2(5, kNoVertex, 0b101)}) {
+    ASSERT_TRUE(packable_key(k));
+    EXPECT_EQ(unpack_key(pack_key(k)), k);
+  }
+}
+
+TEST(PackedKey, RejectsWideKeys) {
+  EXPECT_FALSE(packable_key(key2(1, 2, 0x100)));          // 9-color sig
+  EXPECT_FALSE(packable_key(key2(kPacked28NoVertex, 2, 1)));  // 28-bit max
+  TableKey tracked = key2(1, 2, 1);
+  tracked.v[2] = 3;  // tracked slot in use
+  EXPECT_FALSE(packable_key(tracked));
+}
+
+TEST(PackedKey, PackingIsInjective) {
+  // Distinct packable keys map to distinct words (spot check over a grid).
+  std::vector<std::uint64_t> seen;
+  for (VertexId u = 0; u < 20; ++u) {
+    for (VertexId v = 0; v < 20; ++v) {
+      for (Signature s = 0; s < 8; ++s) seen.push_back(pack_key(key2(u, v, s)));
+    }
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end());
+}
+
+TEST(PackedAccumMap, MatchesWideLayoutOnRandomWorkload) {
+  Rng rng(42);
+  AccumMap packed(16, /*compact=*/true);
+  AccumMap wide(16, /*compact=*/false);
+  EXPECT_TRUE(packed.packed());
+  EXPECT_FALSE(wide.packed());
+  for (int i = 0; i < 20000; ++i) {
+    const TableKey k = key2(static_cast<VertexId>(rng.below(300)),
+                            static_cast<VertexId>(rng.below(300)),
+                            static_cast<Signature>(rng.below(32)));
+    const Count c = 1 + rng.below(5);
+    packed.add(k, c);
+    wide.add(k, c);
+  }
+  EXPECT_TRUE(packed.packed());  // every key packable: never migrated
+  EXPECT_EQ(packed.size(), wide.size());
+  expect_same_contents(packed.take_entries(), wide.take_entries());
+}
+
+TEST(PackedAccumMap, MigratesOnFirstWideKeyAndKeepsCounts) {
+  Rng rng(7);
+  AccumMap packed(16, /*compact=*/true);
+  AccumMap wide(16, /*compact=*/false);
+  auto add_both = [&](const TableKey& k, Count c) {
+    packed.add(k, c);
+    wide.add(k, c);
+  };
+  for (int i = 0; i < 5000; ++i) {
+    add_both(key2(static_cast<VertexId>(rng.below(100)),
+                  static_cast<VertexId>(rng.below(100)),
+                  static_cast<Signature>(rng.below(16))),
+             1);
+  }
+  EXPECT_TRUE(packed.packed());
+  // A tracked-slot key forces the wide layout mid-stream.
+  TableKey tracked = key2(3, 4, 1);
+  tracked.v[2] = 9;
+  add_both(tracked, 2);
+  EXPECT_FALSE(packed.packed());
+  // Accumulation continues across the migration.
+  for (int i = 0; i < 5000; ++i) {
+    add_both(key2(static_cast<VertexId>(rng.below(100)),
+                  static_cast<VertexId>(rng.below(100)),
+                  static_cast<Signature>(rng.below(16))),
+             3);
+  }
+  EXPECT_EQ(packed.size(), wide.size());
+  expect_same_contents(packed.take_entries(), wide.take_entries());
+}
+
+TEST(PackedAccumMap, ForEachVisitsBothLayouts) {
+  AccumMap packed(16, /*compact=*/true);
+  packed.add(key2(1, 2, 3), 5);
+  packed.add(key2(1, 2, 3), 2);
+  packed.add(key2(4, 5, 6), 1);
+  Count total = 0;
+  std::size_t n = 0;
+  packed.for_each([&](const TableKey&, Count c) {
+    total += c;
+    ++n;
+  });
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(total, 8u);
+  EXPECT_THROW(packed.entries(), Error);  // wide view undefined while packed
+}
+
+TEST(PackedAccumMap, SealsIntoIdenticalProjTables) {
+  Rng rng(99);
+  AccumMap packed(16, /*compact=*/true);
+  AccumMap wide(16, /*compact=*/false);
+  for (int i = 0; i < 4000; ++i) {
+    const TableKey k = key2(static_cast<VertexId>(rng.below(64)),
+                            static_cast<VertexId>(rng.below(64)),
+                            static_cast<Signature>(rng.below(8)));
+    packed.add(k, 1);
+    wide.add(k, 1);
+  }
+  ProjTable tp = ProjTable::from_map(2, std::move(packed));
+  ProjTable tw = ProjTable::from_map(2, std::move(wide));
+  tp.seal(SortOrder::kByV0, 64);
+  tw.seal(SortOrder::kByV0, 64);
+  ASSERT_EQ(tp.size(), tw.size());
+  EXPECT_EQ(tp.total(), tw.total());
+  for (VertexId u = 0; u < 64; ++u) {
+    const auto gp = tp.group(0, u);
+    const auto gw = tw.group(0, u);
+    ASSERT_EQ(gp.size(), gw.size()) << "bucket " << u;
+    for (std::size_t i = 0; i < gp.size(); ++i) {
+      EXPECT_EQ(gp[i].key, gw[i].key);
+      EXPECT_EQ(gp[i].cnt, gw[i].cnt);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ccbt

@@ -1,0 +1,196 @@
+// Batched multi-coloring execution: a plan run over a B-lane coloring
+// batch must report, lane for lane, exactly the colorful counts of B
+// independent single-coloring runs with the same seeds — across graph
+// models, query shapes, all three Algo variants, and both engines
+// (shared-memory and virtual-MPI). Estimator batching must likewise be
+// invisible in the per-trial results.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ccbt/core/color_coding.hpp"
+#include "ccbt/core/estimator.hpp"
+#include "ccbt/dist/dist_engine.hpp"
+#include "ccbt/graph/generators.hpp"
+#include "ccbt/query/catalog.hpp"
+#include "ccbt/util/error.hpp"
+
+namespace ccbt {
+namespace {
+
+/// Per-lane colorful counts of one batched execution vs. `width`
+/// independent scalar executions over the same seeds.
+void expect_lane_parity(const CsrGraph& g, const QueryGraph& q, Algo algo,
+                        int width, std::uint64_t base_seed) {
+  ExecOptions opts;
+  opts.algo = algo;
+  CountingSession session(g, q, make_plan(q), opts);
+
+  std::vector<std::uint64_t> seeds;
+  for (int l = 0; l < width; ++l) seeds.push_back(base_seed + l);
+
+  const ExecStats batched = session.count_colorful_seeded(
+      std::span<const std::uint64_t>(seeds.data(), seeds.size()));
+  EXPECT_EQ(batched.lanes_used, width);
+  for (int l = 0; l < width; ++l) {
+    const ExecStats solo = session.count_colorful_seeded(seeds[l]);
+    EXPECT_EQ(batched.colorful_lane[l], solo.colorful)
+        << algo_name(algo) << " " << q.name() << " lane " << l << " of "
+        << width;
+  }
+  EXPECT_EQ(batched.colorful, batched.colorful_lane[0]);
+}
+
+TEST(BatchEngine, LanesMatchIndependentRunsOnErdosRenyi) {
+  const CsrGraph g = erdos_renyi(60, 260, 7);
+  for (const Algo algo : {Algo::kPS, Algo::kPSEven, Algo::kDB}) {
+    expect_lane_parity(g, q_cycle(4), algo, 4, 100);
+    expect_lane_parity(g, q_glet2(), algo, 4, 200);
+    expect_lane_parity(g, q_wiki(), algo, 4, 300);
+  }
+}
+
+TEST(BatchEngine, LanesMatchIndependentRunsOnBarabasiAlbert) {
+  const CsrGraph g = barabasi_albert(80, 4, 9);
+  for (const Algo algo : {Algo::kPS, Algo::kPSEven, Algo::kDB}) {
+    expect_lane_parity(g, q_cycle(5), algo, 4, 400);
+    expect_lane_parity(g, q_glet2(), algo, 4, 500);
+  }
+}
+
+TEST(BatchEngine, AllSupportedWidths) {
+  const CsrGraph g = erdos_renyi(50, 200, 21);
+  for (const int width : {1, 2, 4, 8}) {
+    expect_lane_parity(g, q_glet2(), Algo::kDB, width, 600);
+  }
+}
+
+TEST(BatchEngine, UnsupportedWidthThrows) {
+  const CsrGraph g = erdos_renyi(20, 40, 1);
+  const QueryGraph q = q_cycle(3);
+  CountingSession session(g, q, make_plan(q));
+  std::vector<Coloring> lanes;
+  for (int l = 0; l < 3; ++l) lanes.emplace_back(g.num_vertices(), 3, l + 1);
+  EXPECT_THROW(session.count_colorful(ColoringBatch(lanes)), Error);
+}
+
+TEST(BatchEngine, WideAndCompactAccumAgree) {
+  const CsrGraph g = erdos_renyi(60, 240, 3);
+  const QueryGraph q = q_wiki();
+  ExecOptions wide;
+  wide.compact_accum = false;
+  ExecOptions compact;
+  compact.compact_accum = true;
+  CountingSession sw(g, q, make_plan(q), wide);
+  CountingSession sc(g, q, make_plan(q), compact);
+  for (std::uint64_t seed : {11u, 12u, 13u}) {
+    EXPECT_EQ(sw.count_colorful_seeded(seed).colorful,
+              sc.count_colorful_seeded(seed).colorful);
+  }
+}
+
+TEST(BatchEngine, SingleNodeQueryFillsEveryLane) {
+  const CsrGraph g = erdos_renyi(25, 40, 5);
+  const QueryGraph q(1, "node");
+  CountingSession session(g, q, make_plan(q));
+  const std::array<std::uint64_t, 4> seeds{1, 2, 3, 4};
+  const ExecStats stats = session.count_colorful_seeded(
+      std::span<const std::uint64_t>(seeds.data(), seeds.size()));
+  for (int l = 0; l < 4; ++l) {
+    EXPECT_EQ(stats.colorful_lane[l], g.num_vertices());
+  }
+}
+
+// ---------------------------------------------------------------------
+// Distributed engine: one batched virtual-MPI run per width, lanes
+// checked against scalar distributed runs (which are themselves parity-
+// checked against the shared engine in test_dist_engine).
+
+TEST(BatchEngine, DistributedLanesMatchScalarRuns) {
+  const CsrGraph g = erdos_renyi(40, 160, 13);
+  const QueryGraph q = q_glet2();
+  const Plan plan = make_plan(q);
+  std::vector<Coloring> lanes;
+  for (int l = 0; l < 4; ++l) {
+    lanes.emplace_back(g.num_vertices(), q.num_nodes(), 700 + l);
+  }
+  for (const Algo algo : {Algo::kPS, Algo::kDB}) {
+    ExecOptions opts;
+    opts.algo = algo;
+    const DistStats batched = run_plan_distributed(
+        g, plan.tree, ColoringBatch(lanes), /*ranks=*/3, opts);
+    EXPECT_EQ(batched.lanes_used, 4);
+    for (int l = 0; l < 4; ++l) {
+      const DistStats solo =
+          run_plan_distributed(g, plan.tree, lanes[l], /*ranks=*/3, opts);
+      EXPECT_EQ(batched.colorful_lane[l], solo.colorful)
+          << algo_name(algo) << " lane " << l;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Estimator: batching is an execution detail — per-trial colorful counts
+// and all derived statistics must be identical at every batch width.
+
+TEST(BatchEstimator, BatchedTrialsEqualUnbatchedTrials) {
+  const CsrGraph g = erdos_renyi(50, 220, 8);
+  const QueryGraph q = q_glet2();
+  EstimatorOptions base;
+  base.trials = 10;
+  base.seed = 77;
+  const EstimatorResult solo = estimate_matches(g, q, base);
+  for (const int batch : {2, 4, 8}) {
+    EstimatorOptions opts = base;
+    opts.batch = batch;
+    const EstimatorResult r = estimate_matches(g, q, opts);
+    EXPECT_EQ(r.colorful_per_trial, solo.colorful_per_trial)
+        << "batch=" << batch;
+    EXPECT_DOUBLE_EQ(r.matches, solo.matches) << "batch=" << batch;
+    EXPECT_DOUBLE_EQ(r.cv, solo.cv) << "batch=" << batch;
+  }
+}
+
+TEST(BatchEstimator, AdaptiveBatchedMatchesTrialForTrial) {
+  const CsrGraph g = erdos_renyi(60, 400, 6);
+  AdaptiveOptions a;
+  a.target_cv = 1e9;  // trivially satisfied at the first check
+  a.min_trials = 5;
+  a.batch = 4;
+  const AdaptiveResult r = estimate_matches_adaptive(g, q_cycle(3), a);
+  EXPECT_TRUE(r.converged);
+  // Batches of 4 then 4: the cv test fires at the first batch boundary
+  // past min_trials.
+  EXPECT_EQ(r.trials_used, 8);
+
+  AdaptiveOptions solo = a;
+  solo.batch = 1;
+  const AdaptiveResult rs = estimate_matches_adaptive(g, q_cycle(3), solo);
+  // Same seed sequence: the batched run's first 5 trials equal the
+  // unbatched run's 5 trials.
+  ASSERT_GE(r.estimate.colorful_per_trial.size(), 5u);
+  for (std::size_t i = 0; i < rs.estimate.colorful_per_trial.size(); ++i) {
+    EXPECT_EQ(r.estimate.colorful_per_trial[i],
+              rs.estimate.colorful_per_trial[i]);
+  }
+}
+
+TEST(BatchEstimator, ZeroMatchWorkloadStaysZeroAcrossLanes) {
+  const EstimatorOptions opts = [] {
+    EstimatorOptions o;
+    o.trials = 8;
+    o.batch = 8;
+    return o;
+  }();
+  const EstimatorResult r =
+      estimate_matches(path_graph(20), q_cycle(3), opts);
+  EXPECT_DOUBLE_EQ(r.matches, 0.0);
+  for (const Count c : r.colorful_per_trial) EXPECT_EQ(c, 0u);
+}
+
+}  // namespace
+}  // namespace ccbt
