@@ -12,15 +12,24 @@
 // routing a real implementation must pay per join emission, while the
 // transport also pays for resharding and orientation supersteps.
 //
-// The transport is parameterized on the batch width B: a batched run
-// serializes whole lane-count vectors per entry (one message per
-// signature-blocked row, B counts of payload), which CommStats reflects
-// through entry_bytes.
+// Wire format per batch width:
+//   * B = 1 keeps the PR 2 layout bit for bit: fixed-size rows of
+//     sizeof(TableKey) + sizeof(Count) wire bytes.
+//   * B > 1 serializes every row through the lane-compressed encoding of
+//     table/lane_payload.hpp — unpadded key, occupancy mask, per-row
+//     width code, then only the occupied lanes' counts at that width.
+//     Outboxes hold the actual byte streams and exchange() decodes them,
+//     so CommStats' wire volume tracks true lane density instead of the
+//     dense u64[B] vector's worst case.
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
+#include "ccbt/table/lane_payload.hpp"
 #include "ccbt/table/table_key.hpp"
 #include "ccbt/util/error.hpp"
 
@@ -33,12 +42,29 @@ struct CommStats {
   std::uint64_t max_step_recv = 0;     // max entries one rank received
                                        // in one superstep
 
-  /// Wire size of one entry: key plus the lane-count vector.
+  /// Wire size of a *dense* row (the fixed B = 1 encoding; the dense
+  /// reference point for the B > 1 compression ratio).
   std::uint64_t entry_bytes = sizeof(TableKey) + sizeof(Count);
 
+  /// Actual serialized bytes of the off-rank traffic (equals
+  /// off_rank_entries * entry_bytes at B = 1; tracks the per-row
+  /// compressed encoding at B > 1).
+  std::uint64_t off_rank_payload = 0;
+
+  // Lane-compression wire telemetry (B > 1; zero at B = 1): occupancy
+  // and per-row payload-width histogram over every serialized row.
+  std::uint64_t lane_slots_sent = 0;       // rows sent * B
+  std::uint64_t lanes_occupied_sent = 0;   // mask-set lanes sent
+  std::array<std::uint64_t, 3> width_rows{};  // rows per u16/u32/u64
+
   /// Wire volume of the off-rank traffic.
-  std::uint64_t off_rank_bytes() const {
-    return off_rank_entries * entry_bytes;
+  std::uint64_t off_rank_bytes() const { return off_rank_payload; }
+
+  double wire_lane_density() const {
+    return lane_slots_sent == 0
+               ? 0.0
+               : static_cast<double>(lanes_occupied_sent) /
+                     static_cast<double>(lane_slots_sent);
   }
 };
 
@@ -50,21 +76,52 @@ class VirtualCommT {
   /// Throws Error when ranks == 0.
   explicit VirtualCommT(std::uint32_t ranks) {
     if (ranks == 0) throw Error("VirtualComm: need at least one rank");
-    outbox_.resize(ranks);
+    if constexpr (B == 1) {
+      outbox_.resize(ranks);
+    } else {
+      wire_outbox_.resize(ranks);
+    }
     inbox_.resize(ranks);
     stats_.entry_bytes =
         sizeof(TableKey) + sizeof(typename LaneOps<B>::Vec);
   }
 
   std::uint32_t num_ranks() const {
-    return static_cast<std::uint32_t>(outbox_.size());
+    return static_cast<std::uint32_t>(inbox_.size());
   }
 
   /// Queue `e` from rank `from` to rank `to`; visible after exchange().
   void send(std::uint32_t from, std::uint32_t to, const Entry& e) {
-    outbox_[from].push_back({to, e});
     ++stats_.entries_sent;
-    if (from != to) ++stats_.off_rank_entries;
+    if constexpr (B == 1) {
+      outbox_[from].push_back({to, e});
+      if (from != to) {
+        ++stats_.off_rank_entries;
+        stats_.off_rank_payload += stats_.entry_bytes;
+      }
+      return;
+    } else {
+      // Serialize immediately: [dest u32][lane-compressed row]. The dest
+      // word is outbox bookkeeping, not wire payload — a real transport
+      // carries the destination in its envelope.
+      std::vector<std::uint8_t>& out = wire_outbox_[from];
+      const std::size_t at = out.size();
+      out.resize(at + sizeof(std::uint32_t));
+      std::memcpy(out.data() + at, &to, sizeof(std::uint32_t));
+      const std::size_t row_at = out.size();
+      const PayloadWidth width = wire_encode<B>(e, out);
+      LaneMask mask = 0;
+      for (int l = 0; l < B; ++l) {
+        mask |= static_cast<LaneMask>(LaneOps<B>::lane(e.cnt, l) != 0) << l;
+      }
+      stats_.lane_slots_sent += B;
+      stats_.lanes_occupied_sent += std::popcount(mask);
+      ++stats_.width_rows[payload_width_code(width)];
+      if (from != to) {
+        ++stats_.off_rank_entries;
+        stats_.off_rank_payload += out.size() - row_at;
+      }
+    }
   }
 
   /// Deliver all queued entries (replacing previous inboxes) and close
@@ -73,9 +130,25 @@ class VirtualCommT {
     for (auto& in : inbox_) in.clear();
     // Senders drain in rank order, each in send order: deterministic
     // delivery independent of any real interleaving.
-    for (auto& out : outbox_) {
-      for (const Queued& q : out) inbox_[q.to].push_back(q.entry);
-      out.clear();
+    if constexpr (B == 1) {
+      for (auto& out : outbox_) {
+        for (const Queued& q : out) inbox_[q.to].push_back(q.entry);
+        out.clear();
+      }
+    } else {
+      for (auto& out : wire_outbox_) {
+        const std::uint8_t* p = out.data();
+        const std::uint8_t* const end = p + out.size();
+        while (p < end) {
+          std::uint32_t to = 0;
+          std::memcpy(&to, p, sizeof(std::uint32_t));
+          p += sizeof(std::uint32_t);
+          Entry e;
+          p = wire_decode<B>(p, e);
+          inbox_[to].push_back(e);
+        }
+        out.clear();
+      }
     }
     for (const auto& in : inbox_) {
       stats_.max_step_recv = std::max(
@@ -118,7 +191,8 @@ class VirtualCommT {
     Entry entry;
   };
 
-  std::vector<std::vector<Queued>> outbox_;  // per sender, in send order
+  std::vector<std::vector<Queued>> outbox_;  // B = 1: per sender, in order
+  std::vector<std::vector<std::uint8_t>> wire_outbox_;  // B > 1 byte streams
   std::vector<std::vector<Entry>> inbox_;
   CommStats stats_;
 };

@@ -72,11 +72,13 @@ template <int B>
 DistTableT<B> d_init_path_from_child(Dx<B>& dx, const DistTableT<B>& child,
                                      const ExtendOpts& o) {
   const ExecContext& cx = dx.cx;
+  // Stored child shards may be lane-compressed: for_each_entry expands
+  // each masked payload row on the fly.
   for (std::uint32_t r = 0; r < dx.ranks(); ++r) {
     auto emit = dx.route_to_slot(r, 1);
-    for (const TableEntryT<B>& e : child.shard(r).entries()) {
+    child.shard(r).for_each_entry([&](const TableEntryT<B>& e) {
       kernel_init_from_child<B>(cx, e, /*flip=*/false, o, emit);
-    }
+    });
   }
   DistTableT<B> t = collect_path(dx, 2);
   cx.end_phase();
@@ -89,13 +91,17 @@ DistTableT<B> d_extend_with_graph(Dx<B>& dx, DistTableT<B>& path,
   const ExecContext& cx = dx.cx;
   // The shared engine's batched extension seals (and thereby merges) the
   // path before iterating; sealing the shards keeps the iterated row
-  // multiset — and hence every load-model charge — in exact parity.
-  if constexpr (B > 1) path.seal_shards(SortOrder::kByV1, dx.domain);
+  // multiset — and hence every load-model charge — in exact parity. The
+  // sealed shards are consumed once right below: stay dense (kStream).
+  if constexpr (B > 1) {
+    path.seal_shards(SortOrder::kByV1, dx.domain, LaneSealHint::kStream);
+  }
   for (std::uint32_t r = 0; r < dx.ranks(); ++r) {
+    cx.note_lanes(path.shard(r).layout());
     auto emit = dx.route_to_slot(r, 1);
-    for (const TableEntryT<B>& e : path.shard(r).entries()) {
+    path.shard(r).for_each_entry([&](const TableEntryT<B>& e) {
       kernel_extend_with_graph<B>(cx, e, o, emit);
-    }
+    });
   }
   DistTableT<B> t = collect_path(dx, path.arity());
   cx.end_phase();
@@ -107,16 +113,23 @@ DistTableT<B> d_extend_with_child(Dx<B>& dx, DistTableT<B>& path,
                                   const DistTableT<B>& child,
                                   const ExtendOpts& o) {
   const ExecContext& cx = dx.cx;
-  if constexpr (B > 1) path.seal_shards(SortOrder::kByV1, dx.domain);
+  if constexpr (B > 1) {
+    path.seal_shards(SortOrder::kByV1, dx.domain, LaneSealHint::kStream);
+  }
   // Path entries with frontier v and child entries (v, w, ..) are
-  // co-located at owner(v): the EdgeJoin probe is rank-local.
+  // co-located at owner(v): the EdgeJoin probe is rank-local. The child
+  // shard may be lane-compressed (stored tables): group_expanded unpacks
+  // the probed bucket through a reused scratch.
+  std::vector<TableEntryT<B>> cscratch;
   for (std::uint32_t r = 0; r < dx.ranks(); ++r) {
+    cx.note_lanes(path.shard(r).layout());
     const ProjTableT<B>& child_shard = child.shard(r);
     auto emit = dx.route_to_slot(r, 1);
-    for (const TableEntryT<B>& e : path.shard(r).entries()) {
-      kernel_extend_with_child<B>(cx, e, child_shard.group(0, e.key.v[1]),
-                                  o, emit);
-    }
+    path.shard(r).for_each_entry([&](const TableEntryT<B>& e) {
+      kernel_extend_with_child<B>(
+          cx, e, child_shard.group_expanded(0, e.key.v[1], cscratch), o,
+          emit);
+    });
   }
   DistTableT<B> t = collect_path(dx, path.arity());
   cx.end_phase();
@@ -137,13 +150,15 @@ DistTableT<B> d_node_join(Dx<B>& dx, const DistTableT<B>& path,
                              dx.budget, dx.domain);
     src = &rehomed;
   }
+  std::vector<TableEntryT<B>> cscratch;
   for (std::uint32_t r = 0; r < dx.ranks(); ++r) {
     const ProjTableT<B>& child_shard = child.shard(r);
     auto emit = dx.route_to_slot(r, 1);
-    for (const TableEntryT<B>& e : src->shard(r).entries()) {
-      kernel_node_join<B>(cx, e, child_shard.group(0, e.key.v[slot]), slot,
-                          emit);
-    }
+    src->shard(r).for_each_entry([&](const TableEntryT<B>& e) {
+      kernel_node_join<B>(
+          cx, e, child_shard.group_expanded(0, e.key.v[slot], cscratch),
+          slot, emit);
+    });
   }
   DistTableT<B> t = collect_path(dx, path.arity());
   cx.end_phase();
@@ -160,9 +175,12 @@ void d_merge_halves(Dx<B>& dx, DistTableT<B>& plus, DistTableT<B>& minus,
                     const MergeSpec& spec,
                     std::vector<AccumMapT<B>>& sinks) {
   const ExecContext& cx = dx.cx;
-  plus.seal_shards(SortOrder::kByV0V1, dx.domain);
-  minus.seal_shards(SortOrder::kByV0V1, dx.domain);
+  // Both halves are consumed by this one merge: stay dense (kStream).
+  plus.seal_shards(SortOrder::kByV0V1, dx.domain, LaneSealHint::kStream);
+  minus.seal_shards(SortOrder::kByV0V1, dx.domain, LaneSealHint::kStream);
   for (std::uint32_t r = 0; r < dx.ranks(); ++r) {
+    cx.note_lanes(plus.shard(r).layout());
+    cx.note_lanes(minus.shard(r).layout());
     const auto pe = plus.shard(r).entries();
     const auto me = minus.shard(r).entries();
     auto route = [&](const TableKey& key,
@@ -217,9 +235,9 @@ DistTableT<B> d_aggregate(Dx<B>& dx, const DistTableT<B>& t, int new_arity) {
       const std::uint32_t dest = new_arity >= 1 ? dx.owner(key.v[0]) : 0;
       dx.comm.send(r, dest, {key, cnt});
     };
-    for (const TableEntryT<B>& e : t.shard(r).entries()) {
+    t.shard(r).for_each_entry([&](const TableEntryT<B>& e) {
       kernel_aggregate<B>(cx, e, new_arity, emit);
-    }
+    });
   }
   dx.comm.exchange();
   DistTableT<B> out =
@@ -231,18 +249,21 @@ DistTableT<B> d_aggregate(Dx<B>& dx, const DistTableT<B>& t, int new_arity) {
 
 /// Solved child-block tables: stored home slot 0, shards sealed kByV0
 /// (the same convention as the shared TablePool), with lazily cached
-/// transposes produced by a transport superstep.
+/// transposes produced by a transport superstep. Stored shards seal with
+/// the kStore hint, so at B > 1 they re-pack into the lane-compressed
+/// layout when the observed density makes that smaller.
 template <int B>
 class DistPool {
  public:
-  DistPool(std::size_t num_blocks, VertexId domain)
+  DistPool(std::size_t num_blocks, VertexId domain, bool compress)
       : tables_(num_blocks),
         transposed_(num_blocks),
         has_transposed_(num_blocks, false),
-        domain_(domain) {}
+        domain_(domain),
+        hint_(compress ? LaneSealHint::kStore : LaneSealHint::kStream) {}
 
   void store(int block, DistTableT<B> table) {
-    table.seal_shards(SortOrder::kByV0, domain_);
+    table.seal_shards(SortOrder::kByV0, domain_, hint_);
     tables_[block] = std::move(table);
   }
 
@@ -251,8 +272,8 @@ class DistPool {
   const DistTableT<B>& oriented(Dx<B>& dx, int block, bool transposed) {
     if (!transposed) return tables_[block];
     if (!has_transposed_[block]) {
-      transposed_[block] = tables_[block].transposed(dx.comm, dx.part(),
-                                                     dx.budget, domain_);
+      transposed_[block] = tables_[block].transposed(
+          dx.comm, dx.part(), dx.budget, domain_, hint_);
       has_transposed_[block] = true;
     }
     return transposed_[block];
@@ -263,6 +284,7 @@ class DistPool {
   std::vector<DistTableT<B>> transposed_;
   std::vector<bool> has_transposed_;
   VertexId domain_;
+  LaneSealHint hint_;
 };
 
 template <int B>
@@ -359,17 +381,19 @@ DistStats run_plan_distributed_impl(const CsrGraph& g, const DecompTree& tree,
                                 ? DegreeOrder::by_id(g.num_vertices())
                                 : DegreeOrder(g);
   LoadModel load(ranks);
+  DistStats stats;
   const ExecContext cx{g,
                        batch,
                        order,
                        BlockPartition(g.num_vertices(), ranks),
                        &load,
-                       opts};
+                       opts,
+                       &stats.lanes};
   VirtualCommT<B> comm(ranks);
   Dx<B> dx{cx, comm, opts.max_table_entries, g.num_vertices()};
-  DistPool<B> pool(tree.blocks.size(), g.num_vertices());
+  DistPool<B> pool(tree.blocks.size(), g.num_vertices(),
+                   opts.lane_compress);
 
-  DistStats stats;
   stats.lanes_used = batch.lanes();
   auto record_root = [&](const typename LaneOps<B>::Vec& totals) {
     for (int l = 0; l < B; ++l) {
@@ -408,6 +432,10 @@ DistStats run_plan_distributed_impl(const CsrGraph& g, const DecompTree& tree,
       break;
     }
     pool.store(static_cast<int>(i), std::move(table));
+    const DistTableT<B>& stored = pool.get(static_cast<int>(i));
+    for (std::uint32_t r = 0; r < stored.num_shards(); ++r) {
+      cx.note_lanes(stored.shard(r).layout());
+    }
   }
 
   stats.wall_seconds = timer.seconds();

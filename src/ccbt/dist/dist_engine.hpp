@@ -43,8 +43,14 @@ struct DistStats {
   std::uint64_t total_comm = 0;
 
   // Physical transport accounting (supersteps, entries moved, off-rank
-  // volume) — a superset of the modeled communication.
+  // volume) — a superset of the modeled communication. At B > 1 the
+  // transport serializes the lane-compressed wire format, so
+  // transport.off_rank_bytes() tracks true lane density.
   CommStats transport;
+
+  /// Lane-layout telemetry over the run's sorting seals (B > 1; see
+  /// ExecStats::lanes).
+  LaneTelemetry lanes;
 };
 
 /// Count the colorful matches of the plan's query under `chi` on a

@@ -45,7 +45,8 @@ class DistTableT {
   /// invariant behind their exact load-model parity.
   static DistTableT collect(int arity, int home_slot, VirtualCommT<B>& comm,
                             SortOrder order, std::size_t budget,
-                            VertexId domain = 0) {
+                            VertexId domain = 0,
+                            LaneSealHint hint = LaneSealHint::kStore) {
     DistTableT t;
     t.arity_ = arity;
     t.home_slot_ = home_slot;
@@ -66,7 +67,7 @@ class DistTableT {
         throw BudgetExceeded("distributed table exceeded " +
                              std::to_string(budget) + " entries");
       }
-      shard.seal(order, domain);
+      shard.seal(order, domain, hint);
       t.shards_[r] = std::move(shard);
     }
     return t;
@@ -132,9 +133,11 @@ class DistTableT {
   /// Every entry lives on the owner of its home-slot vertex.
   bool well_placed(const BlockPartition& part) const {
     for (std::uint32_t r = 0; r < num_shards(); ++r) {
-      for (const Entry& e : shards_[r].entries()) {
-        if (part.owner(e.key.v[home_slot_]) != r) return false;
-      }
+      bool ok = true;
+      shards_[r].for_each_entry([&](const Entry& e) {
+        ok = ok && part.owner(e.key.v[home_slot_]) == r;
+      });
+      if (!ok) return false;
     }
     return true;
   }
@@ -143,7 +146,7 @@ class DistTableT {
   ProjTableT<B> gather() const {
     AccumMapT<B> map(size());
     for (const auto& s : shards_) {
-      for (const Entry& e : s.entries()) map.add(e.key, e.cnt);
+      s.for_each_entry([&](const Entry& e) { map.add(e.key, e.cnt); });
     }
     return ProjTableT<B>::from_map(arity_, std::move(map));
   }
@@ -152,35 +155,39 @@ class DistTableT {
   /// superstep), sealing shards in `order`.
   DistTableT resharded(int new_home, VirtualCommT<B>& comm,
                        const BlockPartition& part, SortOrder order,
-                       std::size_t budget, VertexId domain = 0) const {
+                       std::size_t budget, VertexId domain = 0,
+                       LaneSealHint hint = LaneSealHint::kStore) const {
     for (std::uint32_t r = 0; r < num_shards(); ++r) {
-      for (const Entry& e : shards_[r].entries()) {
+      shards_[r].for_each_entry([&](const Entry& e) {
         comm.send(r, part.owner(e.key.v[new_home]), e);
-      }
+      });
     }
     comm.exchange();
-    return collect(arity_, new_home, comm, order, budget, domain);
+    return collect(arity_, new_home, comm, order, budget, domain, hint);
   }
 
   /// Swap key slots 0 and 1 and re-home (one superstep); shards sealed
   /// kByV0 — the storage convention for child-block tables.
   DistTableT transposed(VirtualCommT<B>& comm, const BlockPartition& part,
-                        std::size_t budget, VertexId domain = 0) const {
+                        std::size_t budget, VertexId domain = 0,
+                        LaneSealHint hint = LaneSealHint::kStore) const {
     for (std::uint32_t r = 0; r < num_shards(); ++r) {
-      for (const Entry& e : shards_[r].entries()) {
+      shards_[r].for_each_entry([&](const Entry& e) {
         Entry t = e;
         std::swap(t.key.v[0], t.key.v[1]);
         comm.send(r, part.owner(t.key.v[home_slot_]), t);
-      }
+      });
     }
     comm.exchange();
     return collect(arity_, home_slot_, comm, SortOrder::kByV0, budget,
-                   domain);
+                   domain, hint);
   }
 
-  /// Seal every shard (used before per-shard merge joins).
-  void seal_shards(SortOrder order, VertexId domain = 0) {
-    for (auto& s : shards_) s.seal(order, domain);
+  /// Seal every shard (used before per-shard merge joins and when a
+  /// table is stored; `hint` drives the per-shard layout choice).
+  void seal_shards(SortOrder order, VertexId domain = 0,
+                   LaneSealHint hint = LaneSealHint::kStore) {
+    for (auto& s : shards_) s.seal(order, domain, hint);
   }
 
  private:

@@ -9,6 +9,7 @@
 #include "ccbt/graph/csr_graph.hpp"
 #include "ccbt/graph/degree_order.hpp"
 #include "ccbt/graph/partition.hpp"
+#include "ccbt/table/lane_payload.hpp"
 
 namespace ccbt {
 
@@ -45,9 +46,16 @@ struct ExecOptions {
   /// Use OpenMP in the join primitives.
   bool use_threads = true;
 
-  /// Accumulate single-coloring joins through the packed 16-byte AccumMap
-  /// rows when keys permit (see table/accum_map.hpp).
+  /// Accumulate joins through the compact AccumMap layouts when keys and
+  /// counts permit: packed 16-byte rows at B = 1, narrow u32 lane rows at
+  /// B > 1 (see table/accum_map.hpp).
   bool compact_accum = true;
+
+  /// Let stored tables re-pack into the lane-compressed row layout at
+  /// seal time when the observed lane density makes it smaller (B > 1;
+  /// see table/lane_payload.hpp). Off forces the dense u64[B] layout
+  /// everywhere.
+  bool lane_compress = true;
 };
 
 struct ExecContext {
@@ -58,7 +66,21 @@ struct ExecContext {
   LoadModel* load = nullptr;  // optional
   ExecOptions opts;
 
+  /// Optional collector of seal-time lane-layout observations (density,
+  /// chosen payload widths); the engines attach one and surface it
+  /// through ExecStats / DistStats.
+  LaneTelemetry* lane_telemetry = nullptr;
+
   std::uint32_t owner(VertexId v) const { return part.owner(v); }
+
+  /// Seal hint for tables this run stores for repeated probes.
+  LaneSealHint store_hint() const {
+    return opts.lane_compress ? LaneSealHint::kStore : LaneSealHint::kStream;
+  }
+
+  void note_lanes(const LaneLayoutInfo& info) const {
+    if (lane_telemetry != nullptr) lane_telemetry->note(info);
+  }
 
   void charge(VertexId at, std::uint64_t ops) const {
     if (load != nullptr) load->add_ops(part.owner(at), ops);

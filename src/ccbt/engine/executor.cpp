@@ -13,11 +13,16 @@ namespace ccbt {
 namespace {
 
 template <int B>
-ExecStats run_plan_impl(const ExecContext& cx, const DecompTree& tree) {
+ExecStats run_plan_impl(const ExecContext& outer_cx, const DecompTree& tree) {
   Timer timer;
   ExecStats stats;
+  // Collect seal-time lane-layout observations through a context copy so
+  // callers need no wiring (ExecContext is a bundle of references).
+  ExecContext cx = outer_cx;
+  cx.lane_telemetry = &stats.lanes;
   stats.lanes_used = cx.chi.lanes();
-  TablePoolT<B> pool(tree.blocks.size(), cx.g.num_vertices());
+  TablePoolT<B> pool(tree.blocks.size(), cx.g.num_vertices(),
+                     cx.opts.lane_compress);
 
   auto record_root = [&](const typename LaneOps<B>::Vec& totals) {
     for (int l = 0; l < B; ++l) {
@@ -55,6 +60,7 @@ ExecStats run_plan_impl(const ExecContext& cx, const DecompTree& tree) {
       break;
     }
     pool.store(static_cast<int>(i), std::move(table));
+    cx.note_lanes(pool.get(static_cast<int>(i)).layout());
   }
 
   stats.wall_seconds = timer.seconds();

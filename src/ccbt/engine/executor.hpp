@@ -28,6 +28,12 @@ struct ExecStats {
   std::uint64_t max_rank_ops = 0;
   double avg_rank_ops = 0.0;
   std::uint64_t total_comm = 0;
+
+  /// Lane-layout telemetry aggregated over every sorting seal of the run
+  /// (B > 1; all-zero at B = 1): observed lane density, how many rows the
+  /// seal-time chooser re-packed, and at which payload widths. Makes the
+  /// layout decisions auditable (surfaced into BENCH_batch.json).
+  LaneTelemetry lanes;
 };
 
 /// Count the colorful matches of the plan's query under every lane of

@@ -24,15 +24,19 @@ namespace ccbt {
 
 /// Solved child tables, sealed kByV0, with cached transposes. `domain`
 /// (the data graph's vertex count) lets stored tables build their O(1)
-/// bucket index at seal time.
+/// bucket index at seal time. Stored tables are probed repeatedly, so
+/// they seal with the kStore hint: at B > 1 the seal re-packs them into
+/// the lane-compressed layout when that is smaller (`compress` off pins
+/// the dense layout, ExecOptions::lane_compress).
 template <int B>
 class TablePoolT {
  public:
-  explicit TablePoolT(std::size_t num_blocks, VertexId domain = 0)
-      : tables_(num_blocks), domain_(domain) {}
+  explicit TablePoolT(std::size_t num_blocks, VertexId domain = 0,
+                      bool compress = true)
+      : tables_(num_blocks), domain_(domain), compress_(compress) {}
 
   void store(int block, ProjTableT<B> table) {
-    table.seal(SortOrder::kByV0, domain_);
+    table.seal(SortOrder::kByV0, domain_, store_hint());
     if (transposed_.empty()) {
       transposed_.resize(tables_.size());
       has_transposed_.resize(tables_.size(), false);
@@ -47,11 +51,15 @@ class TablePoolT {
     if (!transposed) return tables_[block];
     if (!has_transposed_[block]) {
       ProjTableT<B> t = tables_[block].transposed();
-      t.seal(SortOrder::kByV0, domain_);
+      t.seal(SortOrder::kByV0, domain_, store_hint());
       transposed_[block] = std::move(t);
       has_transposed_[block] = true;
     }
     return transposed_[block];
+  }
+
+  LaneSealHint store_hint() const {
+    return compress_ ? LaneSealHint::kStore : LaneSealHint::kStream;
   }
 
   std::size_t total_entries() const {
@@ -65,6 +73,7 @@ class TablePoolT {
   std::vector<ProjTableT<B>> transposed_;  // lazily filled
   std::vector<bool> has_transposed_;
   VertexId domain_ = 0;
+  bool compress_ = true;
 };
 
 using TablePool = TablePoolT<1>;

@@ -443,8 +443,8 @@ template <int B>
 ProjTableT<B> init_path_from_child(const ExecContext& cx,
                                    const ProjTableT<B>& child, bool flip,
                                    const ExtendOpts& o) {
-  const auto entries = child.entries();
   if constexpr (B == 1) {
+    const auto entries = child.entries();
     AccumMapT<B> map = detail::accumulate_over<B>(
         cx, entries.size(), [&](std::size_t i, AccumMapT<B>& sink) {
           kernel_init_from_child<B>(
@@ -454,11 +454,14 @@ ProjTableT<B> init_path_from_child(const ExecContext& cx,
     cx.end_phase();
     return ProjTableT<B>::from_map(2, std::move(map));
   } else {
+    // Stored child tables may be lane-compressed: row_at expands each
+    // row's masked payload view into a dense entry on the stack.
     auto rows = detail::accumulate_flat<B>(
-        cx, entries.size(),
+        cx, child.size(),
         [&](std::size_t i, std::vector<TableEntryT<B>>& sink) {
+          TableEntryT<B> tmp;
           kernel_init_from_child<B>(
-              cx, entries[i], flip, o,
+              cx, child.row_at(i, tmp), flip, o,
               [&](const TableKey& k, const typename LaneOps<B>::Vec& c) {
                 sink.push_back({k, c});
               });
@@ -475,8 +478,8 @@ template <int B>
 ProjTableT<B> extend_with_graph_scan(const ExecContext& cx,
                                      const ProjTableT<B>& path,
                                      const ExtendOpts& o) {
-  const auto entries = path.entries();
   if constexpr (B == 1) {
+    const auto entries = path.entries();
     AccumMapT<B> map = detail::accumulate_over<B>(
         cx, entries.size(), [&](std::size_t i, AccumMapT<B>& sink) {
           kernel_extend_with_graph<B>(
@@ -487,10 +490,11 @@ ProjTableT<B> extend_with_graph_scan(const ExecContext& cx,
     return ProjTableT<B>::from_map(path.arity(), std::move(map));
   } else {
     auto rows = detail::accumulate_flat<B>(
-        cx, entries.size(),
+        cx, path.size(),
         [&](std::size_t i, std::vector<TableEntryT<B>>& sink) {
+          TableEntryT<B> tmp;
           kernel_extend_with_graph<B>(
-              cx, entries[i], o,
+              cx, path.row_at(i, tmp), o,
               [&](const TableKey& k, const typename LaneOps<B>::Vec& c) {
                 sink.push_back({k, c});
               });
@@ -513,7 +517,9 @@ ProjTableT<B> extend_with_graph_grouped(const ExecContext& cx,
   using Ops = LaneOps<B>;
   const CsrGraph& g = cx.g;
   const VertexId n = g.num_vertices();
-  path.seal(SortOrder::kByV1, n);
+  // The sealed path is consumed once right below: stay dense (kStream).
+  path.seal(SortOrder::kByV1, n, LaneSealHint::kStream);
+  cx.note_lanes(path.layout());
   if (!path.has_bucket_index()) {
     return extend_with_graph_scan<B>(cx, path, o);
   }
@@ -532,7 +538,8 @@ ProjTableT<B> extend_with_graph_grouped(const ExecContext& cx,
   auto rows = detail::accumulate_flat<B>(
       cx, n, [&](std::size_t vi, std::vector<TableEntryT<B>>& sink) {
         const auto v = static_cast<VertexId>(vi);
-        const auto bucket = path.group(1, v);
+        thread_local std::vector<TableEntryT<B>> bscratch;
+        const auto bucket = path.group_expanded(1, v, bscratch);
         if (bucket.empty()) return;
         cx.charge(v, std::uint64_t{g.degree(v)} * bucket.size());
 
@@ -616,9 +623,10 @@ template <int B>
 ProjTableT<B> extend_with_child(const ExecContext& cx, ProjTableT<B>& path,
                                 const ProjTableT<B>& child,
                                 const ExtendOpts& o) {
-  path.seal(SortOrder::kByV1, cx.g.num_vertices());
-  const auto entries = path.entries();
+  path.seal(SortOrder::kByV1, cx.g.num_vertices(), LaneSealHint::kStream);
+  cx.note_lanes(path.layout());
   if constexpr (B == 1) {
+    const auto entries = path.entries();
     AccumMapT<B> map = detail::accumulate_over<B>(
         cx, entries.size(), [&](std::size_t i, AccumMapT<B>& sink) {
           kernel_extend_with_child<B>(
@@ -628,11 +636,16 @@ ProjTableT<B> extend_with_child(const ExecContext& cx, ProjTableT<B>& path,
     cx.end_phase();
     return ProjTableT<B>::from_map(path.arity(), std::move(map));
   } else {
+    // The stored child may be lane-compressed: group_expanded unpacks the
+    // probed bucket into a thread-local scratch (no-op when dense).
     auto rows = detail::accumulate_flat<B>(
-        cx, entries.size(),
+        cx, path.size(),
         [&](std::size_t i, std::vector<TableEntryT<B>>& sink) {
+          TableEntryT<B> tmp;
+          thread_local std::vector<TableEntryT<B>> cscratch;
+          const TableEntryT<B>& e = path.row_at(i, tmp);
           kernel_extend_with_child<B>(
-              cx, entries[i], child.group(0, entries[i].key.v[1]), o,
+              cx, e, child.group_expanded(0, e.key.v[1], cscratch), o,
               [&](const TableKey& k, const typename LaneOps<B>::Vec& c) {
                 sink.push_back({k, c});
               });
@@ -647,8 +660,8 @@ ProjTableT<B> extend_with_child(const ExecContext& cx, ProjTableT<B>& path,
 template <int B>
 ProjTableT<B> node_join(const ExecContext& cx, const ProjTableT<B>& path,
                         const ProjTableT<B>& child, int slot) {
-  const auto entries = path.entries();
   if constexpr (B == 1) {
+    const auto entries = path.entries();
     AccumMapT<B> map = detail::accumulate_over<B>(
         cx, entries.size(), [&](std::size_t i, AccumMapT<B>& sink) {
           kernel_node_join<B>(
@@ -659,10 +672,13 @@ ProjTableT<B> node_join(const ExecContext& cx, const ProjTableT<B>& path,
     return ProjTableT<B>::from_map(path.arity(), std::move(map));
   } else {
     auto rows = detail::accumulate_flat<B>(
-        cx, entries.size(),
+        cx, path.size(),
         [&](std::size_t i, std::vector<TableEntryT<B>>& sink) {
+          TableEntryT<B> tmp;
+          thread_local std::vector<TableEntryT<B>> cscratch;
+          const TableEntryT<B>& e = path.row_at(i, tmp);
           kernel_node_join<B>(
-              cx, entries[i], child.group(0, entries[i].key.v[slot]), slot,
+              cx, e, child.group_expanded(0, e.key.v[slot], cscratch), slot,
               [&](const TableKey& k, const typename LaneOps<B>::Vec& c) {
                 sink.push_back({k, c});
               });
@@ -715,39 +731,54 @@ void merge_bucket(const ExecContext& cx, std::span<const TableEntryT<B>> pu,
     cx.charge(v, (pj - pi) * (mj - mi));
     if constexpr (B == 1) {
       const Signature uv_bits = cx.chi.bit(u) | cx.chi.bit(v);
+      // The signature compatibility tests are a branchless AND/compare:
+      // run them as a simd-hinted prefilter pass over the minus subgroup
+      // (most pairs fail), then walk only the survivors.
+      thread_local std::vector<std::uint8_t> compat;
+      const std::size_t mcount = mj - mi;
+      if (compat.size() < mcount) compat.resize(mcount);
+      std::uint8_t* const ok = compat.data();
+      const TableEntryT<B>* const mb = mu.data() + mi;
       for (std::size_t a = pi; a < pj; ++a) {
-        for (std::size_t b = mi; b < mj; ++b) {
-          if (!merge_compatible(pu[a].key.sig, mu[b].key.sig, uv_bits)) {
-            continue;
-          }
+        const Signature asig = pu[a].key.sig;
+        const Count acnt = pu[a].cnt;
+        CCBT_SIMD
+        for (std::size_t t = 0; t < mcount; ++t) {
+          ok[t] = (asig & mb[t].key.sig) == uv_bits;
+        }
+        for (std::size_t t = 0; t < mcount; ++t) {
+          if (!ok[t]) continue;
+          const std::size_t b = mi + t;
           TableKey key;
           for (int s = 0; s < spec.out_arity; ++s) {
             const MergeOut& src = spec.out[s];
             key.v[s] = (src.side == 0 ? pu[a] : mu[b]).key.v[src.slot];
           }
-          key.sig = pu[a].key.sig | mu[b].key.sig;
-          emit(key, pu[a].cnt * mu[b].cnt);
+          key.sig = asig | mu[b].key.sig;
+          emit(key, acnt * mu[b].cnt);
           if (spec.out_arity >= 2) cx.send(v, key.v[1], 1);
         }
       }
     } else {
       for (std::size_t a = pi; a < pj; ++a) {
+        const TableEntryT<B>& pa = pu[a];
+        const Signature asig = pa.key.sig;
         for (std::size_t b = mi; b < mj; ++b) {
           // Lane-independent half: the halves may share exactly the two
           // endpoint colors.
-          const Signature inter = pu[a].key.sig & mu[b].key.sig;
+          const Signature inter = asig & mu[b].key.sig;
           if (std::popcount(inter) != 2) continue;
           // Per-lane half: those colors must be {χ_l(u), χ_l(v)}.
           const LaneMask m = cx.chi.mask_pair_eq(u, v, inter);
           if (m == 0) continue;
-          const auto cnt = LaneOps<B>::mul_masked(pu[a].cnt, mu[b].cnt, m);
+          const auto cnt = LaneOps<B>::mul_masked(pa.cnt, mu[b].cnt, m);
           if (LaneOps<B>::is_zero(cnt)) continue;
           TableKey key;
           for (int s = 0; s < spec.out_arity; ++s) {
             const MergeOut& src = spec.out[s];
-            key.v[s] = (src.side == 0 ? pu[a] : mu[b]).key.v[src.slot];
+            key.v[s] = (src.side == 0 ? pa : mu[b]).key.v[src.slot];
           }
-          key.sig = pu[a].key.sig | mu[b].key.sig;
+          key.sig = asig | mu[b].key.sig;
           emit(key, cnt);
           if (spec.out_arity >= 2) cx.send(v, key.v[1], 1);
         }
@@ -767,8 +798,11 @@ void merge_halves(const ExecContext& cx, ProjTableT<B>& plus,
                   AccumMapT<B>& sink) {
   using Vec = typename LaneOps<B>::Vec;
   const VertexId n = cx.g.num_vertices();
-  plus.seal(SortOrder::kByV0V1, n);
-  minus.seal(SortOrder::kByV0V1, n);
+  // Both halves are consumed by this one merge: stay dense (kStream).
+  plus.seal(SortOrder::kByV0V1, n, LaneSealHint::kStream);
+  minus.seal(SortOrder::kByV0V1, n, LaneSealHint::kStream);
+  cx.note_lanes(plus.layout());
+  cx.note_lanes(minus.layout());
   const auto pe = plus.entries();
   const auto me = minus.entries();
 
@@ -865,13 +899,13 @@ template <int B>
 ProjTableT<B> aggregate(const ExecContext& cx, const ProjTableT<B>& t,
                         int new_arity) {
   AccumMapT<B> map(t.size(), cx.opts.compact_accum);
-  for (const TableEntryT<B>& e : t.entries()) {
+  t.for_each_entry([&](const TableEntryT<B>& e) {
     kernel_aggregate<B>(cx, e, new_arity,
                         [&](const TableKey& k,
                             const typename LaneOps<B>::Vec& c) {
                           map.add(k, c);
                         });
-  }
+  });
   detail::check_budget(cx, map.size());
   cx.end_phase();
   return ProjTableT<B>::from_map(new_arity, std::move(map));

@@ -14,6 +14,17 @@
 // per-lane vectors (see table_key.hpp). Sorting, grouping and the bucket
 // index depend only on keys, so all widths share one implementation;
 // `ProjTable` aliases the scalar B = 1 instantiation.
+//
+// At B > 1 a sorting seal() additionally *picks the row layout*: it scans
+// the sorted rows' lane density and maximum count and — when the caller
+// stores the table for reuse (LaneSealHint::kStore) and the compressed
+// form is smaller — re-packs the dense `u64[B]` count vectors into a
+// per-row occupancy bitmask plus width-adapted packed payload
+// (lane_payload.hpp). Readers either take the dense span fast path
+// (entries()/group(), valid while the table is dense) or go through the
+// layout-independent accessors (row_at, for_each_entry, group_expanded),
+// which expand compressed rows on the fly. B = 1 never re-packs: the
+// scalar table keeps the pre-batching layout bit for bit.
 
 #include <algorithm>
 #include <cstdint>
@@ -26,7 +37,9 @@
 #endif
 
 #include "ccbt/table/accum_map.hpp"
+#include "ccbt/table/lane_payload.hpp"
 #include "ccbt/table/table_key.hpp"
+#include "ccbt/util/error.hpp"
 
 namespace ccbt {
 
@@ -94,21 +107,6 @@ inline bool domain_worthwhile(std::size_t n, VertexId domain) {
              8 * std::uint64_t{std::max<std::size_t>(n, 1)} + 1024;
 }
 
-/// Smallest detectable domain for an index-less seal: max slot value + 1,
-/// or 0 when the values are too sparse (or are kNoVertex) for a counting
-/// partition to pay off.
-template <typename E>
-VertexId detect_domain(const std::vector<E>& entries, int slot) {
-  VertexId max_v = 0;
-  for (const E& e : entries) max_v = std::max(max_v, e.key.v[slot]);
-  if (max_v == std::numeric_limits<VertexId>::max()) return 0;  // kNoVertex
-  const std::uint64_t domain = std::uint64_t{max_v} + 1;
-  if (!domain_worthwhile(entries.size(), static_cast<VertexId>(domain))) {
-    return 0;
-  }
-  return static_cast<VertexId>(domain);
-}
-
 }  // namespace detail
 
 template <int B>
@@ -145,22 +143,111 @@ class ProjTableT {
   bool dedup_pending() const { return dedup_pending_; }
 
   int arity() const { return arity_; }
-  std::size_t size() const { return entries_.size(); }
-  bool empty() const { return entries_.empty(); }
+  std::size_t size() const {
+    return lane_compressed_ ? ckeys_.size() : entries_.size();
+  }
+  bool empty() const { return size() == 0; }
 
-  std::span<const Entry> entries() const { return entries_; }
+  /// Dense row span — the fast path every B = 1 consumer and every
+  /// freshly built or kStream-sealed table uses. Throws when the table
+  /// was re-packed (use the layout-independent accessors below).
+  std::span<const Entry> entries() const {
+    if (lane_compressed_) {
+      throw Error("ProjTable::entries(): table is lane-compressed");
+    }
+    return entries_;
+  }
+
+  // ---------------------------------------------- layout-independent API
+
+  /// Whether rows live in the lane-compressed layout.
+  bool lane_compressed() const { return lane_compressed_; }
+
+  /// What the last sorting seal's density scan observed (rows == 0 when
+  /// never scanned; B = 1 tables are never scanned).
+  const LaneLayoutInfo& layout() const { return layout_; }
+
+  const TableKey& key_at(std::size_t i) const {
+    return lane_compressed_ ? ckeys_[i] : entries_[i].key;
+  }
+
+  /// Row i as a dense entry: a reference into the table when dense, a
+  /// reference to `tmp` (filled by expanding the packed payload) when
+  /// compressed.
+  const Entry& row_at(std::size_t i, Entry& tmp) const {
+    if (!lane_compressed_) return entries_[i];
+    tmp.key = ckeys_[i];
+    tmp.cnt = payload_.expand(i);
+    return tmp;
+  }
+
+  /// Masked-payload view of row i (compressed tables only).
+  LaneRowViewT<B> row_view(std::size_t i) const {
+    return payload_.view(i, ckeys_[i]);
+  }
+
+  /// Visit every row as a dense entry, in table order.
+  template <typename F>
+  void for_each_entry(F&& f) const {
+    if (!lane_compressed_) {
+      for (const Entry& e : entries_) f(e);
+      return;
+    }
+    Entry tmp;
+    for (std::size_t i = 0; i < ckeys_.size(); ++i) {
+      tmp.key = ckeys_[i];
+      tmp.cnt = payload_.expand(i);
+      f(tmp);
+    }
+  }
+
+  /// Index range of the group with slot `slot` equal to v (same contract
+  /// as group(), but layout independent).
+  std::pair<std::size_t, std::size_t> group_span(int slot, VertexId v) const {
+    if (slot == index_slot_) {
+      if (v >= domain_) return {0, 0};
+      return {bucket_off_[v], bucket_off_[v + 1]};
+    }
+    return group_span_by_search(slot, v);
+  }
+
+  /// Dense view of rows [lo, hi): the raw subspan when dense, rows
+  /// expanded into `scratch` when compressed. The returned span aliases
+  /// `scratch` in the latter case — one live expansion per scratch.
+  std::span<const Entry> expand_rows(std::size_t lo, std::size_t hi,
+                                     std::vector<Entry>& scratch) const {
+    if (!lane_compressed_) {
+      return {entries_.data() + lo, hi - lo};
+    }
+    scratch.resize(hi - lo);
+    for (std::size_t i = lo; i < hi; ++i) {
+      scratch[i - lo].key = ckeys_[i];
+      scratch[i - lo].cnt = payload_.expand(i);
+    }
+    return {scratch.data(), scratch.size()};
+  }
+
+  /// group() for either layout: expands the bucket through `scratch`
+  /// when compressed, returns the raw span when dense.
+  std::span<const Entry> group_expanded(int slot, VertexId v,
+                                        std::vector<Entry>& scratch) const {
+    const auto [lo, hi] = group_span(slot, v);
+    return expand_rows(lo, hi, scratch);
+  }
+
+  // ---------------------------------------------------------------------
 
   /// Total lane-0 count over all entries (used at the root for B = 1).
   Count total() const {
     Count sum = 0;
-    for (const auto& e : entries_) sum += LaneOps<B>::lane(e.cnt, 0);
+    for_each_entry([&](const Entry& e) { sum += LaneOps<B>::lane(e.cnt, 0); });
     return sum;
   }
 
   /// Per-lane totals over all entries (the root's colorful counts).
   Vec lane_totals() const {
     Vec sum = LaneOps<B>::zero();
-    for (const auto& e : entries_) LaneOps<B>::add(sum, e.cnt);
+    for_each_entry([&](const Entry& e) { LaneOps<B>::add(sum, e.cnt); });
     return sum;
   }
 
@@ -173,7 +260,11 @@ class ProjTableT {
   /// tiny per-bucket sorts) and keeps the bucket offsets as an O(1) group
   /// index. With domain 0 and no detectable bound it falls back to a
   /// comparison sort and group() uses binary search.
-  void seal(SortOrder order, VertexId domain = 0);
+  ///
+  /// At B > 1 the seal ends with the layout choice described in the file
+  /// comment; `hint` says whether the caller will store the table.
+  void seal(SortOrder order, VertexId domain = 0,
+            LaneSealHint hint = LaneSealHint::kStore);
   SortOrder order() const { return order_; }
 
   /// Whether group() resolves through the O(1) bucket index.
@@ -182,27 +273,28 @@ class ProjTableT {
   /// Contiguous range of entries whose slot `slot` equals v; requires the
   /// matching seal order (kByV0 for slot 0, kByV1 for slot 1). O(1) when
   /// the bucket index covers `slot`, two binary searches otherwise.
+  /// Dense layout only — compressed tables use group_expanded().
   std::span<const Entry> group(int slot, VertexId v) const {
-    if (slot == index_slot_) {
-      if (v >= domain_) return {};
-      return {entries_.data() + bucket_off_[v],
-              static_cast<std::size_t>(bucket_off_[v + 1] - bucket_off_[v])};
+    if (lane_compressed_) {
+      throw Error("ProjTable::group(): table is lane-compressed");
     }
-    return group_by_search(slot, v);
+    const auto [lo, hi] = group_span(slot, v);
+    return {entries_.data() + lo, hi - lo};
   }
 
   /// Swap slots 0 and 1 in every key — the transpose of Section 5.2
   /// ("the boundary tables are transpose of each other"). Invalidates the
-  /// seal order.
+  /// seal order; the result is dense (the caller reseals, which re-picks
+  /// the layout).
   ProjTableT transposed() const {
     ProjTableT out(arity_);
     out.dedup_pending_ = dedup_pending_;
-    out.entries_.reserve(entries_.size());
-    for (const auto& e : entries_) {
+    out.entries_.reserve(size());
+    for_each_entry([&](const Entry& e) {
       Entry t = e;
       std::swap(t.key.v[0], t.key.v[1]);
       out.entries_.push_back(t);
-    }
+    });
     return out;
   }
 
@@ -210,31 +302,65 @@ class ProjTableT {
   /// arity 0. Used when a cycle's diagonal split must be re-aggregated to
   /// the block's true boundary keys.
   ProjTableT aggregated(int new_arity) const {
-    AccumMapT<B> map(entries_.size());
-    for (const auto& e : entries_) {
+    AccumMapT<B> map(size());
+    for_each_entry([&](const Entry& e) {
       TableKey key;
       for (int s = 0; s < new_arity; ++s) key.v[s] = e.key.v[s];
       key.sig = e.key.sig;
       map.add(key, e.cnt);
-    }
+    });
     return ProjTableT::from_map(new_arity, std::move(map));
   }
 
   void push_unchecked(const Entry& e) {
+    if (lane_compressed_) unpack_lanes();
     entries_.push_back(e);
     drop_index();
   }
 
  private:
-  std::span<const Entry> group_by_search(int slot, VertexId v) const {
-    auto key_slot = [slot](const Entry& e) { return e.key.v[slot]; };
-    auto lo = std::partition_point(
-        entries_.begin(), entries_.end(),
-        [&](const Entry& e) { return key_slot(e) < v; });
-    auto hi = std::partition_point(
-        lo, entries_.end(), [&](const Entry& e) { return key_slot(e) <= v; });
-    return {entries_.data() + (lo - entries_.begin()),
-            static_cast<std::size_t>(hi - lo)};
+  std::pair<std::size_t, std::size_t> group_span_by_search(
+      int slot, VertexId v) const {
+    // Branchless-key binary searches over row indices (works for both
+    // layouts through key_at).
+    const std::size_t n = size();
+    std::size_t lo = 0, hi = n;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (key_at(mid).v[slot] < v) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    std::size_t hi2 = n;
+    std::size_t lo2 = lo;
+    while (lo2 < hi2) {
+      const std::size_t mid = lo2 + (hi2 - lo2) / 2;
+      if (key_at(mid).v[slot] <= v) {
+        lo2 = mid + 1;
+      } else {
+        hi2 = mid;
+      }
+    }
+    return {lo, lo2};
+  }
+
+  /// Smallest detectable domain for an index-less seal: max slot value +
+  /// 1, or 0 when the values are too sparse (or are kNoVertex) for a
+  /// counting partition to pay off.
+  VertexId detect_domain(int slot) const {
+    VertexId max_v = 0;
+    const std::size_t n = size();
+    for (std::size_t i = 0; i < n; ++i) {
+      max_v = std::max(max_v, key_at(i).v[slot]);
+    }
+    if (max_v == std::numeric_limits<VertexId>::max()) return 0;  // kNoVertex
+    const std::uint64_t domain = std::uint64_t{max_v} + 1;
+    if (!detail::domain_worthwhile(n, static_cast<VertexId>(domain))) {
+      return 0;
+    }
+    return static_cast<VertexId>(domain);
   }
 
   /// Stable counting partition by `slot` over [0, domain), then sort each
@@ -296,10 +422,75 @@ class ProjTableT {
     entries_.resize(w);
   }
 
+  /// The seal-time layout choice (B > 1): scan density / max count, then
+  /// re-pack when the caller stores the table and packing shrinks it.
+  void choose_layout(LaneSealHint hint) {
+    if constexpr (B > 1) {
+      if (dedup_pending_) return;
+      if (lane_compressed_) {
+        // kStream promises the dense span fast path to the consumer that
+        // follows this seal: honor it even when re-sealing an already
+        // packed (stored) table.
+        if (hint == LaneSealHint::kStream) unpack_lanes();
+        return;
+      }
+      if (hint == LaneSealHint::kStore) {
+        layout_ = scan_lane_layout<B>(
+            std::span<const Entry>(entries_.data(), entries_.size()));
+        if (lane_layout_profitable(layout_)) pack_lanes();
+        return;
+      }
+      // kStream tables never pack, so the scan is telemetry only: bound
+      // it to a prefix sample so hot-path reseals of large intermediate
+      // tables don't pay a second full pass over the rows.
+      constexpr std::size_t kStreamScanSample = 1u << 16;
+      layout_ = scan_lane_layout<B>(std::span<const Entry>(
+          entries_.data(), std::min(entries_.size(), kStreamScanSample)));
+    } else {
+      (void)hint;
+    }
+  }
+
+  void pack_lanes() {
+    const std::size_t n = entries_.size();
+    ckeys_.resize(n);
+    payload_.reset(layout_.width, n, layout_.lanes_occupied);
+    for (std::size_t i = 0; i < n; ++i) {
+      ckeys_[i] = entries_[i].key;
+      payload_.append(entries_[i].cnt);
+    }
+    entries_.clear();
+    entries_.shrink_to_fit();
+    lane_compressed_ = true;
+    layout_.packed = true;
+  }
+
+  void unpack_lanes() {
+    const std::size_t n = ckeys_.size();
+    entries_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      entries_[i].key = ckeys_[i];
+      entries_[i].cnt = payload_.expand(i);
+    }
+    ckeys_.clear();
+    ckeys_.shrink_to_fit();
+    payload_.clear();
+    lane_compressed_ = false;
+    layout_.packed = false;
+  }
+
   int arity_ = 0;
   SortOrder order_ = SortOrder::kUnsorted;
   bool dedup_pending_ = false;
   std::vector<Entry> entries_;
+
+  // Lane-compressed layout (B > 1, after a kStore seal that packed):
+  // unpadded keys in table order plus the columnar packed payload.
+  // Exactly one of entries_ / (ckeys_, payload_) holds the rows.
+  bool lane_compressed_ = false;
+  std::vector<TableKey> ckeys_;
+  LanePayloadT<B> payload_;
+  LaneLayoutInfo layout_;
 
   // CSR bucket index over the grouping slot: entries with key slot value v
   // occupy [bucket_off_[v], bucket_off_[v + 1]). Empty when not built.
@@ -309,7 +500,8 @@ class ProjTableT {
 };
 
 template <int B>
-void ProjTableT<B>::seal(SortOrder order, VertexId domain) {
+void ProjTableT<B>::seal(SortOrder order, VertexId domain,
+                         LaneSealHint hint) {
   if (order == SortOrder::kUnsorted) {
     order_ = order;
     drop_index();
@@ -320,19 +512,21 @@ void ProjTableT<B>::seal(SortOrder order, VertexId domain) {
   // orders share one comparator, so converting between them (and staying
   // put) never re-sorts — at most the index is (re)built.
   const bool sorted_already = order_ == order || group_slot(order_) == slot;
-  if (!detail::domain_worthwhile(entries_.size(), domain)) {
-    domain = detail::detect_domain(entries_, slot);
+  if (!detail::domain_worthwhile(size(), domain)) {
+    domain = detect_domain(slot);
   }
   if (sorted_already) {
     order_ = order;
     if (!has_bucket_index() || index_slot_ != slot) {
-      if (domain > 0 &&
-          entries_.size() < std::numeric_limits<std::uint32_t>::max()) {
+      if (domain > 0 && size() < std::numeric_limits<std::uint32_t>::max()) {
         build_index(slot, domain);
       }
     }
+    choose_layout(hint);
     return;
   }
+  // Re-sorting moves whole rows: work in the dense layout.
+  if (lane_compressed_) unpack_lanes();
   drop_index();
   if (domain > 0 &&
       entries_.size() < std::numeric_limits<std::uint32_t>::max()) {
@@ -355,13 +549,15 @@ void ProjTableT<B>::seal(SortOrder order, VertexId domain) {
     }
   }
   order_ = order;
+  choose_layout(hint);
 }
 
 template <int B>
 void ProjTableT<B>::build_index(int slot, VertexId domain) {
   std::vector<std::uint32_t> off(static_cast<std::size_t>(domain) + 1, 0);
-  for (const Entry& e : entries_) {
-    const VertexId v = e.key.v[slot];
+  const std::size_t n = size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const VertexId v = key_at(i).v[slot];
     if (v >= domain) return;  // out-of-domain key: keep binary search
     ++off[v + 1];
   }

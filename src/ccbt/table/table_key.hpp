@@ -21,6 +21,18 @@
 
 #include "ccbt/graph/types.hpp"
 
+// The B-wide lane loops below are branchless multiply-adds over small
+// fixed-size arrays — exactly the shape `omp simd` vectorizes. The macro
+// collapses to nothing without OpenMP.
+#if defined(_OPENMP)
+#define CCBT_PRAGMA(x) _Pragma(#x)
+#define CCBT_SIMD CCBT_PRAGMA(omp simd)
+#define CCBT_SIMD_REDUCTION(op, var) CCBT_PRAGMA(omp simd reduction(op : var))
+#else
+#define CCBT_SIMD
+#define CCBT_SIMD_REDUCTION(op, var)
+#endif
+
 namespace ccbt {
 
 struct TableKey {
@@ -67,36 +79,41 @@ struct LaneOps {
   static constexpr Count lane(const Vec& v, int l) { return v[l]; }
   static constexpr void set_lane(Vec& v, int l, Count c) { v[l] = c; }
 
-  static constexpr void add(Vec& d, const Vec& s) {
+  static void add(Vec& d, const Vec& s) {
+    CCBT_SIMD
     for (int l = 0; l < B; ++l) d[l] += s[l];
   }
 
   // The mask-parameterized ops are branchless (multiply by the mask bit)
-  // so the compiler can vectorize the B-wide loops.
+  // and simd-hinted so the compiler vectorizes the B-wide loops.
 
   /// 1 in every lane of `m`, 0 elsewhere.
-  static constexpr Vec ones(LaneMask m) {
-    Vec v{};
+  static Vec ones(LaneMask m) {
+    Vec v;
+    CCBT_SIMD
     for (int l = 0; l < B; ++l) v[l] = (m >> l) & 1u;
     return v;
   }
 
   /// a with lanes outside `m` zeroed.
-  static constexpr Vec masked(const Vec& a, LaneMask m) {
-    Vec v{};
+  static Vec masked(const Vec& a, LaneMask m) {
+    Vec v;
+    CCBT_SIMD
     for (int l = 0; l < B; ++l) v[l] = a[l] * ((m >> l) & 1u);
     return v;
   }
 
   /// Lane-wise product, restricted to the lanes of `m`.
-  static constexpr Vec mul_masked(const Vec& a, const Vec& b, LaneMask m) {
-    Vec v{};
+  static Vec mul_masked(const Vec& a, const Vec& b, LaneMask m) {
+    Vec v;
+    CCBT_SIMD
     for (int l = 0; l < B; ++l) v[l] = a[l] * b[l] * ((m >> l) & 1u);
     return v;
   }
 
-  static constexpr Count total(const Vec& v) {
+  static Count total(const Vec& v) {
     Count t = 0;
+    CCBT_SIMD_REDUCTION(+, t)
     for (int l = 0; l < B; ++l) t += v[l];
     return t;
   }

@@ -78,6 +78,38 @@ TEST(BatchEngine, UnsupportedWidthThrows) {
   EXPECT_THROW(session.count_colorful(ColoringBatch(lanes)), Error);
 }
 
+TEST(BatchEngine, LaneCompressedLayoutMatchesDenseEveryWidth) {
+  // The lane-compressed row layout (stored child tables re-packed at
+  // seal time, narrow accumulation rows, compressed wire format) is an
+  // execution detail: per-lane counts must equal the dense layout's and
+  // the independent scalar runs', at every width and in both engines.
+  const CsrGraph g = barabasi_albert(70, 4, 31);
+  const QueryGraph q = q_wiki();
+  const Plan plan = make_plan(q);
+  for (const int width : {2, 4, 8}) {
+    ExecOptions on;
+    on.lane_compress = true;
+    ExecOptions off;
+    off.lane_compress = false;
+    CountingSession son(g, q, plan, on);
+    CountingSession soff(g, q, plan, off);
+    std::vector<std::uint64_t> seeds;
+    for (int l = 0; l < width; ++l) seeds.push_back(800 + l);
+    const auto span =
+        std::span<const std::uint64_t>(seeds.data(), seeds.size());
+    const ExecStats a = son.count_colorful_seeded(span);
+    const ExecStats b = soff.count_colorful_seeded(span);
+    for (int l = 0; l < width; ++l) {
+      EXPECT_EQ(a.colorful_lane[l], b.colorful_lane[l])
+          << "width " << width << " lane " << l;
+      const ExecStats solo = son.count_colorful_seeded(seeds[l]);
+      EXPECT_EQ(a.colorful_lane[l], solo.colorful)
+          << "width " << width << " lane " << l;
+    }
+    EXPECT_EQ(b.lanes.rows_packed, 0u);
+  }
+}
+
 TEST(BatchEngine, WideAndCompactAccumAgree) {
   const CsrGraph g = erdos_renyi(60, 240, 3);
   const QueryGraph q = q_wiki();
