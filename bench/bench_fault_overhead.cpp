@@ -1,0 +1,201 @@
+// Fault-tolerance cost model, measured: (1) the fault-free overhead of
+// checkpointing at several intervals — the insurance premium a run pays
+// when nothing goes wrong — and (2) recovery behavior under a sweep of
+// injected fault rates: modeled recovery latency (virtual backoff +
+// deadline waits), retransmitted bytes, replayed supersteps, and whether
+// every recovered run reproduced the fault-free count. Writes
+// BENCH_faults.json so successive PRs can track both trajectories.
+//
+// Knobs: CCBT_BENCH_SCALE (graph sizes), CCBT_FAULT_SEED (extra sweep
+// seed, matching the CI fault-sweep job).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "ccbt/dist/dist_engine.hpp"
+#include "common.hpp"
+
+namespace {
+
+using namespace ccbt;
+using namespace ccbt::bench;
+
+constexpr std::uint32_t kRanks = 8;
+
+struct CkptCell {
+  std::uint64_t interval = 0;
+  double wall = 0.0;
+  double overhead_pct = 0.0;  // vs interval-0 wall on the same workload
+  std::uint64_t checkpoints = 0;
+  std::uint64_t ckpt_bytes = 0;
+};
+
+struct FaultCell {
+  std::uint64_t seed = 0;
+  double rate = 0.0;
+  bool finished = true;   // false = recovery budget exhausted (degraded)
+  bool agree = true;      // recovered count == fault-free count
+  std::uint64_t faults = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t replays = 0;
+  std::uint64_t retransmit_bytes = 0;
+  std::uint64_t replayed_supersteps = 0;
+  double recovery_ms = 0.0;  // virtual (modeled), not wall clock
+  double wall = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  print_header("bench_fault_overhead",
+               "checkpoint insurance premium (fault-free) and recovery "
+               "cost under injected transport/alloc faults");
+
+  const double scale = bench_scale();
+  const CsrGraph g = make_workload("enron", scale, 42);
+  const QueryGraph q = named_query("ecoli1");
+  const Plan plan = make_plan(q);
+  const Coloring chi(g.num_vertices(), q.num_nodes(), 2026);
+
+  // --- Checkpoint overhead, fault-free -------------------------------
+  std::vector<CkptCell> ckpt_cells;
+  double base_wall = 0.0;
+  std::printf("\n%-10s %10s %12s %8s %12s\n", "interval", "wall s",
+              "overhead %", "ckpts", "ckpt KiB");
+  for (std::uint64_t interval : {0ull, 1ull, 4ull, 16ull}) {
+    ExecOptions opts;
+    opts.dist.checkpoint_interval = interval;
+    // Checkpoints without injection: the interval is honored whenever
+    // the dist options are non-default, faults or not.
+    const DistStats d = run_plan_distributed(g, plan.tree, chi, kRanks,
+                                             opts);
+    CkptCell c;
+    c.interval = interval;
+    c.wall = d.wall_seconds;
+    if (interval == 0) base_wall = d.wall_seconds;
+    c.overhead_pct = base_wall > 0.0
+                         ? 100.0 * (d.wall_seconds - base_wall) / base_wall
+                         : 0.0;
+    c.checkpoints = d.faults.checkpoints_taken;
+    c.ckpt_bytes = d.faults.checkpoint_bytes;
+    ckpt_cells.push_back(c);
+    std::printf("%-10llu %10.3f %12.1f %8llu %12llu\n",
+                static_cast<unsigned long long>(interval), c.wall,
+                c.overhead_pct,
+                static_cast<unsigned long long>(c.checkpoints),
+                static_cast<unsigned long long>(c.ckpt_bytes / 1024));
+  }
+
+  // --- Recovery cost under injected faults ---------------------------
+  const DistStats clean = run_plan_distributed(g, plan.tree, chi, kRanks,
+                                               {});
+  std::vector<std::uint64_t> seeds = {1, 2};
+  if (const char* env = std::getenv("CCBT_FAULT_SEED")) {
+    seeds.push_back(std::strtoull(env, nullptr, 10));
+  }
+
+  std::vector<FaultCell> fault_cells;
+  bool all_agree = true;
+  std::printf("\n%-6s %-6s %8s %8s %8s %12s %14s %8s\n", "seed", "rate",
+              "faults", "retries", "replays", "retx KiB", "recovery ms",
+              "agree");
+  for (std::uint64_t seed : seeds) {
+    for (double rate : {0.01, 0.05, 0.10}) {
+      ExecOptions opts;
+      opts.dist.faults.seed = seed;
+      opts.dist.faults.drop_rate = rate;
+      opts.dist.faults.dup_rate = rate / 2;
+      opts.dist.faults.delay_rate = rate / 2;
+      opts.dist.faults.stall_rate = rate / 10;
+      opts.dist.faults.alloc_fail_rate = rate / 10;
+      opts.dist.max_retries = 8;
+      opts.dist.max_replays = 8;
+      opts.dist.checkpoint_interval = 8;
+
+      FaultCell c;
+      c.seed = seed;
+      c.rate = rate;
+      try {
+        const DistStats d = run_plan_distributed(g, plan.tree, chi, kRanks,
+                                                 opts);
+        c.agree = d.colorful == clean.colorful;
+        c.faults = d.faults.faults_injected;
+        c.retries = d.faults.retries;
+        c.replays = d.faults.replays;
+        c.retransmit_bytes = d.faults.retransmit_bytes;
+        c.replayed_supersteps = d.faults.replayed_supersteps;
+        c.recovery_ms = d.faults.recovery_virtual_ms();
+        c.wall = d.wall_seconds;
+      } catch (const Error& e) {
+        if (!e.retryable()) throw;
+        c.finished = false;  // degraded: the estimator would drop the trial
+      }
+      all_agree = all_agree && c.agree;
+      fault_cells.push_back(c);
+      std::printf("%-6llu %-6.2f %8llu %8llu %8llu %12llu %14.2f %8s\n",
+                  static_cast<unsigned long long>(seed), rate,
+                  static_cast<unsigned long long>(c.faults),
+                  static_cast<unsigned long long>(c.retries),
+                  static_cast<unsigned long long>(c.replays),
+                  static_cast<unsigned long long>(c.retransmit_bytes / 1024),
+                  c.recovery_ms,
+                  !c.finished ? "degraded" : (c.agree ? "yes" : "NO"));
+    }
+  }
+
+  // --- JSON ----------------------------------------------------------
+  std::FILE* f = std::fopen("BENCH_faults.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_faults.json\n");
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"fault_overhead\",\n"
+               "  \"scale\": %.3f,\n"
+               "  \"ranks\": %u,\n"
+               "  \"all_recovered_runs_agree\": %s,\n"
+               "  \"checkpoint_cells\": [\n",
+               scale, kRanks, all_agree ? "true" : "false");
+  for (std::size_t i = 0; i < ckpt_cells.size(); ++i) {
+    const CkptCell& c = ckpt_cells[i];
+    std::fprintf(f,
+                 "    {\"interval\": %llu, \"wall_s\": %.6f, "
+                 "\"overhead_pct\": %.2f, \"checkpoints\": %llu, "
+                 "\"checkpoint_bytes\": %llu}%s\n",
+                 static_cast<unsigned long long>(c.interval), c.wall,
+                 c.overhead_pct,
+                 static_cast<unsigned long long>(c.checkpoints),
+                 static_cast<unsigned long long>(c.ckpt_bytes),
+                 i + 1 < ckpt_cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"fault_cells\": [\n");
+  for (std::size_t i = 0; i < fault_cells.size(); ++i) {
+    const FaultCell& c = fault_cells[i];
+    std::fprintf(
+        f,
+        "    {\"seed\": %llu, \"rate\": %.3f, \"finished\": %s, "
+        "\"agree\": %s, \"faults\": %llu, \"retries\": %llu, "
+        "\"replays\": %llu, \"retransmit_bytes\": %llu, "
+        "\"replayed_supersteps\": %llu, \"recovery_virtual_ms\": %.3f, "
+        "\"wall_s\": %.6f}%s\n",
+        static_cast<unsigned long long>(c.seed), c.rate,
+        c.finished ? "true" : "false", c.agree ? "true" : "false",
+        static_cast<unsigned long long>(c.faults),
+        static_cast<unsigned long long>(c.retries),
+        static_cast<unsigned long long>(c.replays),
+        static_cast<unsigned long long>(c.retransmit_bytes),
+        static_cast<unsigned long long>(c.replayed_supersteps),
+        c.recovery_ms, c.wall, i + 1 < fault_cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nBENCH_faults.json written: %s\n",
+              all_agree ? "every recovered run reproduced the fault-free "
+                          "count"
+                        : "MISMATCH — recovered runs diverged");
+  return all_agree ? 0 : 1;
+}

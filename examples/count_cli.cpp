@@ -25,6 +25,16 @@
 //   --save FILE    write the (possibly generated) graph and exit
 //   --list         print all catalog query names and exit
 //
+// Fault tolerance (exercised by --dist and the estimator):
+//   --fault-seed S       seed the deterministic FaultPlan (0 = default)
+//   --fault-rate P       drop/duplicate/delay each transport message
+//                        with probability P (per fate)
+//   --trial-fail-rate P  drop estimator trials with probability P and
+//                        degrade (survivor mean, widened cv)
+//   --max-retries N      transport delivery retries per superstep
+//   --deadline-ms D      virtual stall-detection deadline per superstep
+//   --ckpt-interval N    checkpoint every N supersteps (0 = off)
+//
 // Runs with no arguments as a self-contained demo.
 
 #include <cstring>
@@ -84,6 +94,12 @@ int main(int argc, char** argv) {
   bool use_tree_dp = false;
   double adaptive_cv = 0.0;
   std::string save_file;
+  std::uint64_t fault_seed = 0;
+  double fault_rate = 0.0;
+  double trial_fail_rate = 0.0;
+  std::uint32_t max_retries = 3;
+  double deadline_ms = 100.0;
+  std::uint64_t ckpt_interval = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -102,6 +118,12 @@ int main(int argc, char** argv) {
     else if (arg == "--dist") dist_ranks = std::stoul(next());
     else if (arg == "--tree") use_tree_dp = true;
     else if (arg == "--adaptive") adaptive_cv = std::stod(next());
+    else if (arg == "--fault-seed") fault_seed = std::stoull(next());
+    else if (arg == "--fault-rate") fault_rate = std::stod(next());
+    else if (arg == "--trial-fail-rate") trial_fail_rate = std::stod(next());
+    else if (arg == "--max-retries") max_retries = std::stoul(next());
+    else if (arg == "--deadline-ms") deadline_ms = std::stod(next());
+    else if (arg == "--ckpt-interval") ckpt_interval = std::stoull(next());
     else if (arg == "--save") save_file = next();
     else if (arg == "--list") {
       for (const std::string& name : catalog_names()) std::cout << name
@@ -143,6 +165,15 @@ int main(int argc, char** argv) {
     opts.batch = batch;
     opts.exec.algo = (algo_name_str == "ps") ? Algo::kPS : Algo::kDB;
     opts.exec.sim_ranks = ranks;
+    opts.faults.seed = fault_seed;
+    opts.faults.trial_fail_rate = trial_fail_rate;
+    opts.exec.dist.faults.seed = fault_seed;
+    opts.exec.dist.faults.drop_rate = fault_rate;
+    opts.exec.dist.faults.dup_rate = fault_rate;
+    opts.exec.dist.faults.delay_rate = fault_rate;
+    opts.exec.dist.max_retries = max_retries;
+    opts.exec.dist.deadline_ms = deadline_ms;
+    opts.exec.dist.checkpoint_interval = ckpt_interval;
 
     EstimatorResult r;
     std::string solver_label = algo_name(opts.exec.algo);
@@ -171,6 +202,7 @@ int main(int argc, char** argv) {
       aopts.max_trials = std::max(trials, 50);
       aopts.seed = seed;
       aopts.batch = batch;
+      aopts.faults = opts.faults;
       aopts.exec = opts.exec;
       const AdaptiveResult ar = estimate_matches_adaptive(g, q, aopts);
       r = ar.estimate;
@@ -186,6 +218,11 @@ int main(int argc, char** argv) {
               << "estimated occurrences: " << r.occurrences << "  (aut="
               << r.automorphisms << ")\n"
               << "cv: " << r.cv << "\n";
+    if (r.degraded) {
+      std::cout << "DEGRADED: " << r.trials_dropped << "/"
+                << r.trials_planned << " trial(s) lost to faults, cv "
+                << "widened to " << r.cv_widened << "\n";
+    }
 
     if (dist_ranks > 0) {
       const Coloring chi(g.num_vertices(), q.num_nodes(), seed);
@@ -196,6 +233,17 @@ int main(int argc, char** argv) {
                 << " supersteps, " << d.transport.entries_sent
                 << " entries moved (" << d.transport.off_rank_bytes() / 1024
                 << " KiB off-rank)\n";
+      if (d.faults.faults_injected > 0 || d.faults.checkpoints_taken > 0) {
+        std::cout << "faults: " << d.faults.faults_injected << " injected ("
+                  << d.faults.drops << " drop/" << d.faults.dups << " dup/"
+                  << d.faults.delays << " delay/" << d.faults.stalls
+                  << " stall), " << d.faults.retries << " retries, "
+                  << d.faults.replays << " replays, "
+                  << d.faults.checkpoints_taken << " checkpoints ("
+                  << d.faults.checkpoint_bytes / 1024 << " KiB), recovery "
+                  << d.faults.recovery_virtual_ms() << " virtual ms"
+                  << (d.recovered() ? "  [recovered]" : "") << "\n";
+      }
     }
 
     if (ranks > 0) {

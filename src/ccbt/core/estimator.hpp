@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "ccbt/core/color_coding.hpp"
+#include "ccbt/util/fault.hpp"
 
 namespace ccbt {
 
@@ -21,6 +22,17 @@ struct EstimatorOptions {
   /// remaining trial count. Per-trial colorful counts are identical to a
   /// batch of 1 — batching only amortizes the execution cost.
   int batch = 1;
+
+  /// Deterministic estimator-level fault schedule: trial_fail_rate drops
+  /// individual trials (a rank lost mid-trial, past engine recovery).
+  /// Default spec injects nothing.
+  FaultSpec faults;
+
+  /// Degrade gracefully on lost trials: renormalize the mean over the
+  /// survivors (unbiased — drops are decided by an independent fault
+  /// stream, never by trial values), widen the reported confidence, and
+  /// flag the result degraded. When false, any lost trial throws.
+  bool allow_degraded = true;
 
   ExecOptions exec;
 };
@@ -39,6 +51,14 @@ struct EstimatorResult {
   std::vector<Count> colorful_per_trial;
   std::vector<double> estimate_per_trial;
   double total_wall_seconds = 0.0;
+
+  // Degraded-mode accounting. matches/cv are computed over the surviving
+  // trials only; cv_widened additionally inflates the uncertainty by
+  // sqrt(planned / survivors) to reflect the thinner sample.
+  int trials_planned = 0;
+  int trials_dropped = 0;
+  bool degraded = false;      // at least one trial was lost to a fault
+  double cv_widened = 0.0;    // == cv when nothing was dropped
 };
 
 EstimatorResult estimate_matches(const CsrGraph& g, const QueryGraph& q,
@@ -62,6 +82,14 @@ struct AdaptiveOptions {
   /// batch > 1 the cv is tested at batch boundaries, so a run can
   /// overshoot the minimal trial count by at most batch - 1 trials.
   int batch = 1;
+
+  /// Estimator-level fault schedule (see EstimatorOptions::faults). Lost
+  /// trials do not count toward min_trials or convergence: the adaptive
+  /// loop keeps going until enough trials *survive*.
+  FaultSpec faults;
+
+  /// See EstimatorOptions::allow_degraded.
+  bool allow_degraded = true;
 
   ExecOptions exec;
 };

@@ -12,6 +12,21 @@
 // routing a real implementation must pay per join emission, while the
 // transport also pays for resharding and orientation supersteps.
 //
+// Fault tolerance: with a FaultPlan installed (set_fault_plan), each
+// off-rank message's delivery attempt can deterministically drop,
+// duplicate, or delay it, and whole ranks can stall past the ack
+// deadline. exchange() then runs a selective-retransmit protocol:
+// per-superstep acknowledgments identify the messages still missing
+// (sequence numbers, as a real transport would), and only those are
+// re-attempted, up to max_retries extra attempts with exponential
+// backoff + jitter (accounted virtually, never slept). The receiver
+// reassembles its inbox in canonical (sender rank, send order) sequence
+// no matter which attempt delivered each message, so a recovered
+// superstep is bit-identical to a fault-free one. Exhausting the retry
+// budget throws CommTimeout (or RankFailed when a stalled rank holds the
+// missing traffic) — both retryable, so the engine can replay from its
+// last checkpoint.
+//
 // Wire format per batch width:
 //   * B = 1 keeps the PR 2 layout bit for bit: fixed-size rows of
 //     sizeof(TableKey) + sizeof(Count) wire bytes.
@@ -27,11 +42,14 @@
 #include <bit>
 #include <cstdint>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "ccbt/table/lane_payload.hpp"
 #include "ccbt/table/table_key.hpp"
 #include "ccbt/util/error.hpp"
+#include "ccbt/util/fault.hpp"
+#include "ccbt/util/rng.hpp"
 
 namespace ccbt {
 
@@ -124,9 +142,39 @@ class VirtualCommT {
     }
   }
 
+  /// Install (or clear, with nullptr) a deterministic fault plan plus the
+  /// recovery knobs the faulty exchange protocol uses. The plan outlives
+  /// the transport's use of it; callers keep ownership.
+  void set_fault_plan(FaultPlan* plan, std::uint32_t max_retries = 3,
+                      double backoff_base_ms = 1.0,
+                      double deadline_ms = 0.0) {
+    faults_ = plan;
+    max_retries_ = max_retries;
+    backoff_base_ms_ = backoff_base_ms;
+    deadline_ms_ = deadline_ms;
+    if (plan != nullptr) jitter_ = Rng(plan->spec().seed ^ 0xBAC0FFULL);
+  }
+
+  /// Discard all in-flight state (queued sends and delivered inboxes),
+  /// keeping the traffic statistics. The engine calls this before
+  /// replaying from a checkpoint, since an aborted superstep leaves
+  /// half-queued outboxes behind.
+  void reset_in_flight() {
+    for (auto& out : outbox_) out.clear();
+    for (auto& out : wire_outbox_) out.clear();
+    for (auto& in : inbox_) in.clear();
+  }
+
   /// Deliver all queued entries (replacing previous inboxes) and close
-  /// the superstep.
+  /// the superstep. With a fault plan installed, runs the
+  /// selective-retransmit protocol described in the file comment; throws
+  /// CommTimeout / RankFailed when the retry budget cannot complete the
+  /// delivery.
   void exchange() {
+    if (faults_ != nullptr && faults_->spec().transport_faults()) {
+      exchange_faulty();
+      return;
+    }
     for (auto& in : inbox_) in.clear();
     // Senders drain in rank order, each in send order: deterministic
     // delivery independent of any real interleaving.
@@ -150,11 +198,7 @@ class VirtualCommT {
         out.clear();
       }
     }
-    for (const auto& in : inbox_) {
-      stats_.max_step_recv = std::max(
-          stats_.max_step_recv, static_cast<std::uint64_t>(in.size()));
-    }
-    ++stats_.supersteps;
+    finish_superstep();
   }
 
   /// Entries delivered to `rank` by the last exchange.
@@ -191,10 +235,156 @@ class VirtualCommT {
     Entry entry;
   };
 
+  /// One queued message in canonical (sender rank, send order) sequence —
+  /// the superstep's retransmit buffer under fault injection.
+  struct Pending {
+    std::uint32_t from = 0;
+    std::uint32_t to = 0;
+    Entry entry;
+    std::uint32_t wire_bytes = 0;  // off-rank retransmission cost
+    bool off_rank = false;
+    bool delivered = false;
+    bool tried = false;  // an attempt already paid its wire cost once
+  };
+
+  void finish_superstep() {
+    for (const auto& in : inbox_) {
+      stats_.max_step_recv = std::max(
+          stats_.max_step_recv, static_cast<std::uint64_t>(in.size()));
+    }
+    ++stats_.supersteps;
+  }
+
+  /// Drain the outboxes into the canonical pending list (decoding the
+  /// B > 1 wire streams once; retransmission re-pays their byte cost via
+  /// Pending::wire_bytes without re-encoding).
+  std::vector<Pending> drain_pending() {
+    std::vector<Pending> pending;
+    if constexpr (B == 1) {
+      std::size_t total = 0;
+      for (const auto& out : outbox_) total += out.size();
+      pending.reserve(total);
+      for (std::uint32_t r = 0; r < num_ranks(); ++r) {
+        for (const Queued& q : outbox_[r]) {
+          Pending m;
+          m.from = r;
+          m.to = q.to;
+          m.entry = q.entry;
+          m.off_rank = (q.to != r);
+          m.wire_bytes = static_cast<std::uint32_t>(stats_.entry_bytes);
+          pending.push_back(m);
+        }
+        outbox_[r].clear();
+      }
+    } else {
+      for (std::uint32_t r = 0; r < num_ranks(); ++r) {
+        const auto& out = wire_outbox_[r];
+        const std::uint8_t* p = out.data();
+        const std::uint8_t* const end = p + out.size();
+        while (p < end) {
+          Pending m;
+          m.from = r;
+          std::memcpy(&m.to, p, sizeof(std::uint32_t));
+          p += sizeof(std::uint32_t);
+          const std::uint8_t* row = p;
+          p = wire_decode<B>(p, m.entry);
+          m.wire_bytes = static_cast<std::uint32_t>(p - row);
+          m.off_rank = (m.to != r);
+          pending.push_back(m);
+        }
+        wire_outbox_[r].clear();
+      }
+    }
+    return pending;
+  }
+
+  /// Selective-retransmit delivery: attempts repeat until every message
+  /// arrived once, re-sending only what the per-superstep acks flagged as
+  /// missing; the successful outcome reassembles canonical order exactly.
+  void exchange_faulty() {
+    std::vector<Pending> pending = drain_pending();
+    FaultStats& fs = faults_->stats();
+    std::size_t undelivered = pending.size();
+    std::vector<std::uint8_t> stalled(num_ranks(), 0);
+    bool stall_blocked = false;
+
+    const std::uint32_t attempts = max_retries_ + 1;
+    for (std::uint32_t attempt = 0; attempt < attempts; ++attempt) {
+      // Per-attempt stall rolls, for senders that still owe traffic.
+      std::vector<std::uint8_t> owes(num_ranks(), 0);
+      for (const Pending& m : pending) {
+        if (!m.delivered) owes[m.from] = 1;
+      }
+      stall_blocked = false;
+      for (std::uint32_t r = 0; r < num_ranks(); ++r) {
+        stalled[r] = owes[r] != 0 && faults_->rank_stalls() ? 1 : 0;
+        if (stalled[r] != 0) {
+          stall_blocked = true;
+          fs.deadline_wait_virtual_ms += deadline_ms_;
+        }
+      }
+      for (Pending& m : pending) {
+        if (m.delivered) continue;
+        if (!m.off_rank) {
+          // Loopback never crosses the network: always arrives.
+          m.delivered = true;
+          --undelivered;
+          continue;
+        }
+        if (stalled[m.from] != 0) continue;
+        if (m.tried) fs.retransmit_bytes += m.wire_bytes;
+        m.tried = true;
+        switch (faults_->message_fate()) {
+          case FaultPlan::Fate::kDrop:
+          case FaultPlan::Fate::kDelay:
+            // Missing from this superstep's acks; re-sent next attempt
+            // (a delayed copy arriving later is deduped by sequence
+            // number, indistinguishable from the retransmission).
+            break;
+          case FaultPlan::Fate::kDuplicate:
+            fs.retransmit_bytes += m.wire_bytes;
+            [[fallthrough]];
+          case FaultPlan::Fate::kDeliver:
+            m.delivered = true;
+            --undelivered;
+            break;
+        }
+      }
+      if (undelivered == 0) break;
+      if (attempt + 1 < attempts) {
+        ++fs.retries;
+        fs.backoff_virtual_ms +=
+            fault_backoff_ms(backoff_base_ms_, attempt, jitter_);
+      }
+    }
+    if (undelivered > 0) {
+      const std::string what =
+          "superstep " + std::to_string(stats_.supersteps) + ": " +
+          std::to_string(undelivered) + " message(s) undelivered after " +
+          std::to_string(attempts) + " attempt(s)";
+      if (stall_blocked) throw RankFailed(what + " (rank stalled)");
+      throw CommTimeout(what);
+    }
+
+    // Reassemble in canonical order — bit-identical to a fault-free
+    // exchange regardless of which attempt delivered each message.
+    for (auto& in : inbox_) in.clear();
+    for (const Pending& m : pending) inbox_[m.to].push_back(m.entry);
+    finish_superstep();
+  }
+
   std::vector<std::vector<Queued>> outbox_;  // B = 1: per sender, in order
   std::vector<std::vector<std::uint8_t>> wire_outbox_;  // B > 1 byte streams
   std::vector<std::vector<Entry>> inbox_;
   CommStats stats_;
+
+  // Fault-injection hooks (null / inert by default: the fault-free path
+  // does not pay for them).
+  FaultPlan* faults_ = nullptr;
+  std::uint32_t max_retries_ = 3;
+  double backoff_base_ms_ = 1.0;
+  double deadline_ms_ = 0.0;
+  Rng jitter_;
 };
 
 using VirtualComm = VirtualCommT<1>;

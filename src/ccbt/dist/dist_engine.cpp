@@ -1,9 +1,11 @@
 #include "ccbt/dist/dist_engine.hpp"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "ccbt/dist/checkpoint.hpp"
 #include "ccbt/engine/load_model.hpp"
 #include "ccbt/engine/path_builder.hpp"
 #include "ccbt/engine/primitives.hpp"
@@ -31,6 +33,7 @@ struct Dx {
   VirtualCommT<B>& comm;
   std::size_t budget;
   VertexId domain;  // data-graph vertex count (bucket-index domain)
+  FaultPlan* faults = nullptr;  // nullptr = no injection
 
   const BlockPartition& part() const { return cx.part; }
   std::uint32_t ranks() const { return comm.num_ranks(); }
@@ -45,11 +48,24 @@ struct Dx {
   }
 };
 
+/// Deterministically injected allocation failure at a table-materialize
+/// point. Retryable: the replay layer rolls back to the last checkpoint
+/// (the fault stream has advanced, so the replayed attempt rolls fresh
+/// decisions and can succeed).
+template <int B>
+void maybe_alloc_fail(Dx<B>& dx, const char* where) {
+  if (dx.faults != nullptr && dx.faults->alloc_fails()) {
+    throw Error(ErrorCode::kAllocFailed,
+                std::string(where) + ": injected allocation failure");
+  }
+}
+
 /// Deliver the queued emissions and collect them into a path table:
 /// entry (.., v, ..) lives with owner(v) (home slot 1, Section 7).
 template <int B>
 DistTableT<B> collect_path(Dx<B>& dx, int arity) {
   dx.comm.exchange();
+  maybe_alloc_fail(dx, "collect_path");
   return DistTableT<B>::collect(arity, /*home_slot=*/1, dx.comm,
                                 SortOrder::kUnsorted, dx.budget, dx.domain);
 }
@@ -212,6 +228,7 @@ void d_merge_halves(Dx<B>& dx, DistTableT<B>& plus, DistTableT<B>& minus,
     }
   }
   dx.comm.exchange();
+  maybe_alloc_fail(dx, "merge_halves");
   std::size_t total = 0;
   for (std::uint32_t r = 0; r < dx.ranks(); ++r) {
     for (const TableEntryT<B>& e : dx.comm.inbox(r)) {
@@ -240,6 +257,7 @@ DistTableT<B> d_aggregate(Dx<B>& dx, const DistTableT<B>& t, int new_arity) {
     });
   }
   dx.comm.exchange();
+  maybe_alloc_fail(dx, "aggregate");
   DistTableT<B> out =
       DistTableT<B>::collect(new_arity, /*home_slot=*/0, dx.comm,
                              SortOrder::kUnsorted, dx.budget, dx.domain);
@@ -259,12 +277,14 @@ class DistPool {
       : tables_(num_blocks),
         transposed_(num_blocks),
         has_transposed_(num_blocks, false),
+        stored_(num_blocks, false),
         domain_(domain),
         hint_(compress ? LaneSealHint::kStore : LaneSealHint::kStream) {}
 
   void store(int block, DistTableT<B> table) {
     table.seal_shards(SortOrder::kByV0, domain_, hint_);
     tables_[block] = std::move(table);
+    stored_[block] = true;
   }
 
   const DistTableT<B>& get(int block) const { return tables_[block]; }
@@ -279,10 +299,64 @@ class DistPool {
     return transposed_[block];
   }
 
+  /// Serialize every stored table shard-by-shard through the
+  /// lane-compressed wire encoding. Cached transposes are deliberately
+  /// not captured: they regenerate on demand after a restore.
+  CheckpointImageT<B> checkpoint(std::size_t next_block,
+                                 std::uint64_t supersteps) const {
+    CheckpointImageT<B> img;
+    img.next_block = next_block;
+    img.supersteps = supersteps;
+    for (std::size_t b = 0; b < tables_.size(); ++b) {
+      if (!stored_[b]) continue;
+      const DistTableT<B>& t = tables_[b];
+      typename CheckpointImageT<B>::TableImage ti;
+      ti.block = static_cast<int>(b);
+      ti.arity = t.arity();
+      ti.home_slot = t.home_slot();
+      ti.shards.reserve(t.num_shards());
+      for (std::uint32_t r = 0; r < t.num_shards(); ++r) {
+        ti.shards.push_back(checkpoint_encode_shard<B>(t.shard(r)));
+      }
+      img.tables.push_back(std::move(ti));
+    }
+    return img;
+  }
+
+  /// Rebuild the stored tables from `img`, dropping everything newer.
+  /// Decoded rows arrive in sealed order with unique keys, so re-sealing
+  /// reproduces the checkpointed shards bit for bit (stable counting
+  /// sort + deterministic layout chooser).
+  void restore(const CheckpointImageT<B>& img, std::uint32_t ranks) {
+    std::fill(stored_.begin(), stored_.end(), false);
+    std::fill(has_transposed_.begin(), has_transposed_.end(), false);
+    for (auto& t : tables_) t = DistTableT<B>();
+    for (auto& t : transposed_) t = DistTableT<B>();
+    for (const auto& ti : img.tables) {
+      if (ti.block < 0 ||
+          static_cast<std::size_t>(ti.block) >= tables_.size() ||
+          ti.shards.size() != ranks) {
+        throw CheckpointCorrupt("checkpoint table image for block " +
+                                std::to_string(ti.block) +
+                                " does not match the run shape");
+      }
+      std::vector<std::vector<TableEntryT<B>>> rows;
+      rows.reserve(ti.shards.size());
+      for (const std::vector<std::uint8_t>& bytes : ti.shards) {
+        rows.push_back(checkpoint_decode_shard<B>(bytes));
+      }
+      tables_[ti.block] = DistTableT<B>::from_shard_rows(
+          ti.arity, ti.home_slot, std::move(rows), SortOrder::kByV0,
+          domain_, hint_);
+      stored_[ti.block] = true;
+    }
+  }
+
  private:
   std::vector<DistTableT<B>> tables_;
   std::vector<DistTableT<B>> transposed_;
   std::vector<bool> has_transposed_;
+  std::vector<bool> stored_;
   VertexId domain_;
   LaneSealHint hint_;
 };
@@ -291,7 +365,10 @@ template <int B>
 DistTableT<B> d_build_path(Dx<B>& dx, const Block& blk, DistPool<B>& pool,
                            const PathSpec& spec) {
   const std::size_t steps = spec.positions.size();
-  if (steps < 2) throw Error("build_path: path needs at least one edge");
+  if (steps < 2) {
+    throw Error(ErrorCode::kUnsupportedQuery,
+                "build_path: path needs at least one edge");
+  }
 
   ExtendOpts init_opts{spec.track_slot_at[1], spec.anchor_higher};
   DistTableT<B> table;
@@ -352,7 +429,8 @@ template <int B>
 DistTableT<B> d_solve_leaf_edge(Dx<B>& dx, const Block& blk,
                                 DistPool<B>& pool) {
   if (blk.kind != BlockKind::kLeafEdge) {
-    throw Error("solve_leaf_edge: not a leaf-edge block");
+    throw Error(ErrorCode::kUnsupportedQuery,
+                "solve_leaf_edge: not a leaf-edge block");
   }
   ExtendOpts no_opts;
   DistTableT<B> table;
@@ -390,7 +468,13 @@ DistStats run_plan_distributed_impl(const CsrGraph& g, const DecompTree& tree,
                        opts,
                        &stats.lanes};
   VirtualCommT<B> comm(ranks);
-  Dx<B> dx{cx, comm, opts.max_table_entries, g.num_vertices()};
+  FaultPlan faults(opts.dist.faults);
+  FaultPlan* fp = faults.enabled() ? &faults : nullptr;
+  if (fp != nullptr) {
+    comm.set_fault_plan(fp, opts.dist.max_retries, opts.dist.backoff_base_ms,
+                        opts.dist.deadline_ms);
+  }
+  Dx<B> dx{cx, comm, opts.max_table_entries, g.num_vertices(), fp};
   DistPool<B> pool(tree.blocks.size(), g.num_vertices(),
                    opts.lane_compress);
 
@@ -402,39 +486,78 @@ DistStats run_plan_distributed_impl(const CsrGraph& g, const DecompTree& tree,
     stats.colorful = stats.colorful_lane[0];
   };
 
-  for (std::size_t i = 0; i < tree.blocks.size(); ++i) {
-    const Block& blk = tree.blocks[i];
-    const bool is_root = (static_cast<int>(i) == tree.root);
+  // Block loop with rollback replay. `ckpt` starts as the implicit empty
+  // checkpoint (next_block 0): with checkpointing disabled, a replay
+  // restarts the whole run. A retryable failure inside block i (the
+  // transport exhausted its retries, or an injected allocation failure)
+  // rolls the pool back to `ckpt` and resumes from ckpt.next_block; the
+  // replayed blocks recompute against fresh fault rolls. Non-retryable
+  // errors (BudgetExceeded, malformed plans) propagate unchanged.
+  CheckpointImageT<B> ckpt;
+  std::uint32_t replays_left = opts.dist.max_replays;
+  std::size_t i = 0;
+  bool done = false;
+  while (!done && i < tree.blocks.size()) {
+    try {
+      const Block& blk = tree.blocks[i];
+      const bool is_root = (static_cast<int>(i) == tree.root);
 
-    if (blk.kind == BlockKind::kSingleton) {
-      if (!is_root) {
-        throw Error("run_plan_distributed: singleton below the root");
-      }
-      if (blk.node_child[0] >= 0) {
-        record_root(comm.allreduce_sum_lanes(
-            pool.get(blk.node_child[0]).shard_lane_totals()));
-      } else {
-        // Single-node query: every data vertex is a colorful match under
-        // every coloring.
-        for (int l = 0; l < B; ++l) {
-          stats.colorful_lane[l] = g.num_vertices();
+      if (blk.kind == BlockKind::kSingleton) {
+        if (!is_root) {
+          throw Error(ErrorCode::kUnsupportedQuery,
+                      "run_plan_distributed: singleton below the root");
         }
-        stats.colorful = g.num_vertices();
+        if (blk.node_child[0] >= 0) {
+          record_root(comm.allreduce_sum_lanes(
+              pool.get(blk.node_child[0]).shard_lane_totals()));
+        } else {
+          // Single-node query: every data vertex is a colorful match
+          // under every coloring.
+          for (int l = 0; l < B; ++l) {
+            stats.colorful_lane[l] = g.num_vertices();
+          }
+          stats.colorful = g.num_vertices();
+        }
+        done = true;
+        continue;
       }
-      break;
-    }
 
-    DistTableT<B> table = (blk.kind == BlockKind::kLeafEdge)
-                              ? d_solve_leaf_edge(dx, blk, pool)
-                              : d_solve_cycle(dx, blk, pool);
-    if (is_root) {
-      record_root(comm.allreduce_sum_lanes(table.shard_lane_totals()));
-      break;
-    }
-    pool.store(static_cast<int>(i), std::move(table));
-    const DistTableT<B>& stored = pool.get(static_cast<int>(i));
-    for (std::uint32_t r = 0; r < stored.num_shards(); ++r) {
-      cx.note_lanes(stored.shard(r).layout());
+      DistTableT<B> table = (blk.kind == BlockKind::kLeafEdge)
+                                ? d_solve_leaf_edge(dx, blk, pool)
+                                : d_solve_cycle(dx, blk, pool);
+      if (is_root) {
+        record_root(comm.allreduce_sum_lanes(table.shard_lane_totals()));
+        done = true;
+        continue;
+      }
+      pool.store(static_cast<int>(i), std::move(table));
+      const DistTableT<B>& stored = pool.get(static_cast<int>(i));
+      for (std::uint32_t r = 0; r < stored.num_shards(); ++r) {
+        cx.note_lanes(stored.shard(r).layout());
+      }
+      ++i;
+      if (opts.dist.checkpoint_interval > 0 &&
+          comm.stats().supersteps - ckpt.supersteps >=
+              opts.dist.checkpoint_interval) {
+        ckpt = pool.checkpoint(i, comm.stats().supersteps);
+        FaultStats& fs = faults.stats();
+        ++fs.checkpoints_taken;
+        fs.checkpoint_bytes += ckpt.bytes();
+      }
+    } catch (const Error& e) {
+      if (!e.retryable()) throw;
+      if (replays_left == 0) {
+        throw Error("run_plan_distributed: replay budget exhausted at block " +
+                        std::to_string(i),
+                    e);
+      }
+      --replays_left;
+      FaultStats& fs = faults.stats();
+      ++fs.replays;
+      fs.replayed_supersteps += comm.stats().supersteps - ckpt.supersteps;
+      comm.reset_in_flight();
+      pool.restore(ckpt, ranks);
+      i = ckpt.next_block;
     }
   }
 
@@ -445,6 +568,7 @@ DistStats run_plan_distributed_impl(const CsrGraph& g, const DecompTree& tree,
   stats.avg_rank_ops = load.avg_rank_ops();
   stats.total_comm = load.total_comm();
   stats.transport = comm.stats();
+  stats.faults = faults.stats();
   return stats;
 }
 
@@ -459,7 +583,10 @@ DistStats run_plan_distributed(const CsrGraph& g, const DecompTree& tree,
 DistStats run_plan_distributed(const CsrGraph& g, const DecompTree& tree,
                                const ColoringBatch& batch,
                                std::uint32_t ranks, ExecOptions opts) {
-  if (tree.root < 0) throw Error("run_plan_distributed: tree has no root");
+  if (tree.root < 0) {
+    throw Error(ErrorCode::kUnsupportedQuery,
+                "run_plan_distributed: tree has no root");
+  }
   switch (batch.lanes()) {
     case 1: return run_plan_distributed_impl<1>(g, tree, batch, ranks, opts);
     case 2: return run_plan_distributed_impl<2>(g, tree, batch, ranks, opts);
@@ -467,7 +594,8 @@ DistStats run_plan_distributed(const CsrGraph& g, const DecompTree& tree,
     case 8: return run_plan_distributed_impl<8>(g, tree, batch, ranks, opts);
     default: break;
   }
-  throw Error("run_plan_distributed: batch width must be 1, 2, 4 or 8");
+  throw Error(ErrorCode::kUnsupportedQuery,
+              "run_plan_distributed: batch width must be 1, 2, 4 or 8");
 }
 
 }  // namespace ccbt

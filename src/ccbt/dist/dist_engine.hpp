@@ -11,6 +11,17 @@
 // sim_time, modeled comm) bit for bit, while additionally reporting what
 // the model cannot see: the actual transport volume, including the
 // resharding and orientation supersteps a real MPI implementation pays.
+//
+// Fault tolerance (ExecOptions::dist): a seeded FaultPlan can drop,
+// duplicate, or delay superstep messages, stall ranks, and fail table
+// allocations. Recovery is layered — the transport retransmits missing
+// messages with backoff (dist/comm.hpp), the engine snapshots sealed
+// pool state at checkpoint_interval superstep boundaries and replays
+// from the last snapshot when a superstep cannot be recovered
+// (dist/checkpoint.hpp), and a run that exhausts both budgets throws a
+// typed retryable error the estimator turns into a dropped trial. A
+// recovered run's per-lane counts are bit-identical to the fault-free
+// run; DistStats::faults reports what the recovery cost.
 
 #include <array>
 #include <cstdint>
@@ -51,6 +62,17 @@ struct DistStats {
   /// Lane-layout telemetry over the run's sorting seals (B > 1; see
   /// ExecStats::lanes).
   LaneTelemetry lanes;
+
+  /// Fault-tolerance scoreboard: faults injected by the configured
+  /// FaultPlan, delivery retries and their modeled backoff, checkpoint
+  /// snapshots taken and their byte cost, and rollback replays. All-zero
+  /// when ExecOptions::dist is default (no injection, no checkpoints).
+  FaultStats faults;
+
+  /// Did the run recover from at least one injected fault?
+  bool recovered() const {
+    return faults.retries > 0 || faults.replays > 0;
+  }
 };
 
 /// Count the colorful matches of the plan's query under `chi` on a

@@ -73,6 +73,34 @@ class DistTableT {
     return t;
   }
 
+  /// Materialize from per-rank row sequences (checkpoint restore), one
+  /// shard per rank, sealed in `order` with `hint`. Rows decoded from a
+  /// checkpoint arrive in sealed order with unique keys, so re-sealing
+  /// (a stable sort + deterministic layout choice) reproduces the
+  /// checkpointed table bit for bit.
+  static DistTableT from_shard_rows(int arity, int home_slot,
+                                    std::vector<std::vector<Entry>> rows,
+                                    SortOrder order, VertexId domain,
+                                    LaneSealHint hint) {
+    DistTableT t;
+    t.arity_ = arity;
+    t.home_slot_ = home_slot;
+    t.shards_.resize(rows.size());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      ProjTableT<B> shard;
+      if constexpr (B == 1) {
+        AccumMapT<B> map(rows[r].size());
+        for (const Entry& e : rows[r]) map.add(e.key, e.cnt);
+        shard = ProjTableT<B>::from_map(arity, std::move(map));
+      } else {
+        shard = ProjTableT<B>::from_flat(arity, std::move(rows[r]));
+      }
+      shard.seal(order, domain, hint);
+      t.shards_[r] = std::move(shard);
+    }
+    return t;
+  }
+
   /// Materialize from per-rank accumulation maps (the cycle solver's
   /// merge sinks), one shard per map; shards stay unsealed.
   static DistTableT from_maps(int arity, int home_slot,

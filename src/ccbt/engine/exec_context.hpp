@@ -10,6 +10,7 @@
 #include "ccbt/graph/degree_order.hpp"
 #include "ccbt/graph/partition.hpp"
 #include "ccbt/table/lane_payload.hpp"
+#include "ccbt/util/fault.hpp"
 
 namespace ccbt {
 
@@ -28,6 +29,38 @@ inline const char* algo_name(Algo a) {
   }
   return "?";
 }
+
+/// Fault-tolerance knobs for the distributed engine: deterministic fault
+/// injection plus the three-layer recovery ladder (superstep retransmit
+/// with backoff -> checkpoint replay -> typed retryable error the
+/// estimator degrades on).
+struct DistOptions {
+  /// Deterministic fault schedule; a default spec injects nothing and
+  /// keeps the transport on its zero-overhead fault-free path.
+  FaultSpec faults;
+
+  /// Extra delivery attempts per superstep before the transport gives up
+  /// (CommTimeout / RankFailed).
+  std::uint32_t max_retries = 3;
+
+  /// Rollback-to-checkpoint replays per run before a retryable failure
+  /// propagates to the caller.
+  std::uint32_t max_replays = 2;
+
+  /// Snapshot the sealed-shard state once at least this many transport
+  /// supersteps passed since the last snapshot (checked at block
+  /// boundaries). 0 disables periodic checkpoints; replay then restarts
+  /// from the implicit initial (empty) checkpoint.
+  std::uint64_t checkpoint_interval = 0;
+
+  /// Per-superstep exchange-acknowledgment deadline: a stalled rank is
+  /// detected after (virtually) waiting this long. Accounted in
+  /// FaultStats::deadline_wait_virtual_ms, never slept.
+  double deadline_ms = 100.0;
+
+  /// Base of the exponential retry backoff (virtual, jittered).
+  double backoff_base_ms = 1.0;
+};
 
 struct ExecOptions {
   Algo algo = Algo::kDB;
@@ -56,6 +89,10 @@ struct ExecOptions {
   /// see table/lane_payload.hpp). Off forces the dense u64[B] layout
   /// everywhere.
   bool lane_compress = true;
+
+  /// Fault injection and recovery (distributed engine only; the shared
+  /// engine ignores it).
+  DistOptions dist;
 };
 
 struct ExecContext {

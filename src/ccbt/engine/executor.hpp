@@ -34,6 +34,12 @@ struct ExecStats {
   /// seal-time chooser re-packed, and at which payload widths. Makes the
   /// layout decisions auditable (surfaced into BENCH_batch.json).
   LaneTelemetry lanes;
+
+  /// Fault-tolerance scoreboard (injected faults, retries, replays,
+  /// checkpoint cost). All-zero for shared-memory runs, which have no
+  /// transport to fail; present so ExecStats and DistStats expose one
+  /// shape to estimator-level aggregation.
+  FaultStats faults;
 };
 
 /// Count the colorful matches of the plan's query under every lane of

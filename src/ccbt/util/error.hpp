@@ -1,6 +1,17 @@
 #pragma once
 // Library error hierarchy.
 //
+// Every error carries an ErrorCode so callers can route on the *kind* of
+// failure without parsing what(): the fault-tolerant distributed engine
+// retries or replays errors whose code is retryable() (lost supersteps,
+// stalled ranks, transient allocation failures) and propagates the rest
+// (malformed queries, genuine budget blowouts) unchanged. The
+// context-chaining constructor prepends a caller frame to the message
+// while preserving the cause's code, so a deep transport failure reaches
+// the API surface as e.g.
+//   "run_plan_distributed: block 3: superstep delivery failed after 4
+//    attempts" with code kCommTimeout.
+//
 // BudgetExceeded deliberately mirrors the paper's experimental reality:
 // Figure 10 contains blank cells where the PS baseline ran out of memory.
 // Solvers throw BudgetExceeded when a projection table would exceed the
@@ -11,23 +22,93 @@
 
 namespace ccbt {
 
+enum class ErrorCode : std::uint8_t {
+  kGeneric = 0,        // unclassified (the legacy bare-string throws)
+  kUnsupportedQuery,   // malformed / outside the supported query class
+  kBudgetExceeded,     // projection table outgrew max_table_entries
+  kCommTimeout,        // superstep delivery failed within the retry budget
+  kRankFailed,         // a rank stalled past the ack deadline
+  kAllocFailed,        // (injected) allocation failure while collecting
+  kCheckpointCorrupt,  // checkpoint image failed integrity checks
+  kRetriesExhausted,   // recovery budget (replays / surviving trials) spent
+};
+
+inline const char* error_code_name(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::kGeneric: return "Generic";
+    case ErrorCode::kUnsupportedQuery: return "UnsupportedQuery";
+    case ErrorCode::kBudgetExceeded: return "BudgetExceeded";
+    case ErrorCode::kCommTimeout: return "CommTimeout";
+    case ErrorCode::kRankFailed: return "RankFailed";
+    case ErrorCode::kAllocFailed: return "AllocFailed";
+    case ErrorCode::kCheckpointCorrupt: return "CheckpointCorrupt";
+    case ErrorCode::kRetriesExhausted: return "RetriesExhausted";
+  }
+  return "?";
+}
+
+/// A failure the fault-tolerance machinery may recover from by retrying
+/// the superstep, replaying from a checkpoint, or dropping the trial.
+inline constexpr bool error_code_retryable(ErrorCode c) {
+  return c == ErrorCode::kCommTimeout || c == ErrorCode::kRankFailed ||
+         c == ErrorCode::kAllocFailed;
+}
+
 /// Base class for all ccbt errors.
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const std::string& what)
+      : std::runtime_error(what), code_(ErrorCode::kGeneric) {}
+
+  Error(ErrorCode code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+
+  /// Context chaining: prepend a caller frame, keep the cause's code.
+  Error(const std::string& context, const Error& cause)
+      : std::runtime_error(context + ": " + cause.what()),
+        code_(cause.code()) {}
+
+  ErrorCode code() const { return code_; }
+  bool retryable() const { return error_code_retryable(code_); }
+
+ private:
+  ErrorCode code_;
 };
 
 /// The query is malformed or outside the supported class (e.g. treewidth>2,
 /// disconnected, or more nodes than the signature width supports).
 class UnsupportedQuery : public Error {
  public:
-  explicit UnsupportedQuery(const std::string& what) : Error(what) {}
+  explicit UnsupportedQuery(const std::string& what)
+      : Error(ErrorCode::kUnsupportedQuery, what) {}
 };
 
 /// A projection table grew past ExecOptions::max_table_entries.
 class BudgetExceeded : public Error {
  public:
-  explicit BudgetExceeded(const std::string& what) : Error(what) {}
+  explicit BudgetExceeded(const std::string& what)
+      : Error(ErrorCode::kBudgetExceeded, what) {}
+};
+
+/// A superstep's delivery could not be completed within the retry budget.
+class CommTimeout : public Error {
+ public:
+  explicit CommTimeout(const std::string& what)
+      : Error(ErrorCode::kCommTimeout, what) {}
+};
+
+/// A rank stalled past the per-superstep acknowledgment deadline.
+class RankFailed : public Error {
+ public:
+  explicit RankFailed(const std::string& what)
+      : Error(ErrorCode::kRankFailed, what) {}
+};
+
+/// A checkpoint image failed its integrity checks during restore.
+class CheckpointCorrupt : public Error {
+ public:
+  explicit CheckpointCorrupt(const std::string& what)
+      : Error(ErrorCode::kCheckpointCorrupt, what) {}
 };
 
 }  // namespace ccbt

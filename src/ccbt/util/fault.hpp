@@ -1,0 +1,193 @@
+#pragma once
+// Deterministic fault injection for the fault-tolerant execution layer.
+//
+// A FaultPlan turns a 64-bit seed plus a handful of rates (FaultSpec)
+// into a reproducible schedule of failures: per-message transport fates
+// (drop / duplicate / delay), per-rank superstep stalls, per-collection
+// allocation failures, and per-trial estimator failures. Every decision
+// is a counter-indexed splitmix64 hash of the seed, so the same spec
+// produces the same fault sequence on every run — a failure mode is a
+// test input, not a production surprise — and two runs with the same
+// spec report identical FaultStats counters.
+//
+// The plan is *stateful*: each query consumes one position of its
+// category's decision stream. Consumers (VirtualCommT, the distributed
+// engine, the estimator) share one plan per run, so the streams advance
+// exactly once per event regardless of which layer asks.
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+
+#include "ccbt/util/rng.hpp"
+
+namespace ccbt {
+
+/// Seeded failure schedule parameters. All rates are per-event Bernoulli
+/// probabilities in [0, 1]; a default-constructed spec injects nothing.
+struct FaultSpec {
+  std::uint64_t seed = 0;
+
+  // Transport faults, rolled once per off-rank message delivery attempt.
+  double drop_rate = 0.0;   // message lost; retransmitted on the next attempt
+  double dup_rate = 0.0;    // message delivered twice (receiver dedups by
+                            // sequence number; the copy still costs wire)
+  double delay_rate = 0.0;  // message misses its superstep; arrives with
+                            // the next delivery attempt
+
+  /// Per (rank, delivery attempt) with undelivered outgoing traffic: the
+  /// rank stalls past the ack deadline and sends nothing this attempt.
+  double stall_rate = 0.0;
+
+  /// Per table collection in the distributed engine: a simulated
+  /// allocation failure (throws ErrorCode::kAllocFailed, retryable).
+  double alloc_fail_rate = 0.0;
+
+  /// Per estimator trial: the trial's backend execution fails and the
+  /// trial is dropped from the estimate (degraded mode).
+  double trial_fail_rate = 0.0;
+
+  /// Stop injecting after this many events (the schedule keeps consuming
+  /// decision-stream positions, so determinism is unaffected).
+  std::uint64_t max_faults = ~0ull;
+
+  bool transport_faults() const {
+    return drop_rate > 0.0 || dup_rate > 0.0 || delay_rate > 0.0 ||
+           stall_rate > 0.0;
+  }
+  bool enabled() const {
+    return transport_faults() || alloc_fail_rate > 0.0 ||
+           trial_fail_rate > 0.0;
+  }
+};
+
+/// The fault-tolerance scoreboard: what was injected and what recovery
+/// cost. Surfaced through DistStats::faults / ExecStats::faults and the
+/// estimator result.
+struct FaultStats {
+  std::uint64_t faults_injected = 0;  // total events across all kinds
+  std::uint64_t drops = 0;
+  std::uint64_t dups = 0;
+  std::uint64_t delays = 0;
+  std::uint64_t stalls = 0;
+  std::uint64_t alloc_fails = 0;
+  std::uint64_t trial_faults = 0;
+
+  // Recovery accounting.
+  std::uint64_t retries = 0;           // extra delivery attempts
+  std::uint64_t retransmit_bytes = 0;  // off-rank bytes re-sent (retries
+                                       // plus duplicate copies)
+  std::uint64_t replays = 0;           // rollbacks to a checkpoint
+  std::uint64_t replayed_supersteps = 0;  // supersteps of work redone
+  std::uint64_t checkpoints_taken = 0;
+  std::uint64_t checkpoint_bytes = 0;  // cumulative serialized snapshots
+
+  // Modeled (not slept) waiting time: exponential backoff with jitter
+  // between delivery attempts, and ack-deadline waits for stall
+  // detection. A real transport would spend this wall clock; the virtual
+  // one only accounts it, keeping tests fast.
+  double backoff_virtual_ms = 0.0;
+  double deadline_wait_virtual_ms = 0.0;
+
+  /// Total modeled recovery latency.
+  double recovery_virtual_ms() const {
+    return backoff_virtual_ms + deadline_wait_virtual_ms;
+  }
+};
+
+/// Deterministic decision streams over a FaultSpec (see file comment).
+class FaultPlan {
+ public:
+  enum class Fate : std::uint8_t { kDeliver, kDrop, kDuplicate, kDelay };
+
+  FaultPlan() = default;
+  explicit FaultPlan(const FaultSpec& spec) : spec_(spec) {}
+
+  const FaultSpec& spec() const { return spec_; }
+  bool enabled() const { return spec_.enabled(); }
+
+  /// Fate of one off-rank message delivery attempt. One roll partitioned
+  /// across the three message rates, so at most one fault fires per
+  /// attempt.
+  Fate message_fate() {
+    const double total =
+        spec_.drop_rate + spec_.dup_rate + spec_.delay_rate;
+    if (total <= 0.0) return Fate::kDeliver;
+    const double x = roll(kMessage);
+    if (x >= total || !budget_ok()) return Fate::kDeliver;
+    ++stats_.faults_injected;
+    if (x < spec_.drop_rate) {
+      ++stats_.drops;
+      return Fate::kDrop;
+    }
+    if (x < spec_.drop_rate + spec_.dup_rate) {
+      ++stats_.dups;
+      return Fate::kDuplicate;
+    }
+    ++stats_.delays;
+    return Fate::kDelay;
+  }
+
+  /// Does this rank stall for the current delivery attempt?
+  bool rank_stalls() {
+    if (!fire(kStall, spec_.stall_rate)) return false;
+    ++stats_.stalls;
+    return true;
+  }
+
+  /// Does this table collection hit a (simulated) allocation failure?
+  bool alloc_fails() {
+    if (!fire(kAlloc, spec_.alloc_fail_rate)) return false;
+    ++stats_.alloc_fails;
+    return true;
+  }
+
+  /// Does this estimator trial fail?
+  bool trial_fails() {
+    if (!fire(kTrial, spec_.trial_fail_rate)) return false;
+    ++stats_.trial_faults;
+    return true;
+  }
+
+  FaultStats& stats() { return stats_; }
+  const FaultStats& stats() const { return stats_; }
+
+ private:
+  enum Category : int { kMessage = 0, kStall, kAlloc, kTrial, kCategories };
+
+  bool budget_ok() const {
+    return stats_.faults_injected < spec_.max_faults;
+  }
+
+  /// Uniform [0, 1) draw at the next position of `cat`'s stream.
+  double roll(Category cat) {
+    std::uint64_t s = spec_.seed ^
+                      (0xD1B54A32D192ED03ULL *
+                       (static_cast<std::uint64_t>(cat) + 1)) ^
+                      (0x9E3779B97F4A7C15ULL * ++counter_[cat]);
+    return static_cast<double>(splitmix64(s) >> 11) * 0x1.0p-53;
+  }
+
+  bool fire(Category cat, double rate) {
+    if (rate <= 0.0) return false;
+    const double x = roll(cat);
+    if (x >= rate || !budget_ok()) return false;
+    ++stats_.faults_injected;
+    return true;
+  }
+
+  FaultSpec spec_;
+  std::array<std::uint64_t, kCategories> counter_{};
+  FaultStats stats_;
+};
+
+/// Exponential backoff with jitter for delivery attempt `attempt`
+/// (0-based): base * 2^attempt * uniform[0.5, 1.5).
+inline double fault_backoff_ms(double base_ms, std::uint32_t attempt,
+                               Rng& jitter) {
+  const double factor =
+      static_cast<double>(1ull << std::min(attempt, 20u));
+  return base_ms * factor * (0.5 + jitter.uniform());
+}
+
+}  // namespace ccbt
