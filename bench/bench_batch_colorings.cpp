@@ -61,6 +61,8 @@ struct Cell {
   double lane_density = 0.0;
   double packed_share = 0.0;  // rows re-packed / rows sealed
   std::array<std::uint64_t, 3> width_hist{};  // packed rows per u16/u32/u64
+  // Per-stage wall breakdown summed over the cell's plan executions.
+  StageWall stage;
 };
 
 struct WireCell {
@@ -74,6 +76,8 @@ struct WireCell {
   // Wire-format telemetry accumulated over the cell's transports.
   double wire_density = 0.0;
   std::array<std::uint64_t, 3> width_hist{};  // serialized rows per width
+  // Per-stage wall breakdown summed over the cell's distributed runs.
+  StageWall stage;
 };
 
 double geomean(const std::vector<double>& xs) {
@@ -132,6 +136,7 @@ int main() {
           const EstimatorResult r = estimate_matches(session, opts);
           cell.wall = timer.seconds();
           cell.per_trial_ms = 1e3 * cell.wall / trials;
+          cell.stage = r.stage;
           if (width > 1) {
             // One extra batched execution to sample the layout chooser's
             // observations (untimed; the estimator API reports counts,
@@ -189,6 +194,22 @@ int main() {
                 gm);
   }
 
+  // Per-stage totals over all cells (same trial count per width): which
+  // stage pays for — or banks — the batching.
+  StageWall stage_b1, stage_b8;
+  std::printf("\nPer-stage wall summed over cells (seconds):\n");
+  for (const int width : widths) {
+    StageWall sum;
+    for (const Cell& c : cells) {
+      if (c.width == width) sum.add(c.stage);
+    }
+    if (width == 1) stage_b1 = sum;
+    if (width == 8) stage_b8 = sum;
+    std::printf(
+        "  B=%d: accumulate %.3f  seal %.3f  merge %.3f  (staged %.3f)\n",
+        width, sum.accumulate, sum.seal, sum.merge, sum.total());
+  }
+
   // ------------------------------------------------------------- wire
   // The virtual-MPI engine, same trials: every signature-blocked row
   // moves once per superstep regardless of how many lanes it carries, so
@@ -218,6 +239,7 @@ int main() {
       double bytes = 0.0, steps = 0.0;
       std::uint64_t lane_slots = 0, lanes_occupied = 0;
       std::array<std::uint64_t, 3> width_hist{};
+      StageWall stage_sum;
       std::vector<Count> counts;
       bool ok = true;
       try {
@@ -228,6 +250,7 @@ int main() {
               run_plan_distributed(gw, plan.tree, batch, 4, opts);
           bytes += static_cast<double>(s.transport.off_rank_bytes());
           steps += static_cast<double>(s.transport.supersteps);
+          stage_sum.add(s.stage);
           lane_slots += s.transport.lane_slots_sent;
           lanes_occupied += s.transport.lanes_occupied_sent;
           for (int w = 0; w < 3; ++w) {
@@ -256,6 +279,7 @@ int main() {
                            : static_cast<double>(lanes_occupied) /
                                  static_cast<double>(lane_slots);
       c.width_hist = width_hist;
+      c.stage = stage_sum;
       if (width == 1) {
         base_counts = counts;
         base_bytes = c.bytes_per_trial;
@@ -329,10 +353,17 @@ int main() {
                "  \"geomean_steps_ratio_b8\": %.3f,\n"
                "  \"wire_b8_beats_b1\": %s,\n"
                "  \"lanes_match\": %s,\n"
+               "  \"stage_seconds_b1\": {\"accumulate\": %.6f, "
+               "\"seal\": %.6f, \"merge\": %.6f, \"transport\": %.6f},\n"
+               "  \"stage_seconds_b8\": {\"accumulate\": %.6f, "
+               "\"seal\": %.6f, \"merge\": %.6f, \"transport\": %.6f},\n"
                "  \"cells\": [\n",
                trials, bench_scale(), gm_wall8, gm_wire8, gm_steps8,
                gm_wire8 > 1.0 ? "true" : "false",
-               all_match ? "true" : "false");
+               all_match ? "true" : "false", stage_b1.accumulate,
+               stage_b1.seal, stage_b1.merge, stage_b1.transport,
+               stage_b8.accumulate, stage_b8.seal, stage_b8.merge,
+               stage_b8.transport);
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const Cell& c = cells[i];
     std::fprintf(
@@ -342,13 +373,16 @@ int main() {
         "\"speedup\": %.3f, \"lanes_match\": %s, "
         "\"lane_density\": %.4f, \"packed_row_share\": %.4f, "
         "\"packed_width_hist\": {\"u16\": %llu, \"u32\": %llu, "
-        "\"u64\": %llu}}%s\n",
+        "\"u64\": %llu}, "
+        "\"stage\": {\"accumulate\": %.6f, \"seal\": %.6f, "
+        "\"merge\": %.6f}}%s\n",
         c.graph.c_str(), c.query.c_str(), c.width, c.wall, c.per_trial_ms,
         c.speedup, c.lanes_match ? "true" : "false", c.lane_density,
         c.packed_share,
         static_cast<unsigned long long>(c.width_hist[0]),
         static_cast<unsigned long long>(c.width_hist[1]),
         static_cast<unsigned long long>(c.width_hist[2]),
+        c.stage.accumulate, c.stage.seal, c.stage.merge,
         i + 1 < cells.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"wire_cells\": [\n");
@@ -361,13 +395,16 @@ int main() {
         "\"bytes_ratio\": %.3f, \"lanes_match\": %s, "
         "\"wire_lane_density\": %.4f, "
         "\"wire_width_hist\": {\"u16\": %llu, \"u32\": %llu, "
-        "\"u64\": %llu}}%s\n",
+        "\"u64\": %llu}, "
+        "\"stage\": {\"accumulate\": %.6f, \"seal\": %.6f, "
+        "\"merge\": %.6f, \"transport\": %.6f}}%s\n",
         c.graph.c_str(), c.query.c_str(), c.width, c.bytes_per_trial,
         c.steps_per_trial, c.bytes_ratio, c.lanes_match ? "true" : "false",
         c.wire_density,
         static_cast<unsigned long long>(c.width_hist[0]),
         static_cast<unsigned long long>(c.width_hist[1]),
         static_cast<unsigned long long>(c.width_hist[2]),
+        c.stage.accumulate, c.stage.seal, c.stage.merge, c.stage.transport,
         i + 1 < wire.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");

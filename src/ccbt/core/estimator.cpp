@@ -64,6 +64,7 @@ void run_batch(const CountingSession& session, Rng& seeder, FaultPlan& faults,
         static_cast<double>(stats.colorful_lane[l]) * scale);
   }
   r.total_wall_seconds += stats.wall_seconds;
+  r.stage.add(stats.stage);
 }
 
 void finalize(const CountingSession& session, EstimatorResult& r) {

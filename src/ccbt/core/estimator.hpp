@@ -52,6 +52,11 @@ struct EstimatorResult {
   std::vector<double> estimate_per_trial;
   double total_wall_seconds = 0.0;
 
+  /// Per-stage wall breakdown summed over every plan execution of the
+  /// run (see ExecStats::stage) — what BENCH_batch.json attributes the
+  /// batch-width speedup to.
+  StageWall stage;
+
   // Degraded-mode accounting. matches/cv are computed over the surviving
   // trials only; cv_widened additionally inflates the uncertainty by
   // sqrt(planned / survivors) to reflect the thinner sample.

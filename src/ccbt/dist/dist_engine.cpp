@@ -64,6 +64,7 @@ void maybe_alloc_fail(Dx<B>& dx, const char* where) {
 /// entry (.., v, ..) lives with owner(v) (home slot 1, Section 7).
 template <int B>
 DistTableT<B> collect_path(Dx<B>& dx, int arity) {
+  ScopedStage timed(dx.cx.stage_slot(&StageWall::transport));
   dx.comm.exchange();
   maybe_alloc_fail(dx, "collect_path");
   return DistTableT<B>::collect(arity, /*home_slot=*/1, dx.comm,
@@ -73,10 +74,13 @@ DistTableT<B> collect_path(Dx<B>& dx, int arity) {
 template <int B>
 DistTableT<B> d_init_path_from_graph(Dx<B>& dx, const ExtendOpts& o) {
   const ExecContext& cx = dx.cx;
-  for (std::uint32_t r = 0; r < dx.ranks(); ++r) {
-    auto emit = dx.route_to_slot(r, 1);
-    for (VertexId u = dx.part().begin(r); u < dx.part().end(r); ++u) {
-      kernel_init_from_graph<B>(cx, u, o, emit);
+  {
+    ScopedStage timed(cx.stage_slot(&StageWall::accumulate));
+    for (std::uint32_t r = 0; r < dx.ranks(); ++r) {
+      auto emit = dx.route_to_slot(r, 1);
+      for (VertexId u = dx.part().begin(r); u < dx.part().end(r); ++u) {
+        kernel_init_from_graph<B>(cx, u, o, emit);
+      }
     }
   }
   DistTableT<B> t = collect_path(dx, 2);
@@ -90,11 +94,14 @@ DistTableT<B> d_init_path_from_child(Dx<B>& dx, const DistTableT<B>& child,
   const ExecContext& cx = dx.cx;
   // Stored child shards may be lane-compressed: for_each_entry expands
   // each masked payload row on the fly.
-  for (std::uint32_t r = 0; r < dx.ranks(); ++r) {
-    auto emit = dx.route_to_slot(r, 1);
-    child.shard(r).for_each_entry([&](const TableEntryT<B>& e) {
-      kernel_init_from_child<B>(cx, e, /*flip=*/false, o, emit);
-    });
+  {
+    ScopedStage timed(cx.stage_slot(&StageWall::accumulate));
+    for (std::uint32_t r = 0; r < dx.ranks(); ++r) {
+      auto emit = dx.route_to_slot(r, 1);
+      child.shard(r).for_each_entry([&](const TableEntryT<B>& e) {
+        kernel_init_from_child<B>(cx, e, /*flip=*/false, o, emit);
+      });
+    }
   }
   DistTableT<B> t = collect_path(dx, 2);
   cx.end_phase();
@@ -110,14 +117,18 @@ DistTableT<B> d_extend_with_graph(Dx<B>& dx, DistTableT<B>& path,
   // multiset — and hence every load-model charge — in exact parity. The
   // sealed shards are consumed once right below: stay dense (kStream).
   if constexpr (B > 1) {
+    ScopedStage timed(cx.stage_slot(&StageWall::seal));
     path.seal_shards(SortOrder::kByV1, dx.domain, LaneSealHint::kStream);
   }
-  for (std::uint32_t r = 0; r < dx.ranks(); ++r) {
-    cx.note_lanes(path.shard(r).layout());
-    auto emit = dx.route_to_slot(r, 1);
-    path.shard(r).for_each_entry([&](const TableEntryT<B>& e) {
-      kernel_extend_with_graph<B>(cx, e, o, emit);
-    });
+  {
+    ScopedStage timed(cx.stage_slot(&StageWall::accumulate));
+    for (std::uint32_t r = 0; r < dx.ranks(); ++r) {
+      cx.note_lanes(path.shard(r).layout());
+      auto emit = dx.route_to_slot(r, 1);
+      path.shard(r).for_each_entry([&](const TableEntryT<B>& e) {
+        kernel_extend_with_graph<B>(cx, e, o, emit);
+      });
+    }
   }
   DistTableT<B> t = collect_path(dx, path.arity());
   cx.end_phase();
@@ -130,22 +141,24 @@ DistTableT<B> d_extend_with_child(Dx<B>& dx, DistTableT<B>& path,
                                   const ExtendOpts& o) {
   const ExecContext& cx = dx.cx;
   if constexpr (B > 1) {
+    ScopedStage timed(cx.stage_slot(&StageWall::seal));
     path.seal_shards(SortOrder::kByV1, dx.domain, LaneSealHint::kStream);
   }
   // Path entries with frontier v and child entries (v, w, ..) are
   // co-located at owner(v): the EdgeJoin probe is rank-local. The child
-  // shard may be lane-compressed (stored tables): group_expanded unpacks
-  // the probed bucket through a reused scratch.
-  std::vector<TableEntryT<B>> cscratch;
-  for (std::uint32_t r = 0; r < dx.ranks(); ++r) {
-    cx.note_lanes(path.shard(r).layout());
-    const ProjTableT<B>& child_shard = child.shard(r);
-    auto emit = dx.route_to_slot(r, 1);
-    path.shard(r).for_each_entry([&](const TableEntryT<B>& e) {
-      kernel_extend_with_child<B>(
-          cx, e, child_shard.group_expanded(0, e.key.v[1], cscratch), o,
-          emit);
-    });
+  // shard may be lane-compressed (stored tables): it is probed once per
+  // path row, so ChildProbe expands it once up front.
+  {
+    ScopedStage timed(cx.stage_slot(&StageWall::accumulate));
+    for (std::uint32_t r = 0; r < dx.ranks(); ++r) {
+      cx.note_lanes(path.shard(r).layout());
+      const detail::ChildProbe<B> probe(child.shard(r));
+      auto emit = dx.route_to_slot(r, 1);
+      path.shard(r).for_each_entry([&](const TableEntryT<B>& e) {
+        kernel_extend_with_child<B>(cx, e, probe.group(0, e.key.v[1]), o,
+                                    emit);
+      });
+    }
   }
   DistTableT<B> t = collect_path(dx, path.arity());
   cx.end_phase();
@@ -162,19 +175,21 @@ DistTableT<B> d_node_join(Dx<B>& dx, const DistTableT<B>& path,
   const DistTableT<B>* src = &path;
   DistTableT<B> rehomed;
   if (slot == 0 && dx.ranks() > 1) {
+    ScopedStage timed(cx.stage_slot(&StageWall::transport));
     rehomed = path.resharded(0, dx.comm, dx.part(), SortOrder::kUnsorted,
                              dx.budget, dx.domain);
     src = &rehomed;
   }
-  std::vector<TableEntryT<B>> cscratch;
-  for (std::uint32_t r = 0; r < dx.ranks(); ++r) {
-    const ProjTableT<B>& child_shard = child.shard(r);
-    auto emit = dx.route_to_slot(r, 1);
-    src->shard(r).for_each_entry([&](const TableEntryT<B>& e) {
-      kernel_node_join<B>(
-          cx, e, child_shard.group_expanded(0, e.key.v[slot], cscratch),
-          slot, emit);
-    });
+  {
+    ScopedStage timed(cx.stage_slot(&StageWall::accumulate));
+    for (std::uint32_t r = 0; r < dx.ranks(); ++r) {
+      const detail::ChildProbe<B> probe(child.shard(r));
+      auto emit = dx.route_to_slot(r, 1);
+      src->shard(r).for_each_entry([&](const TableEntryT<B>& e) {
+        kernel_node_join<B>(cx, e, probe.group(0, e.key.v[slot]), slot,
+                            emit);
+      });
+    }
   }
   DistTableT<B> t = collect_path(dx, path.arity());
   cx.end_phase();
@@ -192,41 +207,48 @@ void d_merge_halves(Dx<B>& dx, DistTableT<B>& plus, DistTableT<B>& minus,
                     std::vector<AccumMapT<B>>& sinks) {
   const ExecContext& cx = dx.cx;
   // Both halves are consumed by this one merge: stay dense (kStream).
-  plus.seal_shards(SortOrder::kByV0V1, dx.domain, LaneSealHint::kStream);
-  minus.seal_shards(SortOrder::kByV0V1, dx.domain, LaneSealHint::kStream);
-  for (std::uint32_t r = 0; r < dx.ranks(); ++r) {
-    cx.note_lanes(plus.shard(r).layout());
-    cx.note_lanes(minus.shard(r).layout());
-    const auto pe = plus.shard(r).entries();
-    const auto me = minus.shard(r).entries();
-    auto route = [&](const TableKey& key,
-                     const typename LaneOps<B>::Vec& cnt) {
-      const std::uint32_t dest =
-          spec.out_arity >= 1 ? dx.owner(key.v[0]) : 0;
-      dx.comm.send(r, dest, {key, cnt});
-    };
-    // Two-pointer over the shard's slot-0 groups; merge_bucket handles
-    // the (u, v) subgroup join and the load charges within each.
-    std::size_t pi = 0, mi = 0;
-    while (pi < pe.size() && mi < me.size()) {
-      if (pe[pi].key.v[0] < me[mi].key.v[0]) {
-        ++pi;
-        continue;
+  {
+    ScopedStage timed(cx.stage_slot(&StageWall::seal));
+    plus.seal_shards(SortOrder::kByV0V1, dx.domain, LaneSealHint::kStream);
+    minus.seal_shards(SortOrder::kByV0V1, dx.domain, LaneSealHint::kStream);
+  }
+  {
+    ScopedStage timed_merge(cx.stage_slot(&StageWall::merge));
+    for (std::uint32_t r = 0; r < dx.ranks(); ++r) {
+      cx.note_lanes(plus.shard(r).layout());
+      cx.note_lanes(minus.shard(r).layout());
+      const auto pe = plus.shard(r).entries();
+      const auto me = minus.shard(r).entries();
+      auto route = [&](const TableKey& key,
+                       const typename LaneOps<B>::Vec& cnt) {
+        const std::uint32_t dest =
+            spec.out_arity >= 1 ? dx.owner(key.v[0]) : 0;
+        dx.comm.send(r, dest, {key, cnt});
+      };
+      // Two-pointer over the shard's slot-0 groups; merge_bucket handles
+      // the (u, v) subgroup join and the load charges within each.
+      std::size_t pi = 0, mi = 0;
+      while (pi < pe.size() && mi < me.size()) {
+        if (pe[pi].key.v[0] < me[mi].key.v[0]) {
+          ++pi;
+          continue;
+        }
+        if (me[mi].key.v[0] < pe[pi].key.v[0]) {
+          ++mi;
+          continue;
+        }
+        const VertexId u = pe[pi].key.v[0];
+        std::size_t pj = pi, mj = mi;
+        while (pj < pe.size() && pe[pj].key.v[0] == u) ++pj;
+        while (mj < me.size() && me[mj].key.v[0] == u) ++mj;
+        merge_bucket<B>(cx, pe.subspan(pi, pj - pi),
+                        me.subspan(mi, mj - mi), spec, route);
+        pi = pj;
+        mi = mj;
       }
-      if (me[mi].key.v[0] < pe[pi].key.v[0]) {
-        ++mi;
-        continue;
-      }
-      const VertexId u = pe[pi].key.v[0];
-      std::size_t pj = pi, mj = mi;
-      while (pj < pe.size() && pe[pj].key.v[0] == u) ++pj;
-      while (mj < me.size() && me[mj].key.v[0] == u) ++mj;
-      merge_bucket<B>(cx, pe.subspan(pi, pj - pi), me.subspan(mi, mj - mi),
-                      spec, route);
-      pi = pj;
-      mi = mj;
     }
   }
+  ScopedStage timed(cx.stage_slot(&StageWall::transport));
   dx.comm.exchange();
   maybe_alloc_fail(dx, "merge_halves");
   std::size_t total = 0;
@@ -246,16 +268,20 @@ void d_merge_halves(Dx<B>& dx, DistTableT<B>& plus, DistTableT<B>& minus,
 template <int B>
 DistTableT<B> d_aggregate(Dx<B>& dx, const DistTableT<B>& t, int new_arity) {
   const ExecContext& cx = dx.cx;
-  for (std::uint32_t r = 0; r < dx.ranks(); ++r) {
-    auto emit = [&](const TableKey& key,
-                    const typename LaneOps<B>::Vec& cnt) {
-      const std::uint32_t dest = new_arity >= 1 ? dx.owner(key.v[0]) : 0;
-      dx.comm.send(r, dest, {key, cnt});
-    };
-    t.shard(r).for_each_entry([&](const TableEntryT<B>& e) {
-      kernel_aggregate<B>(cx, e, new_arity, emit);
-    });
+  {
+    ScopedStage timed(cx.stage_slot(&StageWall::accumulate));
+    for (std::uint32_t r = 0; r < dx.ranks(); ++r) {
+      auto emit = [&](const TableKey& key,
+                      const typename LaneOps<B>::Vec& cnt) {
+        const std::uint32_t dest = new_arity >= 1 ? dx.owner(key.v[0]) : 0;
+        dx.comm.send(r, dest, {key, cnt});
+      };
+      t.shard(r).for_each_entry([&](const TableEntryT<B>& e) {
+        kernel_aggregate<B>(cx, e, new_arity, emit);
+      });
+    }
   }
+  ScopedStage timed(cx.stage_slot(&StageWall::transport));
   dx.comm.exchange();
   maybe_alloc_fail(dx, "aggregate");
   DistTableT<B> out =
@@ -273,16 +299,21 @@ DistTableT<B> d_aggregate(Dx<B>& dx, const DistTableT<B>& t, int new_arity) {
 template <int B>
 class DistPool {
  public:
-  DistPool(std::size_t num_blocks, VertexId domain, bool compress)
+  DistPool(std::size_t num_blocks, VertexId domain, bool compress,
+           StageWall* stage = nullptr)
       : tables_(num_blocks),
         transposed_(num_blocks),
         has_transposed_(num_blocks, false),
         stored_(num_blocks, false),
         domain_(domain),
-        hint_(compress ? LaneSealHint::kStore : LaneSealHint::kStream) {}
+        hint_(compress ? LaneSealHint::kStore : LaneSealHint::kStream),
+        stage_(stage) {}
 
   void store(int block, DistTableT<B> table) {
-    table.seal_shards(SortOrder::kByV0, domain_, hint_);
+    {
+      ScopedStage timed(stage_ == nullptr ? nullptr : &stage_->seal);
+      table.seal_shards(SortOrder::kByV0, domain_, hint_);
+    }
     tables_[block] = std::move(table);
     stored_[block] = true;
   }
@@ -292,6 +323,9 @@ class DistPool {
   const DistTableT<B>& oriented(Dx<B>& dx, int block, bool transposed) {
     if (!transposed) return tables_[block];
     if (!has_transposed_[block]) {
+      // A transpose is a transport superstep plus a sealing collect;
+      // charge it to transport (the seal inside is not separable here).
+      ScopedStage timed(stage_ == nullptr ? nullptr : &stage_->transport);
       transposed_[block] = tables_[block].transposed(
           dx.comm, dx.part(), dx.budget, domain_, hint_);
       has_transposed_[block] = true;
@@ -359,6 +393,7 @@ class DistPool {
   std::vector<bool> stored_;
   VertexId domain_;
   LaneSealHint hint_;
+  StageWall* stage_ = nullptr;
 };
 
 template <int B>
@@ -466,7 +501,8 @@ DistStats run_plan_distributed_impl(const CsrGraph& g, const DecompTree& tree,
                        BlockPartition(g.num_vertices(), ranks),
                        &load,
                        opts,
-                       &stats.lanes};
+                       &stats.lanes,
+                       &stats.stage};
   VirtualCommT<B> comm(ranks);
   FaultPlan faults(opts.dist.faults);
   FaultPlan* fp = faults.enabled() ? &faults : nullptr;
@@ -476,7 +512,7 @@ DistStats run_plan_distributed_impl(const CsrGraph& g, const DecompTree& tree,
   }
   Dx<B> dx{cx, comm, opts.max_table_entries, g.num_vertices(), fp};
   DistPool<B> pool(tree.blocks.size(), g.num_vertices(),
-                   opts.lane_compress);
+                   opts.lane_compress, &stats.stage);
 
   stats.lanes_used = batch.lanes();
   auto record_root = [&](const typename LaneOps<B>::Vec& totals) {

@@ -63,6 +63,11 @@ struct DistStats {
   /// ExecStats::lanes).
   LaneTelemetry lanes;
 
+  /// Per-stage wall breakdown (see ExecStats::stage); here `transport`
+  /// covers the virtual-MPI exchanges, inbox collection, and resharding
+  /// supersteps.
+  StageWall stage;
+
   /// Fault-tolerance scoreboard: faults injected by the configured
   /// FaultPlan, delivery retries and their modeled backoff, checkpoint
   /// snapshots taken and their byte cost, and rollback replays. All-zero

@@ -11,8 +11,45 @@
 #include "ccbt/graph/partition.hpp"
 #include "ccbt/table/lane_payload.hpp"
 #include "ccbt/util/fault.hpp"
+#include "ccbt/util/timer.hpp"
 
 namespace ccbt {
+
+/// Wall-clock breakdown of one plan execution by pipeline stage, so a
+/// batch-width speedup (or regression) is attributable stage by stage
+/// (BENCH_batch.json): kernel emission, sorting seals, merge joins, and
+/// — distributed engine only — the transport exchanges.
+struct StageWall {
+  double accumulate = 0.0;  // join kernels emitting rows (incl. hash adds)
+  double seal = 0.0;        // sort + dedup + layout choice / (re)packing
+  double merge = 0.0;       // merge_halves / merge_bucket sweeps
+  double transport = 0.0;   // virtual-MPI encode/exchange/decode
+
+  void add(const StageWall& o) {
+    accumulate += o.accumulate;
+    seal += o.seal;
+    merge += o.merge;
+    transport += o.transport;
+  }
+
+  double total() const { return accumulate + seal + merge + transport; }
+};
+
+/// RAII accumulator for one StageWall slot; tolerates a null slot so the
+/// hot paths need no "is timing attached" branches at the call sites.
+class ScopedStage {
+ public:
+  explicit ScopedStage(double* slot) noexcept : slot_(slot) {}
+  ScopedStage(const ScopedStage&) = delete;
+  ScopedStage& operator=(const ScopedStage&) = delete;
+  ~ScopedStage() {
+    if (slot_ != nullptr) *slot_ += timer_.seconds();
+  }
+
+ private:
+  double* slot_;
+  Timer timer_;
+};
 
 /// Which cycle-solving strategy to run (Section 5).
 enum class Algo : std::uint8_t {
@@ -84,10 +121,11 @@ struct ExecOptions {
   /// B > 1 (see table/accum_map.hpp).
   bool compact_accum = true;
 
-  /// Let stored tables re-pack into the lane-compressed row layout at
-  /// seal time when the observed lane density makes it smaller (B > 1;
-  /// see table/lane_payload.hpp). Off forces the dense u64[B] layout
-  /// everywhere.
+  /// Let tables use the compressed row layouts (B > 1): the narrow flat
+  /// accumulation rows the hot path sorts and streams (table/
+  /// flat_rows.hpp) and the masked columnar layout stored tables re-pack
+  /// into when the observed lane density makes it smaller (table/
+  /// lane_payload.hpp). Off forces the dense u64[B] layout everywhere.
   bool lane_compress = true;
 
   /// Fault injection and recovery (distributed engine only; the shared
@@ -107,6 +145,15 @@ struct ExecContext {
   /// chosen payload widths); the engines attach one and surface it
   /// through ExecStats / DistStats.
   LaneTelemetry* lane_telemetry = nullptr;
+
+  /// Optional per-stage wall-clock collector (accumulate / seal / merge /
+  /// transport); the engines attach one and surface it through
+  /// ExecStats::stage / DistStats::stage.
+  StageWall* stage = nullptr;
+
+  double* stage_slot(double StageWall::* member) const {
+    return stage == nullptr ? nullptr : &(stage->*member);
+  }
 
   std::uint32_t owner(VertexId v) const { return part.owner(v); }
 

@@ -20,9 +20,10 @@ ExecStats run_plan_impl(const ExecContext& outer_cx, const DecompTree& tree) {
   // callers need no wiring (ExecContext is a bundle of references).
   ExecContext cx = outer_cx;
   cx.lane_telemetry = &stats.lanes;
+  cx.stage = &stats.stage;
   stats.lanes_used = cx.chi.lanes();
   TablePoolT<B> pool(tree.blocks.size(), cx.g.num_vertices(),
-                     cx.opts.lane_compress);
+                     cx.opts.lane_compress, &stats.stage);
 
   auto record_root = [&](const typename LaneOps<B>::Vec& totals) {
     for (int l = 0; l < B; ++l) {

@@ -35,6 +35,11 @@ struct ExecStats {
   /// layout decisions auditable (surfaced into BENCH_batch.json).
   LaneTelemetry lanes;
 
+  /// Per-stage wall breakdown of the run (accumulate / seal / merge;
+  /// transport stays zero in shared-memory runs). Stage totals may sum
+  /// below wall_seconds — planning glue and root totals are untimed.
+  StageWall stage;
+
   /// Fault-tolerance scoreboard (injected faults, retries, replays,
   /// checkpoint cost). All-zero for shared-memory runs, which have no
   /// transport to fail; present so ExecStats and DistStats expose one

@@ -32,11 +32,17 @@ template <int B>
 class TablePoolT {
  public:
   explicit TablePoolT(std::size_t num_blocks, VertexId domain = 0,
-                      bool compress = true)
-      : tables_(num_blocks), domain_(domain), compress_(compress) {}
+                      bool compress = true, StageWall* stage = nullptr)
+      : tables_(num_blocks),
+        domain_(domain),
+        compress_(compress),
+        stage_(stage) {}
 
   void store(int block, ProjTableT<B> table) {
-    table.seal(SortOrder::kByV0, domain_, store_hint());
+    {
+      ScopedStage timed(stage_ == nullptr ? nullptr : &stage_->seal);
+      table.seal(SortOrder::kByV0, domain_, store_hint());
+    }
     if (transposed_.empty()) {
       transposed_.resize(tables_.size());
       has_transposed_.resize(tables_.size(), false);
@@ -50,6 +56,7 @@ class TablePoolT {
   const ProjTableT<B>& oriented(int block, bool transposed) {
     if (!transposed) return tables_[block];
     if (!has_transposed_[block]) {
+      ScopedStage timed(stage_ == nullptr ? nullptr : &stage_->seal);
       ProjTableT<B> t = tables_[block].transposed();
       t.seal(SortOrder::kByV0, domain_, store_hint());
       transposed_[block] = std::move(t);
@@ -74,6 +81,7 @@ class TablePoolT {
   std::vector<bool> has_transposed_;
   VertexId domain_ = 0;
   bool compress_ = true;
+  StageWall* stage_ = nullptr;
 };
 
 using TablePool = TablePoolT<1>;

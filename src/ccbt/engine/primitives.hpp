@@ -37,6 +37,8 @@
 #include <vector>
 
 #include "ccbt/engine/exec_context.hpp"
+#include "ccbt/table/flat_rows.hpp"
+#include "ccbt/table/lane_simd.hpp"
 #include "ccbt/table/proj_table.hpp"
 #include "ccbt/table/signature.hpp"
 #include "ccbt/util/error.hpp"
@@ -128,6 +130,7 @@ AccumMapT<B> reduce_maps(const ExecContext& cx,
 template <int B, typename Emit>
 AccumMapT<B> accumulate_over(const ExecContext& cx, std::size_t n,
                              Emit&& emit) {
+  ScopedStage timed(cx.stage_slot(&StageWall::accumulate));
 #ifdef _OPENMP
   if (cx.opts.use_threads && pool_threads() > 1 && n > 4096) {
     const int threads = pool_threads();
@@ -166,18 +169,21 @@ AccumMapT<B> accumulate_over(const ExecContext& cx, std::size_t n,
 /// primitives: rows are appended without hashing — duplicate keys are
 /// summed later by the table's sorting seal (sort-merge consolidation),
 /// which is far cheaper than a hash probe per emitted lane-vector row.
-/// The budget therefore bounds pre-merge rows at B > 1.
+/// The sink keeps rows in the narrow packed layout (flat_rows.hpp), so
+/// both the append traffic and the seal's sort move 24-byte rows rather
+/// than dense entries. The budget bounds pre-merge rows at B > 1.
 template <int B, typename Emit>
-std::vector<TableEntryT<B>> accumulate_flat(const ExecContext& cx,
-                                            std::size_t n, Emit&& emit) {
+FlatRowsT<B> accumulate_flat(const ExecContext& cx, std::size_t n,
+                             Emit&& emit) {
+  ScopedStage timed(cx.stage_slot(&StageWall::accumulate));
 #ifdef _OPENMP
   if (cx.opts.use_threads && pool_threads() > 1 && n > 4096) {
     const int threads = pool_threads();
-    std::vector<std::vector<TableEntryT<B>>> rows(threads);
+    std::vector<FlatRowsT<B>> rows(threads);
     std::atomic<bool> budget_hit{false};
 #pragma omp parallel num_threads(threads)
     {
-      std::vector<TableEntryT<B>>& local = rows[omp_get_thread_num()];
+      FlatRowsT<B>& local = rows[omp_get_thread_num()];
 #pragma omp for schedule(dynamic, 512)
       for (std::size_t i = 0; i < n; ++i) {
         if (budget_hit.load(std::memory_order_relaxed)) continue;
@@ -191,20 +197,19 @@ std::vector<TableEntryT<B>> accumulate_flat(const ExecContext& cx,
     std::size_t total = 0;
     for (const auto& r : rows) total += r.size();
     check_budget(cx, total);
-    std::vector<TableEntryT<B>>* biggest = &rows[0];
+    FlatRowsT<B>* biggest = &rows[0];
     for (auto& r : rows) {
       if (r.size() > biggest->size()) biggest = &r;
     }
-    std::vector<TableEntryT<B>> out = std::move(*biggest);
-    out.reserve(total);
+    FlatRowsT<B> out = std::move(*biggest);
     for (auto& r : rows) {
       if (&r == biggest) continue;
-      out.insert(out.end(), r.begin(), r.end());
+      out.absorb(std::move(r));
     }
     return out;
   }
 #endif
-  std::vector<TableEntryT<B>> out;
+  FlatRowsT<B> out;
   for (std::size_t i = 0; i < n; ++i) {
     emit(i, out);
     if ((i & 0xFFF) == 0) check_budget(cx, out.size());
@@ -212,6 +217,64 @@ std::vector<TableEntryT<B>> accumulate_flat(const ExecContext& cx,
   check_budget(cx, out.size());
   return out;
 }
+
+/// The one dispatch point for the per-width accumulation strategy every
+/// row-producing primitive shares: `body(i, emit)` emits the rows of
+/// item i through `emit(key, lane-counts)`. B = 1 hashes rows through
+/// per-thread AccumMaps (exact pre-merge, the original scalar path);
+/// B > 1 appends narrow packed rows that the table's sorting seal
+/// consolidates.
+template <int B, typename Body>
+ProjTableT<B> accumulate_rows(const ExecContext& cx, int arity,
+                              std::size_t n, Body&& body) {
+  if constexpr (B == 1) {
+    AccumMapT<1> map =
+        accumulate_over<1>(cx, n, [&](std::size_t i, AccumMapT<1>& sink) {
+          body(i, [&](const TableKey& k, Count c) { sink.add(k, c); });
+        });
+    cx.end_phase();
+    return ProjTableT<1>::from_map(arity, std::move(map));
+  } else {
+    FlatRowsT<B> rows =
+        accumulate_flat<B>(cx, n, [&](std::size_t i, FlatRowsT<B>& sink) {
+          body(i, [&](const TableKey& k, const typename LaneOps<B>::Vec& c) {
+            sink.append(k, c);
+          });
+        });
+    cx.end_phase();
+    if (!cx.opts.lane_compress) {
+      // Ablation: lane_compress off forces the dense u64[B] layout
+      // through the whole pipeline, narrow accumulation included.
+      return ProjTableT<B>::from_flat(arity, rows.take_wide());
+    }
+    return ProjTableT<B>::from_packed(arity, std::move(rows));
+  }
+}
+
+/// Probe-side view of a stored child table. Joins probe the child once
+/// per path row, so a compressed or narrow child must not be decoded per
+/// probe — this expands it to dense rows ONCE up front and serves every
+/// group probe as a raw subspan through the bucket index. Dense children
+/// pay nothing (the view aliases their rows).
+template <int B>
+class ChildProbe {
+ public:
+  explicit ChildProbe(const ProjTableT<B>& t) : t_(t) {
+    rows_ = t.expand_rows(0, t.size(), scratch_);
+  }
+  ChildProbe(const ChildProbe&) = delete;
+  ChildProbe& operator=(const ChildProbe&) = delete;
+
+  std::span<const TableEntryT<B>> group(int slot, VertexId v) const {
+    const auto [lo, hi] = t_.group_span(slot, v);
+    return rows_.subspan(lo, hi - lo);
+  }
+
+ private:
+  const ProjTableT<B>& t_;
+  std::vector<TableEntryT<B>> scratch_;
+  std::span<const TableEntryT<B>> rows_;
+};
 
 }  // namespace detail
 
@@ -286,6 +349,11 @@ void kernel_extend_with_graph(const ExecContext& cx, const TableEntryT<B>& e,
   const CsrGraph& g = cx.g;
   const VertexId v = e.key.v[1];
   cx.charge(v, g.degree(v));
+  [[maybe_unused]] LaneMask alive = 0;
+  if constexpr (B > 1) {
+    alive = LaneSimdT<B>::nonzero_mask(e.cnt);
+    if (alive == 0) return;
+  }
   for (VertexId w : g.neighbors(v)) {
     if (o.anchor_higher && !cx.order.higher(e.key.v[0], w)) continue;
     if constexpr (B == 1) {
@@ -299,10 +367,10 @@ void kernel_extend_with_graph(const ExecContext& cx, const TableEntryT<B>& e,
       cx.send(v, w, 1);
     } else {
       detail::SigGroups<B> groups;
-      std::uint64_t cw = cx.chi.colors_word(w);
-      for (int l = 0; l < B; ++l, cw >>= 8) {
-        if (LaneOps<B>::lane(e.cnt, l) == 0) continue;  // dead lane
-        const Signature w_bit = Signature{1} << (cw & 0xFF);
+      const std::uint64_t cw = cx.chi.colors_word(w);
+      for (LaneMask a = alive; a != 0; a &= (a - 1)) {
+        const int l = std::countr_zero(static_cast<unsigned>(a));
+        const Signature w_bit = Signature{1} << ((cw >> (8 * l)) & 0xFF);
         if ((e.key.sig & w_bit) != 0) continue;
         groups.add(e.key.sig | w_bit, l);
       }
@@ -312,7 +380,7 @@ void kernel_extend_with_graph(const ExecContext& cx, const TableEntryT<B>& e,
       if (o.track_slot >= 0) key.v[o.track_slot] = w;
       for (int i = 0; i < groups.n; ++i) {
         key.sig = groups.sig[i];
-        emit(key, LaneOps<B>::masked(e.cnt, groups.mask[i]));
+        emit(key, LaneSimdT<B>::masked(e.cnt, groups.mask[i]));
       }
       cx.send(v, w, 1);
     }
@@ -351,8 +419,8 @@ void kernel_extend_with_child(const ExecContext& cx, const TableEntryT<B>& e,
       // Per-lane half: that color must be the joint vertex's lane color.
       const LaneMask m = cx.chi.mask_bit_eq(v, inter);
       if (m == 0) continue;
-      const auto cnt = LaneOps<B>::mul_masked(e.cnt, ce.cnt, m);
-      if (LaneOps<B>::is_zero(cnt)) continue;
+      const auto cnt = LaneSimdT<B>::mul_masked(e.cnt, ce.cnt, m);
+      if (LaneSimdT<B>::is_zero(cnt)) continue;
       TableKey key = e.key;
       key.v[1] = w;
       if (o.track_slot >= 0) key.v[o.track_slot] = w;
@@ -385,8 +453,8 @@ void kernel_node_join(const ExecContext& cx, const TableEntryT<B>& e,
       if (std::popcount(inter) != 1) continue;
       const LaneMask m = cx.chi.mask_bit_eq(x, inter);
       if (m == 0) continue;
-      const auto cnt = LaneOps<B>::mul_masked(e.cnt, ce.cnt, m);
-      if (LaneOps<B>::is_zero(cnt)) continue;
+      const auto cnt = LaneSimdT<B>::mul_masked(e.cnt, ce.cnt, m);
+      if (LaneSimdT<B>::is_zero(cnt)) continue;
       TableKey key = e.key;
       key.sig = e.key.sig | ce.key.sig;
       emit(key, cnt);
@@ -413,28 +481,10 @@ void kernel_aggregate(const ExecContext& cx, const TableEntryT<B>& e,
 template <int B = 1>
 ProjTableT<B> init_path_from_graph(const ExecContext& cx,
                                    const ExtendOpts& o) {
-  if constexpr (B == 1) {
-    AccumMapT<B> map = detail::accumulate_over<B>(
-        cx, cx.g.num_vertices(), [&](std::size_t ui, AccumMapT<B>& sink) {
-          kernel_init_from_graph<B>(
-              cx, static_cast<VertexId>(ui), o,
-              [&](const TableKey& k, Count c) { sink.add(k, c); });
-        });
-    cx.end_phase();
-    return ProjTableT<B>::from_map(2, std::move(map));
-  } else {
-    auto rows = detail::accumulate_flat<B>(
-        cx, cx.g.num_vertices(),
-        [&](std::size_t ui, std::vector<TableEntryT<B>>& sink) {
-          kernel_init_from_graph<B>(
-              cx, static_cast<VertexId>(ui), o,
-              [&](const TableKey& k, const typename LaneOps<B>::Vec& c) {
-                sink.push_back({k, c});
-              });
-        });
-    cx.end_phase();
-    return ProjTableT<B>::from_flat(2, std::move(rows));
-  }
+  return detail::accumulate_rows<B>(
+      cx, 2, cx.g.num_vertices(), [&](std::size_t ui, auto&& emit) {
+        kernel_init_from_graph<B>(cx, static_cast<VertexId>(ui), o, emit);
+      });
 }
 
 /// Initial path table from a child block's binary table. `flip` swaps the
@@ -443,32 +493,13 @@ template <int B>
 ProjTableT<B> init_path_from_child(const ExecContext& cx,
                                    const ProjTableT<B>& child, bool flip,
                                    const ExtendOpts& o) {
-  if constexpr (B == 1) {
-    const auto entries = child.entries();
-    AccumMapT<B> map = detail::accumulate_over<B>(
-        cx, entries.size(), [&](std::size_t i, AccumMapT<B>& sink) {
-          kernel_init_from_child<B>(
-              cx, entries[i], flip, o,
-              [&](const TableKey& k, Count c) { sink.add(k, c); });
-        });
-    cx.end_phase();
-    return ProjTableT<B>::from_map(2, std::move(map));
-  } else {
-    // Stored child tables may be lane-compressed: row_at expands each
-    // row's masked payload view into a dense entry on the stack.
-    auto rows = detail::accumulate_flat<B>(
-        cx, child.size(),
-        [&](std::size_t i, std::vector<TableEntryT<B>>& sink) {
-          TableEntryT<B> tmp;
-          kernel_init_from_child<B>(
-              cx, child.row_at(i, tmp), flip, o,
-              [&](const TableKey& k, const typename LaneOps<B>::Vec& c) {
-                sink.push_back({k, c});
-              });
-        });
-    cx.end_phase();
-    return ProjTableT<B>::from_flat(2, std::move(rows));
-  }
+  // Stored child tables may be compressed or narrow: row_at expands each
+  // row into a dense entry on the stack (a plain reference when dense).
+  return detail::accumulate_rows<B>(
+      cx, 2, child.size(), [&](std::size_t i, auto&& emit) {
+        TableEntryT<B> tmp;
+        kernel_init_from_child<B>(cx, child.row_at(i, tmp), flip, o, emit);
+      });
 }
 
 namespace detail {
@@ -478,120 +509,197 @@ template <int B>
 ProjTableT<B> extend_with_graph_scan(const ExecContext& cx,
                                      const ProjTableT<B>& path,
                                      const ExtendOpts& o) {
-  if constexpr (B == 1) {
-    const auto entries = path.entries();
-    AccumMapT<B> map = detail::accumulate_over<B>(
-        cx, entries.size(), [&](std::size_t i, AccumMapT<B>& sink) {
-          kernel_extend_with_graph<B>(
-              cx, entries[i], o,
-              [&](const TableKey& k, Count c) { sink.add(k, c); });
-        });
-    cx.end_phase();
-    return ProjTableT<B>::from_map(path.arity(), std::move(map));
-  } else {
-    auto rows = detail::accumulate_flat<B>(
-        cx, path.size(),
-        [&](std::size_t i, std::vector<TableEntryT<B>>& sink) {
-          TableEntryT<B> tmp;
-          kernel_extend_with_graph<B>(
-              cx, path.row_at(i, tmp), o,
-              [&](const TableKey& k, const typename LaneOps<B>::Vec& c) {
-                sink.push_back({k, c});
-              });
-        });
-    cx.end_phase();
-    return ProjTableT<B>::from_flat(path.arity(), std::move(rows));
-  }
+  return detail::accumulate_rows<B>(
+      cx, path.arity(), path.size(), [&](std::size_t i, auto&& emit) {
+        TableEntryT<B> tmp;
+        kernel_extend_with_graph<B>(cx, path.row_at(i, tmp), o, emit);
+      });
 }
 
 /// Frontier-grouped extension (B > 1): seal the path by frontier, then
 /// walk each frontier vertex's adjacency list ONCE for its whole bucket
-/// of entries, with the per-lane color groups of every neighbor computed
-/// once per (v, w) instead of once per (entry, w). Emits exactly the
-/// entry-scan kernel's rows and load-model charges — only the loop
-/// nesting (and therefore the constant factor) differs.
+/// of entries, iterating only the set bits of each entry's live-lane
+/// mask (at batch densities most rows carry one or two live lanes, so
+/// this replaces a B-wide loop per (entry, neighbor) with ~popcount
+/// iterations). Emits exactly the entry-scan kernel's rows and
+/// load-model charges — only the loop nesting (and therefore the
+/// constant factor) differs.
 template <int B>
 ProjTableT<B> extend_with_graph_grouped(const ExecContext& cx,
                                         ProjTableT<B>& path,
                                         const ExtendOpts& o) {
-  using Ops = LaneOps<B>;
   const CsrGraph& g = cx.g;
   const VertexId n = g.num_vertices();
   // The sealed path is consumed once right below: stay dense (kStream).
-  path.seal(SortOrder::kByV1, n, LaneSealHint::kStream);
+  {
+    ScopedStage timed(cx.stage_slot(&StageWall::seal));
+    path.seal(SortOrder::kByV1, n, LaneSealHint::kStream);
+  }
   cx.note_lanes(path.layout());
   if (!path.has_bucket_index()) {
     return extend_with_graph_scan<B>(cx, path, o);
   }
-  // Per-neighbor color groups, precomputed once per frontier vertex and
-  // reused by its whole bucket (thread-local so the heap allocation
-  // amortizes across buckets).
-  struct WGroup {
-    VertexId w;
-    std::uint8_t nc;
-    std::array<std::uint8_t, B> col;    // distinct lane colors of w
-    std::array<LaneMask, B> mask;       // lanes carrying each color
-    std::array<Signature, B> bit;       // 1 << col
-  };
-  thread_local std::vector<WGroup> scratch;
+  // All-16-bit streaming path: when the sealed path kept u16 narrow rows
+  // and the output key stays packable, each emission is a masked u16 row
+  // copy with the packed key rewritten in registers — no dense expansion
+  // on either side. (A signature outgrowing the packed key's 8-bit field
+  // falls back per emission; a tracked slot >= 2 disables the path.)
+  const FlatRowsT<B>* const flat = path.flat_storage();
+  const bool fast16 = flat != nullptr &&
+                      flat->mode() == FlatRowsT<B>::Mode::kU16 &&
+                      (o.track_slot == -1 || o.track_slot == 1);
 
+  const std::size_t hint = path.size();
   auto rows = detail::accumulate_flat<B>(
-      cx, n, [&](std::size_t vi, std::vector<TableEntryT<B>>& sink) {
+      cx, n, [&](std::size_t vi, FlatRowsT<B>& sink) {
         const auto v = static_cast<VertexId>(vi);
+        if (sink.empty()) sink.reserve_hint(hint);
+        if (fast16) {
+          const auto& rows16 = flat->rows_u16();
+          const auto [lo, hi] = path.group_span(1, v);
+          if (lo == hi) return;
+          cx.charge(v, std::uint64_t{g.degree(v)} * (hi - lo));
+
+          // One fused side-word per row: anchor rank in the high bits,
+          // live-lane mask in the low byte — a single sequential load in
+          // the neighbor loop instead of two.
+          thread_local std::vector<std::uint64_t> side16;
+          side16.clear();
+          side16.reserve(hi - lo);
+          for (std::size_t i = lo; i < hi; ++i) {
+            const auto& r = rows16[i];
+            LaneMask a = 0;
+            CCBT_SIMD
+            for (int l = 0; l < B; ++l) {
+              a |= static_cast<LaneMask>(r.c[l] != 0) << l;
+            }
+            const std::uint64_t rank =
+                cx.order.rank(static_cast<VertexId>(r.k >> 36));
+            side16.push_back((rank << 8) | a);
+          }
+
+          for (VertexId w : g.neighbors(v)) {
+            const std::uint64_t cw = cx.chi.colors_word(w);
+            const std::uint64_t wrank = cx.order.rank(w);
+            for (std::size_t i = lo; i < hi; ++i) {
+              const std::uint64_t side = side16[i - lo];
+              const auto a0 = static_cast<LaneMask>(side & 0xFF);
+              if (a0 == 0) continue;
+              if (o.anchor_higher && (side >> 8) <= wrank) continue;
+              const auto& r = rows16[i];
+              const auto esig = static_cast<Signature>(r.k & 0xFF);
+              const std::uint64_t kbase =
+                  (r.k & (std::uint64_t{kPacked28NoVertex} << 36)) |
+                  (std::uint64_t{w} << 8);
+              if ((a0 & (a0 - 1)) == 0) {
+                // One live lane (the common case at batch densities):
+                // one signature, one mask — skip the grouping pass.
+                const int l = std::countr_zero(static_cast<unsigned>(a0));
+                const Signature w_bit = Signature{1}
+                                        << ((cw >> (8 * l)) & 0xFF);
+                if ((esig & w_bit) != 0) continue;
+                const Signature sig = esig | w_bit;
+                if (sig <= 0xFF) [[likely]] {
+                  sink.append_masked_u16(kbase | sig, r, a0);
+                } else {
+                  TableKey key;
+                  key.v[0] = static_cast<VertexId>(r.k >> 36);
+                  key.v[1] = w;
+                  key.sig = sig;
+                  sink.append_masked(key, flat->expand(i), a0,
+                                     std::uint64_t{0xFFFF});
+                }
+                cx.send(v, w, 1);
+                continue;
+              }
+              detail::SigGroups<B> groups;
+              for (LaneMask a = a0; a != 0; a &= (a - 1)) {
+                const int l = std::countr_zero(static_cast<unsigned>(a));
+                const Signature w_bit = Signature{1}
+                                        << ((cw >> (8 * l)) & 0xFF);
+                if ((esig & w_bit) != 0) continue;
+                groups.add(esig | w_bit, l);
+              }
+              if (groups.n == 0) continue;
+              for (int gi = 0; gi < groups.n; ++gi) {
+                if (groups.sig[gi] <= 0xFF) [[likely]] {
+                  sink.append_masked_u16(kbase | groups.sig[gi], r,
+                                         groups.mask[gi]);
+                } else {
+                  // Color >= 8: the signature no longer fits the packed
+                  // key's 8-bit field.
+                  TableKey key;
+                  key.v[0] = static_cast<VertexId>(r.k >> 36);
+                  key.v[1] = w;
+                  key.sig = groups.sig[gi];
+                  sink.append_masked(key, flat->expand(i), groups.mask[gi],
+                                     std::uint64_t{0xFFFF});
+                }
+              }
+              cx.send(v, w, 1);
+            }
+          }
+          return;
+        }
         thread_local std::vector<TableEntryT<B>> bscratch;
         const auto bucket = path.group_expanded(1, v, bscratch);
         if (bucket.empty()) return;
         cx.charge(v, std::uint64_t{g.degree(v)} * bucket.size());
 
-        scratch.clear();
-        for (VertexId w : g.neighbors(v)) {
-          WGroup wg;
-          wg.w = w;
-          wg.nc = 0;
-          std::uint64_t cw = cx.chi.colors_word(w);
-          for (int l = 0; l < B; ++l, cw >>= 8) {
-            const auto c = static_cast<std::uint8_t>(cw & 0xFF);
-            int i = 0;
-            while (i < wg.nc && wg.col[i] != c) ++i;
-            if (i == wg.nc) {
-              wg.col[i] = c;
-              wg.mask[i] = 0;
-              wg.bit[i] = Signature{1} << c;
-              ++wg.nc;
-            }
-            wg.mask[i] |= LaneMask{1} << l;
-          }
-          scratch.push_back(wg);
+        // Live-lane masks, count OR-bounds, and anchor ranks, one pass
+        // per bucket; neighbors then reuse them. Neighbors are the
+        // outer loop so each neighbor's packed color word and rank are
+        // fetched once per bucket, not once per entry.
+        thread_local std::vector<LaneMask> alive;
+        thread_local std::vector<Count> ehi;
+        thread_local std::vector<std::uint32_t> erank;
+        alive.clear();
+        ehi.clear();
+        erank.clear();
+        alive.reserve(bucket.size());
+        ehi.reserve(bucket.size());
+        erank.reserve(bucket.size());
+        for (const TableEntryT<B>& e : bucket) {
+          alive.push_back(LaneSimdT<B>::nonzero_mask(e.cnt));
+          Count h = 0;
+          CCBT_SIMD
+          for (int l = 0; l < B; ++l) h |= LaneOps<B>::lane(e.cnt, l);
+          ehi.push_back(h);
+          erank.push_back(cx.order.rank(e.key.v[0]));
         }
 
-        for (const TableEntryT<B>& e : bucket) {
-          // Lanes this entry can extend at all.
-          LaneMask alive = 0;
-          for (int l = 0; l < B; ++l) {
-            alive |= static_cast<LaneMask>(Ops::lane(e.cnt, l) != 0) << l;
-          }
-          if (alive == 0) continue;
-          for (const WGroup& wg : scratch) {
-            if (o.anchor_higher && !cx.order.higher(e.key.v[0], wg.w)) {
-              continue;
+        for (VertexId w : g.neighbors(v)) {
+          const std::uint64_t cw = cx.chi.colors_word(w);
+          const std::uint32_t wrank = cx.order.rank(w);
+          for (std::size_t i = 0; i < bucket.size(); ++i) {
+            if (alive[i] == 0) continue;
+            const TableEntryT<B>& e = bucket[i];
+            if (o.anchor_higher && erank[i] <= wrank) continue;
+            detail::SigGroups<B> groups;
+            for (LaneMask a = alive[i]; a != 0; a &= (a - 1)) {
+              const int l = std::countr_zero(static_cast<unsigned>(a));
+              const Signature w_bit = Signature{1}
+                                      << ((cw >> (8 * l)) & 0xFF);
+              if ((e.key.sig & w_bit) != 0) continue;
+              groups.add(e.key.sig | w_bit, l);
             }
-            bool any = false;
-            for (int i = 0; i < wg.nc; ++i) {
-              const LaneMask m = wg.mask[i] & alive;
-              if (m == 0 || (e.key.sig & wg.bit[i]) != 0) continue;
-              TableKey key = e.key;
-              key.v[1] = wg.w;
-              if (o.track_slot >= 0) key.v[o.track_slot] = wg.w;
-              key.sig = e.key.sig | wg.bit[i];
-              sink.push_back({key, Ops::masked(e.cnt, m)});
-              any = true;
+            if (groups.n == 0) continue;
+            TableKey key = e.key;
+            key.v[1] = w;
+            if (o.track_slot >= 0) key.v[o.track_slot] = w;
+            for (int gi = 0; gi < groups.n; ++gi) {
+              key.sig = groups.sig[gi];
+              sink.append_masked(key, e.cnt, groups.mask[gi], ehi[i]);
             }
-            if (any) cx.send(v, wg.w, 1);
+            cx.send(v, w, 1);
           }
         }
       });
   cx.end_phase();
-  return ProjTableT<B>::from_flat(path.arity(), std::move(rows));
+  if (!cx.opts.lane_compress) {
+    return ProjTableT<B>::from_flat(path.arity(), rows.take_wide());
+  }
+  return ProjTableT<B>::from_packed(path.arity(), std::move(rows));
 }
 
 }  // namespace detail
@@ -623,36 +731,22 @@ template <int B>
 ProjTableT<B> extend_with_child(const ExecContext& cx, ProjTableT<B>& path,
                                 const ProjTableT<B>& child,
                                 const ExtendOpts& o) {
-  path.seal(SortOrder::kByV1, cx.g.num_vertices(), LaneSealHint::kStream);
-  cx.note_lanes(path.layout());
-  if constexpr (B == 1) {
-    const auto entries = path.entries();
-    AccumMapT<B> map = detail::accumulate_over<B>(
-        cx, entries.size(), [&](std::size_t i, AccumMapT<B>& sink) {
-          kernel_extend_with_child<B>(
-              cx, entries[i], child.group(0, entries[i].key.v[1]), o,
-              [&](const TableKey& k, Count c) { sink.add(k, c); });
-        });
-    cx.end_phase();
-    return ProjTableT<B>::from_map(path.arity(), std::move(map));
-  } else {
-    // The stored child may be lane-compressed: group_expanded unpacks the
-    // probed bucket into a thread-local scratch (no-op when dense).
-    auto rows = detail::accumulate_flat<B>(
-        cx, path.size(),
-        [&](std::size_t i, std::vector<TableEntryT<B>>& sink) {
-          TableEntryT<B> tmp;
-          thread_local std::vector<TableEntryT<B>> cscratch;
-          const TableEntryT<B>& e = path.row_at(i, tmp);
-          kernel_extend_with_child<B>(
-              cx, e, child.group_expanded(0, e.key.v[1], cscratch), o,
-              [&](const TableKey& k, const typename LaneOps<B>::Vec& c) {
-                sink.push_back({k, c});
-              });
-        });
-    cx.end_phase();
-    return ProjTableT<B>::from_flat(path.arity(), std::move(rows));
+  {
+    ScopedStage timed(cx.stage_slot(&StageWall::seal));
+    path.seal(SortOrder::kByV1, cx.g.num_vertices(), LaneSealHint::kStream);
   }
+  cx.note_lanes(path.layout());
+  // The sealed path at B > 1 may be narrow: row_at decodes on read
+  // (no-op when dense). The stored child is probed once per path row, so
+  // a compressed child is expanded once up front instead.
+  const detail::ChildProbe<B> probe(child);
+  return detail::accumulate_rows<B>(
+      cx, path.arity(), path.size(), [&](std::size_t i, auto&& emit) {
+        TableEntryT<B> tmp;
+        const TableEntryT<B>& e = path.row_at(i, tmp);
+        kernel_extend_with_child<B>(cx, e, probe.group(0, e.key.v[1]), o,
+                                    emit);
+      });
 }
 
 /// NodeJoin: multiply in a unary child at key slot `slot` (0 = anchor,
@@ -660,32 +754,14 @@ ProjTableT<B> extend_with_child(const ExecContext& cx, ProjTableT<B>& path,
 template <int B>
 ProjTableT<B> node_join(const ExecContext& cx, const ProjTableT<B>& path,
                         const ProjTableT<B>& child, int slot) {
-  if constexpr (B == 1) {
-    const auto entries = path.entries();
-    AccumMapT<B> map = detail::accumulate_over<B>(
-        cx, entries.size(), [&](std::size_t i, AccumMapT<B>& sink) {
-          kernel_node_join<B>(
-              cx, entries[i], child.group(0, entries[i].key.v[slot]), slot,
-              [&](const TableKey& k, Count c) { sink.add(k, c); });
-        });
-    cx.end_phase();
-    return ProjTableT<B>::from_map(path.arity(), std::move(map));
-  } else {
-    auto rows = detail::accumulate_flat<B>(
-        cx, path.size(),
-        [&](std::size_t i, std::vector<TableEntryT<B>>& sink) {
-          TableEntryT<B> tmp;
-          thread_local std::vector<TableEntryT<B>> cscratch;
-          const TableEntryT<B>& e = path.row_at(i, tmp);
-          kernel_node_join<B>(
-              cx, e, child.group_expanded(0, e.key.v[slot], cscratch), slot,
-              [&](const TableKey& k, const typename LaneOps<B>::Vec& c) {
-                sink.push_back({k, c});
-              });
-        });
-    cx.end_phase();
-    return ProjTableT<B>::from_flat(path.arity(), std::move(rows));
-  }
+  const detail::ChildProbe<B> probe(child);
+  return detail::accumulate_rows<B>(
+      cx, path.arity(), path.size(), [&](std::size_t i, auto&& emit) {
+        TableEntryT<B> tmp;
+        const TableEntryT<B>& e = path.row_at(i, tmp);
+        kernel_node_join<B>(cx, e, probe.group(0, e.key.v[slot]), slot,
+                            emit);
+      });
 }
 
 /// Where each output key slot of a merge comes from.
@@ -760,19 +836,44 @@ void merge_bucket(const ExecContext& cx, std::span<const TableEntryT<B>> pu,
         }
       }
     } else {
+      // Same prefilter shape as B = 1, plus a live-lane intersection:
+      // the union table holds every coloring's keys, so most pairs that
+      // pass the signature half (halves may share exactly the two
+      // endpoint colors) live in disjoint lanes and can never multiply
+      // to a nonzero row. Both halves are branchless, so run them
+      // simd-hinted over the minus subgroup and walk only survivors.
+      thread_local std::vector<std::uint8_t> compat;
+      thread_local std::vector<LaneMask> malive;
+      const std::size_t mcount = mj - mi;
+      if (compat.size() < mcount) compat.resize(mcount);
+      if (malive.size() < mcount) malive.resize(mcount);
+      std::uint8_t* const ok = compat.data();
+      LaneMask* const ma = malive.data();
+      const TableEntryT<B>* const mb = mu.data() + mi;
+      for (std::size_t t = 0; t < mcount; ++t) {
+        ma[t] = LaneSimdT<B>::nonzero_mask(mb[t].cnt);
+      }
       for (std::size_t a = pi; a < pj; ++a) {
         const TableEntryT<B>& pa = pu[a];
         const Signature asig = pa.key.sig;
-        for (std::size_t b = mi; b < mj; ++b) {
-          // Lane-independent half: the halves may share exactly the two
-          // endpoint colors.
+        const LaneMask palive = LaneSimdT<B>::nonzero_mask(pa.cnt);
+        if (palive == 0) continue;
+        CCBT_SIMD
+        for (std::size_t t = 0; t < mcount; ++t) {
+          ok[t] = static_cast<std::uint8_t>(
+              (std::popcount(asig & mb[t].key.sig) == 2) &
+              ((ma[t] & palive) != 0));
+        }
+        for (std::size_t t = 0; t < mcount; ++t) {
+          if (!ok[t]) continue;
+          const std::size_t b = mi + t;
           const Signature inter = asig & mu[b].key.sig;
-          if (std::popcount(inter) != 2) continue;
           // Per-lane half: those colors must be {χ_l(u), χ_l(v)}.
-          const LaneMask m = cx.chi.mask_pair_eq(u, v, inter);
+          const LaneMask m =
+              cx.chi.mask_pair_eq(u, v, inter) & (ma[t] & palive);
           if (m == 0) continue;
-          const auto cnt = LaneOps<B>::mul_masked(pa.cnt, mu[b].cnt, m);
-          if (LaneOps<B>::is_zero(cnt)) continue;
+          const auto cnt = LaneSimdT<B>::mul_masked(pa.cnt, mu[b].cnt, m);
+          if (LaneSimdT<B>::is_zero(cnt)) continue;
           TableKey key;
           for (int s = 0; s < spec.out_arity; ++s) {
             const MergeOut& src = spec.out[s];
@@ -799,17 +900,22 @@ void merge_halves(const ExecContext& cx, ProjTableT<B>& plus,
   using Vec = typename LaneOps<B>::Vec;
   const VertexId n = cx.g.num_vertices();
   // Both halves are consumed by this one merge: stay dense (kStream).
-  plus.seal(SortOrder::kByV0V1, n, LaneSealHint::kStream);
-  minus.seal(SortOrder::kByV0V1, n, LaneSealHint::kStream);
+  {
+    ScopedStage timed(cx.stage_slot(&StageWall::seal));
+    plus.seal(SortOrder::kByV0V1, n, LaneSealHint::kStream);
+    minus.seal(SortOrder::kByV0V1, n, LaneSealHint::kStream);
+  }
   cx.note_lanes(plus.layout());
   cx.note_lanes(minus.layout());
-  const auto pe = plus.entries();
-  const auto me = minus.entries();
+  ScopedStage timed_merge(cx.stage_slot(&StageWall::merge));
 
   if (plus.has_bucket_index() && minus.has_bucket_index()) {
+    // Narrow-sealed halves are consumed through group_expanded, which
+    // decodes each slot-0 bucket into a scratch (a raw subspan when
+    // dense, so B = 1 and dense tables pay nothing).
 #ifdef _OPENMP
     if (cx.opts.use_threads && detail::pool_threads() > 1 &&
-        pe.size() + me.size() > 4096) {
+        plus.size() + minus.size() > 4096) {
       // Slot-0 buckets are independent: each thread merges whole buckets
       // into a private sink; the sinks reduce into `sink` afterwards.
       const int threads = detail::pool_threads();
@@ -825,9 +931,10 @@ void merge_halves(const ExecContext& cx, ProjTableT<B>& plus,
 #pragma omp for schedule(dynamic, 256)
         for (VertexId u = 0; u < n; ++u) {
           if (budget_hit.load(std::memory_order_relaxed)) continue;
-          const auto pu = plus.group(0, u);
+          thread_local std::vector<TableEntryT<B>> pscratch, mscratch;
+          const auto pu = plus.group_expanded(0, u, pscratch);
           if (pu.empty()) continue;
-          const auto mu = minus.group(0, u);
+          const auto mu = minus.group_expanded(0, u, mscratch);
           if (mu.empty()) continue;
           merge_bucket<B>(
               cx, pu, mu, spec,
@@ -852,10 +959,11 @@ void merge_halves(const ExecContext& cx, ProjTableT<B>& plus,
       return;
     }
 #endif
+    std::vector<TableEntryT<B>> pscratch, mscratch;
     for (VertexId u = 0; u < n; ++u) {
-      const auto pu = plus.group(0, u);
+      const auto pu = plus.group_expanded(0, u, pscratch);
       if (pu.empty()) continue;
-      const auto mu = minus.group(0, u);
+      const auto mu = minus.group_expanded(0, u, mscratch);
       if (mu.empty()) continue;
       merge_bucket<B>(cx, pu, mu, spec,
                       [&](const TableKey& k, const Vec& c) { sink.add(k, c); });
@@ -866,6 +974,10 @@ void merge_halves(const ExecContext& cx, ProjTableT<B>& plus,
   }
 
   // No bucket index (out-of-domain keys): whole-table two-pointer merge.
+  // An index-less seal always leaves the rows dense (the narrow seal
+  // falls back), so the raw spans are valid here.
+  const auto pe = plus.entries();
+  const auto me = minus.entries();
   auto uv_less = [](const TableEntryT<B>& a, const TableEntryT<B>& b) {
     return a.key.v[0] != b.key.v[0] ? a.key.v[0] < b.key.v[0]
                                     : a.key.v[1] < b.key.v[1];

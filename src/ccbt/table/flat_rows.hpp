@@ -1,0 +1,676 @@
+#pragma once
+// Narrow flat accumulation rows — the batched (B > 1) hot-path sink.
+//
+// The graph-driven primitives emit rows without hashing and let the
+// table's sorting seal consolidate duplicates. Before this layout the
+// sink was a vector of dense TableEntryT<B> (88 bytes at B = 8), so the
+// seal's counting partition, per-bucket sorts and merge pass all hauled
+// 88-byte rows — the measured reason a batched execution lost wall clock
+// to B = 1. A narrow flat row is the packed 64-bit key (table_key.hpp:
+// v0:28 | v1:28 | sig:8) plus all B lane counts at the narrowest width
+// that holds them:
+//
+//   u16: 8 + 2B bytes   (24 at B = 8 — 3.7x less sort traffic)
+//   u32: 8 + 4B bytes   (40 at B = 8)
+//
+// The width escalates for the whole buffer the first time a count
+// outgrows it (u16 -> u32), and the sink migrates to dense wide rows on
+// the first unpackable key or u64-range count — the engine's correctness
+// never depends on staying narrow. Because the packed key is ordered as
+// (v0, v1, sig) and narrow keys never use slots 2-3, a raw u64 compare
+// reproduces the projection table's comparators exactly: partitioning by
+// a slot's bit field and sorting buckets by k gives the same row order
+// the dense seal produces, and equal-k runs are exactly equal-TableKey
+// runs. Run sums during the merge pass are computed in 64-bit, so the
+// deduped counts are bit-identical to the dense path's.
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "ccbt/table/lane_payload.hpp"
+#include "ccbt/table/table_key.hpp"
+
+namespace ccbt {
+
+/// One narrow flat row: packed key + all B lane counts at width W.
+template <int B, typename W>
+struct PackedFlatRowT {
+  std::uint64_t k = 0;
+  std::array<W, B> c{};
+};
+
+/// What one run-merged scan of sorted narrow rows observed (the seal's
+/// layout-chooser inputs). Computed over equal-key runs, so it describes
+/// the table *after* dedup even when called before it.
+struct FlatStats {
+  std::uint64_t rows = 0;            // distinct keys
+  std::uint64_t lanes_occupied = 0;  // nonzero lanes over merged rows
+  Count max_count = 0;               // largest merged lane count
+};
+
+template <int B>
+class FlatRowsT {
+ public:
+  using Vec = typename LaneOps<B>::Vec;
+  using Entry = TableEntryT<B>;
+
+  /// Active row representation; ordered so std::max picks the wider one.
+  enum class Mode : std::uint8_t { kU16 = 0, kU32 = 1, kWide = 2 };
+
+  FlatRowsT() = default;
+
+  std::size_t size() const {
+    switch (mode_) {
+      case Mode::kU16: return n16_.size();
+      case Mode::kU32: return n32_.size();
+      case Mode::kWide: break;
+    }
+    return wide_.size();
+  }
+  bool empty() const { return size() == 0; }
+  Mode mode() const { return mode_; }
+  bool narrow() const { return mode_ != Mode::kWide; }
+
+  /// Raw u16 rows (valid only while mode() == kU16). The extend fast
+  /// path iterates these directly so sealed u16 tables stream into u16
+  /// sinks without a dense round trip.
+  const std::vector<PackedFlatRowT<B, std::uint16_t>>& rows_u16() const {
+    return n16_;
+  }
+
+  /// Pre-size the current row buffer (a lower-bound emission estimate
+  /// from the producer saves the doubling-growth copies).
+  void reserve_hint(std::size_t n) {
+    switch (mode_) {
+      case Mode::kU16: n16_.reserve(n); return;
+      case Mode::kU32: n32_.reserve(n); return;
+      case Mode::kWide: break;
+    }
+    wide_.reserve(n);
+  }
+
+  /// Payload width of the narrow modes (kU64 when wide).
+  PayloadWidth width() const {
+    switch (mode_) {
+      case Mode::kU16: return PayloadWidth::kU16;
+      case Mode::kU32: return PayloadWidth::kU32;
+      case Mode::kWide: break;
+    }
+    return PayloadWidth::kU64;
+  }
+
+  /// Bytes the rows occupy in the current representation.
+  std::uint64_t byte_size() const {
+    switch (mode_) {
+      case Mode::kU16: return n16_.size() * sizeof(n16_[0]);
+      case Mode::kU32: return n32_.size() * sizeof(n32_[0]);
+      case Mode::kWide: break;
+    }
+    return wide_.size() * sizeof(Entry);
+  }
+
+  /// Append one emitted row. Escalates the buffer width when a count
+  /// outgrows it; migrates the whole buffer to wide rows on the first
+  /// unpackable key or u64-range count.
+  ///
+  /// Duplicate keys re-emitted while still hot in the combining cache
+  /// (joins emit them in bursts: sibling child entries collapsing to one
+  /// signature, entries of one frontier bucket sharing an anchor) are
+  /// summed into their existing row instead of growing the sort input —
+  /// the measured duplicate factor of the Fig 15 workload is 1.3-1.8x.
+  /// Sums are exact u64 adds, so seal-time counts are unchanged.
+  void append(const TableKey& key, const Vec& cnt) {
+    if (mode_ != Mode::kWide && packable_key(key)) {
+      // OR of the lanes bounds the max: any count above the width has a
+      // high bit the OR keeps.
+      Count hi = 0;
+      for (int l = 0; l < B; ++l) hi |= LaneOps<B>::lane(cnt, l);
+      const std::uint64_t k = pack_key(key);
+      if (combine_.empty()) combine_.resize(kCombineSlots);
+      CombineSlot& slot = combine_[combine_hash(k)];
+      if (mode_ == Mode::kU16) {
+        if (slot.k == k && slot.idx < n16_.size() && n16_[slot.idx].k == k &&
+            combine(n16_[slot.idx], cnt, std::uint64_t{0xFFFF})) {
+          return;
+        }
+        if (hi <= 0xFFFFull) {
+          slot.k = k;
+          slot.idx = static_cast<std::uint32_t>(n16_.size());
+          push(n16_, k, cnt);
+          return;
+        }
+        if (hi <= 0xFFFFFFFFull) to_u32();
+      }
+      if (mode_ == Mode::kU32) {
+        if (slot.k == k && slot.idx < n32_.size() && n32_[slot.idx].k == k &&
+            combine(n32_[slot.idx], cnt, std::uint64_t{0xFFFFFFFF})) {
+          return;
+        }
+        if (hi <= 0xFFFFFFFFull) {
+          slot.k = k;
+          slot.idx = static_cast<std::uint32_t>(n32_.size());
+          push(n32_, k, cnt);
+          return;
+        }
+      }
+    }
+    to_wide();
+    wide_.push_back({key, cnt});
+  }
+
+  /// Append one emission that is `src` restricted to the lanes of `m`
+  /// (zeros elsewhere), without materializing the dense masked vector —
+  /// the extend hot loop emits several masked subsets of one source row.
+  /// `src_hi` is the OR of ALL of src's lanes, computed once per source
+  /// row by the caller: when it fits the current width every masked
+  /// subset does too and the per-emission reduce is skipped; otherwise
+  /// the exact masked OR decides (so one oversized-but-masked-off lane
+  /// never escalates the buffer).
+  void append_masked(const TableKey& key, const Vec& src, LaneMask m,
+                     Count src_hi) {
+    if (mode_ != Mode::kWide && packable_key(key)) {
+      Count hi = src_hi;
+      if ((mode_ == Mode::kU16 && hi > 0xFFFFull) ||
+          (mode_ == Mode::kU32 && hi > 0xFFFFFFFFull)) {
+        hi = masked_or(src, m);
+      }
+      const std::uint64_t k = pack_key(key);
+      if (combine_.empty()) combine_.resize(kCombineSlots);
+      CombineSlot& slot = combine_[combine_hash(k)];
+      if (mode_ == Mode::kU16) {
+        if (slot.k == k && slot.idx < n16_.size() && n16_[slot.idx].k == k &&
+            combine_masked(n16_[slot.idx], src, m, std::uint64_t{0xFFFF})) {
+          return;
+        }
+        if (hi <= 0xFFFFull) {
+          slot.k = k;
+          slot.idx = static_cast<std::uint32_t>(n16_.size());
+          push_masked(n16_, k, src, m);
+          return;
+        }
+        if (hi <= 0xFFFFFFFFull) to_u32();
+      }
+      if (mode_ == Mode::kU32) {
+        if (slot.k == k && slot.idx < n32_.size() && n32_[slot.idx].k == k &&
+            combine_masked(n32_[slot.idx], src, m,
+                           std::uint64_t{0xFFFFFFFF})) {
+          return;
+        }
+        if (hi <= 0xFFFFFFFFull) {
+          slot.k = k;
+          slot.idx = static_cast<std::uint32_t>(n32_.size());
+          push_masked(n32_, k, src, m);
+          return;
+        }
+      }
+    }
+    to_wide();
+    wide_.push_back({key, LaneOps<B>::masked(src, m)});
+  }
+
+  /// Append a masked copy of a u16 source row under a caller-packed key
+  /// — the all-16-bit extend hot path. A masked subset of u16 counts
+  /// always fits u16, so there is no width decision at all while the
+  /// sink is still in u16 mode; only a combining-cache sum can overflow,
+  /// and that falls through to a duplicate push (merged at seal).
+  void append_masked_u16(std::uint64_t k,
+                         const PackedFlatRowT<B, std::uint16_t>& src,
+                         LaneMask m) {
+    if (mode_ == Mode::kU16) [[likely]] {
+      if (combine_.empty()) combine_.resize(kCombineSlots);
+      CombineSlot& slot = combine_[combine_hash(k)];
+      if (slot.k == k && slot.idx < n16_.size() && n16_[slot.idx].k == k) {
+        std::array<std::uint32_t, B> sum;
+        std::uint32_t hi = 0;
+        CCBT_SIMD
+        for (int l = 0; l < B; ++l) {
+          sum[l] = static_cast<std::uint32_t>(n16_[slot.idx].c[l]) +
+                   (((m >> l) & 1) != 0 ? src.c[l] : std::uint16_t{0});
+          hi |= sum[l];
+        }
+        if (hi <= 0xFFFFu) {
+          CCBT_SIMD
+          for (int l = 0; l < B; ++l) {
+            n16_[slot.idx].c[l] = static_cast<std::uint16_t>(sum[l]);
+          }
+          return;
+        }
+      }
+      slot.k = k;
+      slot.idx = static_cast<std::uint32_t>(n16_.size());
+      PackedFlatRowT<B, std::uint16_t> r;
+      r.k = k;
+      CCBT_SIMD
+      for (int l = 0; l < B; ++l) {
+        r.c[l] = ((m >> l) & 1) != 0 ? src.c[l] : std::uint16_t{0};
+      }
+      n16_.push_back(r);
+      return;
+    }
+    // Escalated mid-phase by interleaved generic appends: expand the
+    // source row and take the generic path.
+    append_masked(unpack_key(k), expand_counts(src), m,
+                  std::uint64_t{0xFFFF});
+  }
+
+  TableKey key_at(std::size_t i) const {
+    switch (mode_) {
+      case Mode::kU16: return unpack_key(n16_[i].k);
+      case Mode::kU32: return unpack_key(n32_[i].k);
+      case Mode::kWide: break;
+    }
+    return wide_[i].key;
+  }
+
+  Vec expand(std::size_t i) const {
+    switch (mode_) {
+      case Mode::kU16: return expand_counts(n16_[i]);
+      case Mode::kU32: return expand_counts(n32_[i]);
+      case Mode::kWide: break;
+    }
+    return wide_[i].cnt;
+  }
+
+  /// Row i as a dense entry, written into `out`.
+  void row(std::size_t i, Entry& out) const {
+    switch (mode_) {
+      case Mode::kU16:
+        out.key = unpack_key(n16_[i].k);
+        out.cnt = expand_counts(n16_[i]);
+        return;
+      case Mode::kU32:
+        out.key = unpack_key(n32_[i].k);
+        out.cnt = expand_counts(n32_[i]);
+        return;
+      case Mode::kWide: break;
+    }
+    out = wide_[i];
+  }
+
+  /// Merge another sink's rows (the per-thread reduction): both are
+  /// raised to the wider representation, then concatenated.
+  void absorb(FlatRowsT&& o) {
+    if (o.empty()) return;
+    if (empty()) {
+      *this = std::move(o);
+      return;
+    }
+    const Mode m = std::max(mode_, o.mode_);
+    raise_to(m);
+    o.raise_to(m);
+    switch (m) {
+      case Mode::kU16:
+        n16_.insert(n16_.end(), o.n16_.begin(), o.n16_.end());
+        break;
+      case Mode::kU32:
+        n32_.insert(n32_.end(), o.n32_.begin(), o.n32_.end());
+        break;
+      case Mode::kWide:
+        wide_.insert(wide_.end(), std::make_move_iterator(o.wide_.begin()),
+                     std::make_move_iterator(o.wide_.end()));
+        break;
+    }
+    o.clear();
+  }
+
+  /// Convert to dense wide rows (in current order) and hand them over.
+  std::vector<Entry> take_wide() {
+    to_wide();
+    std::vector<Entry> out = std::move(wide_);
+    clear();
+    return out;
+  }
+
+  // ------------------------------------------------------------- sealing
+
+  /// Stable counting partition by the packed key's `slot` bit field over
+  /// [0, domain), then sort each bucket by the raw packed key — the same
+  /// row order the dense seal's comparators produce. Returns false (rows
+  /// untouched) when a slot value falls outside [0, domain) — including
+  /// kNoVertex, whose packed pattern is the all-ones field — or when the
+  /// rows are wide; the caller falls back to the dense path.
+  bool sort_by_slot(int slot, VertexId domain) {
+    drop_combine();
+    switch (mode_) {
+      case Mode::kU16: return sort_impl(n16_, slot, domain);
+      case Mode::kU32: return sort_impl(n32_, slot, domain);
+      case Mode::kWide: break;
+    }
+    return false;
+  }
+
+  /// Run-merged stats over sorted rows (each equal-key run counted once,
+  /// with its lane sums). Precondition: sorted by full key.
+  FlatStats scan() const {
+    switch (mode_) {
+      case Mode::kU16: return scan_impl(n16_);
+      case Mode::kU32: return scan_impl(n32_);
+      case Mode::kWide: break;
+    }
+    return scan_wide();
+  }
+
+  /// Sum runs of equal keys in place (after sort_by_slot). Run sums are
+  /// 64-bit, so merged counts match the dense merge bit for bit; the
+  /// buffer escalates to the width the merged maximum needs first (wide
+  /// in the u64 case — check narrow() afterwards). Returns the scan the
+  /// escalation decision was made from.
+  FlatStats merge_duplicates() {
+    drop_combine();
+    const FlatStats st = scan();
+    const PayloadWidth want = choose_payload_width(st.max_count);
+    if (mode_ == Mode::kU16 && want != PayloadWidth::kU16) {
+      if (want == PayloadWidth::kU32) {
+        to_u32();
+      } else {
+        to_wide();
+      }
+    } else if (mode_ == Mode::kU32 && want == PayloadWidth::kU64) {
+      to_wide();
+    }
+    switch (mode_) {
+      case Mode::kU16: merge_impl(n16_); return st;
+      case Mode::kU32: merge_impl(n32_); return st;
+      case Mode::kWide: break;
+    }
+    merge_wide();
+    return st;
+  }
+
+  void clear() {
+    n16_.clear();
+    n16_.shrink_to_fit();
+    n32_.clear();
+    n32_.shrink_to_fit();
+    wide_.clear();
+    wide_.shrink_to_fit();
+    drop_combine();
+    mode_ = Mode::kU16;
+  }
+
+  /// Release the combining cache (sealed tables must not carry it).
+  void drop_combine() {
+    combine_.clear();
+    combine_.shrink_to_fit();
+  }
+
+ private:
+  /// Direct-mapped combining cache: packed key -> row index of its last
+  /// appearance. 32K slots (384 KiB) — bigger than the emission bursts
+  /// that produce duplicates, small enough to stay L2-resident. Dropped
+  /// at seal time; a stale or colliding slot is only ever a missed merge.
+  struct CombineSlot {
+    std::uint64_t k = ~std::uint64_t{0};
+    std::uint32_t idx = 0;
+  };
+  static constexpr int kCombineBits = 15;
+  static constexpr std::size_t kCombineSlots = std::size_t{1}
+                                               << kCombineBits;
+
+  static std::size_t combine_hash(std::uint64_t k) {
+    return (k * 0x9E3779B97F4A7C15ull) >> (64 - kCombineBits);
+  }
+
+  /// OR of the lanes of `src` selected by `m` (bounds their max).
+  static Count masked_or(const Vec& src, LaneMask m) {
+    Count hi = 0;
+    CCBT_SIMD
+    for (int l = 0; l < B; ++l) {
+      hi |= ((m >> l) & 1) != 0 ? LaneOps<B>::lane(src, l) : Count{0};
+    }
+    return hi;
+  }
+
+  template <typename W>
+  void push_masked(std::vector<PackedFlatRowT<B, W>>& rows, std::uint64_t k,
+                   const Vec& src, LaneMask m) {
+    PackedFlatRowT<B, W> r;
+    r.k = k;
+    CCBT_SIMD
+    for (int l = 0; l < B; ++l) {
+      r.c[l] = static_cast<W>(((m >> l) & 1) != 0 ? LaneOps<B>::lane(src, l)
+                                                  : Count{0});
+    }
+    rows.push_back(r);
+  }
+
+  /// combine() for a masked source: sums only the lanes of `m`.
+  template <typename W>
+  static bool combine_masked(PackedFlatRowT<B, W>& r, const Vec& src,
+                             LaneMask m, std::uint64_t cap) {
+    std::array<Count, B> sum;
+    Count hi = 0;
+    CCBT_SIMD
+    for (int l = 0; l < B; ++l) {
+      sum[l] = r.c[l] + (((m >> l) & 1) != 0 ? LaneOps<B>::lane(src, l)
+                                             : Count{0});
+      hi |= sum[l];
+    }
+    if (hi > cap) return false;
+    CCBT_SIMD
+    for (int l = 0; l < B; ++l) r.c[l] = static_cast<W>(sum[l]);
+    return true;
+  }
+
+  /// Sum `cnt` into an existing narrow row if every merged lane still
+  /// fits the row's width; leaves the row untouched (caller appends a
+  /// duplicate, merged at seal) otherwise.
+  template <typename W>
+  static bool combine(PackedFlatRowT<B, W>& r, const Vec& cnt,
+                      std::uint64_t cap) {
+    std::array<Count, B> sum;
+    Count hi = 0;
+    CCBT_SIMD
+    for (int l = 0; l < B; ++l) {
+      sum[l] = r.c[l] + LaneOps<B>::lane(cnt, l);
+      hi |= sum[l];
+    }
+    if (hi > cap) return false;
+    CCBT_SIMD
+    for (int l = 0; l < B; ++l) r.c[l] = static_cast<W>(sum[l]);
+    return true;
+  }
+
+  template <typename W>
+  static void push(std::vector<PackedFlatRowT<B, W>>& rows, std::uint64_t k,
+                   const Vec& cnt) {
+    PackedFlatRowT<B, W> r;
+    r.k = k;
+    CCBT_SIMD
+    for (int l = 0; l < B; ++l) {
+      r.c[l] = static_cast<W>(LaneOps<B>::lane(cnt, l));
+    }
+    rows.push_back(r);
+  }
+
+  template <typename W>
+  static Vec expand_counts(const PackedFlatRowT<B, W>& r) {
+    Vec v = LaneOps<B>::zero();
+    CCBT_SIMD
+    for (int l = 0; l < B; ++l) {
+      LaneOps<B>::set_lane(v, l, r.c[l]);
+    }
+    return v;
+  }
+
+  void to_u32() {
+    n32_.resize(n16_.size());
+    for (std::size_t i = 0; i < n16_.size(); ++i) {
+      n32_[i].k = n16_[i].k;
+      CCBT_SIMD
+      for (int l = 0; l < B; ++l) n32_[i].c[l] = n16_[i].c[l];
+    }
+    n16_.clear();
+    n16_.shrink_to_fit();
+    mode_ = Mode::kU32;
+  }
+
+  void to_wide() {
+    if (mode_ == Mode::kWide) return;
+    const std::size_t n = size();
+    const std::size_t at = wide_.size();
+    wide_.resize(at + n);
+    for (std::size_t i = 0; i < n; ++i) row(i, wide_[at + i]);
+    n16_.clear();
+    n16_.shrink_to_fit();
+    n32_.clear();
+    n32_.shrink_to_fit();
+    mode_ = Mode::kWide;
+  }
+
+  void raise_to(Mode m) {
+    if (mode_ >= m) return;
+    if (m == Mode::kU32) {
+      to_u32();
+    } else {
+      to_wide();
+    }
+  }
+
+  /// The slot's bit field of a packed key (28 bits; kNoVertex packs to
+  /// the all-ones pattern, which any real domain excludes).
+  static std::uint32_t slot_bits(std::uint64_t k, int slot) {
+    return static_cast<std::uint32_t>(k >> (slot == 0 ? 36 : 8)) &
+           kPacked28NoVertex;
+  }
+
+  template <typename W>
+  static bool sort_impl(std::vector<PackedFlatRowT<B, W>>& rows, int slot,
+                        VertexId domain) {
+    using Row = PackedFlatRowT<B, W>;
+    const std::size_t n = rows.size();
+    std::vector<std::uint32_t> off(static_cast<std::size_t>(domain) + 1, 0);
+    for (const Row& r : rows) {
+      const std::uint32_t v = slot_bits(r.k, slot);
+      if (v >= domain) return false;
+      ++off[v + 1];
+    }
+    for (std::size_t v = 1; v <= domain; ++v) off[v] += off[v - 1];
+    // Scatter buffer reused across seals (swapped, not stolen, so both
+    // buffers keep cycling); rows are only ever fully overwritten, so
+    // the growth zero-fill is the one init cost it ever pays.
+    thread_local std::vector<Row> sorted;
+    if (sorted.capacity() > 2 * n + 1024) {
+      sorted.clear();
+      sorted.shrink_to_fit();
+    }
+    sorted.resize(n);
+    {
+      std::vector<std::uint32_t> cursor(off.begin(), off.end() - 1);
+      for (const Row& r : rows) sorted[cursor[slot_bits(r.k, slot)]++] = r;
+    }
+    rows.swap(sorted);
+    // With the slot's field fixed inside a bucket, raw-k order is the
+    // dense seal's tail comparator (narrow keys never use slots 2-3).
+    // Equal keys are about to be merged, so an unstable sort suffices.
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic, 1024) if (n > (1u << 15))
+#endif
+    for (std::size_t v = 0; v < domain; ++v) {
+      const std::uint32_t lo = off[v];
+      const std::uint32_t hi = off[v + 1];
+      if (hi - lo > 1) {
+        std::sort(rows.begin() + lo, rows.begin() + hi,
+                  [](const Row& a, const Row& b) { return a.k < b.k; });
+      }
+    }
+    return true;
+  }
+
+  template <typename W>
+  static FlatStats scan_impl(const std::vector<PackedFlatRowT<B, W>>& rows) {
+    FlatStats st;
+    const std::size_t n = rows.size();
+    std::size_t i = 0;
+    while (i < n) {
+      const std::uint64_t k = rows[i].k;
+      std::array<Count, B> sum{};
+      do {
+        CCBT_SIMD
+        for (int l = 0; l < B; ++l) sum[l] += rows[i].c[l];
+        ++i;
+      } while (i < n && rows[i].k == k);
+      ++st.rows;
+      for (int l = 0; l < B; ++l) {
+        st.lanes_occupied += (sum[l] != 0);
+        if (sum[l] > st.max_count) st.max_count = sum[l];
+      }
+    }
+    return st;
+  }
+
+  FlatStats scan_wide() const {
+    FlatStats st;
+    const std::size_t n = wide_.size();
+    std::size_t i = 0;
+    while (i < n) {
+      const TableKey& k = wide_[i].key;
+      auto sum = LaneOps<B>::zero();
+      do {
+        LaneOps<B>::add(sum, wide_[i].cnt);
+        ++i;
+      } while (i < n && wide_[i].key == k);
+      ++st.rows;
+      for (int l = 0; l < B; ++l) {
+        const Count c = LaneOps<B>::lane(sum, l);
+        st.lanes_occupied += (c != 0);
+        if (c > st.max_count) st.max_count = c;
+      }
+    }
+    return st;
+  }
+
+  template <typename W>
+  static void merge_impl(std::vector<PackedFlatRowT<B, W>>& rows) {
+    const std::size_t n = rows.size();
+    std::size_t w = 0;
+    std::size_t i = 0;
+    while (i < n) {
+      const std::uint64_t k = rows[i].k;
+      std::array<Count, B> sum{};
+      do {
+        CCBT_SIMD
+        for (int l = 0; l < B; ++l) sum[l] += rows[i].c[l];
+        ++i;
+      } while (i < n && rows[i].k == k);
+      auto& out = rows[w++];
+      out.k = k;
+      CCBT_SIMD
+      for (int l = 0; l < B; ++l) out.c[l] = static_cast<W>(sum[l]);
+    }
+    rows.resize(w);
+  }
+
+  void merge_wide() {
+    const std::size_t n = wide_.size();
+    std::size_t w = 0;
+    std::size_t i = 0;
+    while (i < n) {
+      Entry acc = wide_[i];
+      std::size_t j = i + 1;
+      while (j < n && wide_[j].key == acc.key) {
+        LaneOps<B>::add(acc.cnt, wide_[j].cnt);
+        ++j;
+      }
+      wide_[w++] = acc;
+      i = j;
+    }
+    wide_.resize(w);
+  }
+
+  Mode mode_ = Mode::kU16;
+  std::vector<PackedFlatRowT<B, std::uint16_t>> n16_;
+  std::vector<PackedFlatRowT<B, std::uint32_t>> n32_;
+  std::vector<Entry> wide_;
+  std::vector<CombineSlot> combine_;
+};
+
+}  // namespace ccbt

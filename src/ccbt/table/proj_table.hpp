@@ -25,6 +25,16 @@
 // layout-independent accessors (row_at, for_each_entry, group_expanded),
 // which expand compressed rows on the fly. B = 1 never re-packs: the
 // scalar table keeps the pre-batching layout bit for bit.
+//
+// Tables built from the batched engine's narrow flat sink (from_packed,
+// flat_rows.hpp) add a third layout: rows stay as (packed u64 key,
+// narrow count vector) straight through the sorting seal — the counting
+// partition, per-bucket sorts and dedup merge all move 24-byte rows
+// instead of 88-byte dense entries — and, for kStream consumers, remain
+// in that layout afterwards, read through the same layout-independent
+// accessors. The dense fallback (unpackable keys, u64-range counts, or
+// no usable bucket-index domain) is automatic and changes no observable
+// counts.
 
 #include <algorithm>
 #include <cstdint>
@@ -37,7 +47,9 @@
 #endif
 
 #include "ccbt/table/accum_map.hpp"
+#include "ccbt/table/flat_rows.hpp"
 #include "ccbt/table/lane_payload.hpp"
+#include "ccbt/table/lane_simd.hpp"
 #include "ccbt/table/table_key.hpp"
 #include "ccbt/util/error.hpp"
 
@@ -138,22 +150,44 @@ class ProjTableT {
     return t;
   }
 
+  /// Adopt the batched engine's narrow flat sink (see from_flat for the
+  /// duplicate-key semantics): narrow rows stay packed through the
+  /// sorting seal instead of widening to dense entries first. A sink
+  /// that migrated to wide rows (unpackable keys / u64-range counts)
+  /// degrades to the from_flat dense path.
+  static ProjTableT from_packed(int arity, FlatRowsT<B>&& rows) {
+    ProjTableT t(arity);
+    if (rows.empty()) return t;
+    t.dedup_pending_ = true;
+    if (rows.narrow()) {
+      t.pflat_ = std::move(rows);
+      t.packed_flat_ = true;
+    } else {
+      t.entries_ = rows.take_wide();
+    }
+    return t;
+  }
+
   /// Whether rows with duplicate keys may still be present (cleared by
   /// the first sorting seal).
   bool dedup_pending() const { return dedup_pending_; }
 
   int arity() const { return arity_; }
   std::size_t size() const {
+    if (packed_flat_) return pflat_.size();
     return lane_compressed_ ? ckeys_.size() : entries_.size();
   }
   bool empty() const { return size() == 0; }
 
-  /// Dense row span — the fast path every B = 1 consumer and every
-  /// freshly built or kStream-sealed table uses. Throws when the table
-  /// was re-packed (use the layout-independent accessors below).
+  /// Dense row span — the fast path every B = 1 consumer uses. Throws
+  /// when the rows live in a compressed layout (use the
+  /// layout-independent accessors below).
   std::span<const Entry> entries() const {
     if (lane_compressed_) {
       throw Error("ProjTable::entries(): table is lane-compressed");
+    }
+    if (packed_flat_) {
+      throw Error("ProjTable::entries(): table is in the narrow flat layout");
     }
     return entries_;
   }
@@ -163,18 +197,34 @@ class ProjTableT {
   /// Whether rows live in the lane-compressed layout.
   bool lane_compressed() const { return lane_compressed_; }
 
+  /// Whether rows live in the narrow flat layout (from_packed tables,
+  /// before and — for kStream seals — after sealing).
+  bool packed_flat() const { return packed_flat_; }
+
+  /// The narrow flat storage itself, or nullptr in the other layouts.
+  /// The extend fast path streams a sealed u16 table's raw rows into a
+  /// u16 sink without expanding them to dense entries.
+  const FlatRowsT<B>* flat_storage() const {
+    return packed_flat_ ? &pflat_ : nullptr;
+  }
+
   /// What the last sorting seal's density scan observed (rows == 0 when
   /// never scanned; B = 1 tables are never scanned).
   const LaneLayoutInfo& layout() const { return layout_; }
 
-  const TableKey& key_at(std::size_t i) const {
+  TableKey key_at(std::size_t i) const {
+    if (packed_flat_) return pflat_.key_at(i);
     return lane_compressed_ ? ckeys_[i] : entries_[i].key;
   }
 
   /// Row i as a dense entry: a reference into the table when dense, a
-  /// reference to `tmp` (filled by expanding the packed payload) when
-  /// compressed.
+  /// reference to `tmp` (filled by expanding the packed row) when
+  /// compressed or narrow.
   const Entry& row_at(std::size_t i, Entry& tmp) const {
+    if (packed_flat_) {
+      pflat_.row(i, tmp);
+      return tmp;
+    }
     if (!lane_compressed_) return entries_[i];
     tmp.key = ckeys_[i];
     tmp.cnt = payload_.expand(i);
@@ -189,6 +239,14 @@ class ProjTableT {
   /// Visit every row as a dense entry, in table order.
   template <typename F>
   void for_each_entry(F&& f) const {
+    if (packed_flat_) {
+      Entry tmp;
+      for (std::size_t i = 0; i < pflat_.size(); ++i) {
+        pflat_.row(i, tmp);
+        f(tmp);
+      }
+      return;
+    }
     if (!lane_compressed_) {
       for (const Entry& e : entries_) f(e);
       return;
@@ -216,6 +274,13 @@ class ProjTableT {
   /// `scratch` in the latter case — one live expansion per scratch.
   std::span<const Entry> expand_rows(std::size_t lo, std::size_t hi,
                                      std::vector<Entry>& scratch) const {
+    if (packed_flat_) {
+      scratch.resize(hi - lo);
+      for (std::size_t i = lo; i < hi; ++i) {
+        pflat_.row(i, scratch[i - lo]);
+      }
+      return {scratch.data(), scratch.size()};
+    }
     if (!lane_compressed_) {
       return {entries_.data() + lo, hi - lo};
     }
@@ -275,8 +340,8 @@ class ProjTableT {
   /// the bucket index covers `slot`, two binary searches otherwise.
   /// Dense layout only — compressed tables use group_expanded().
   std::span<const Entry> group(int slot, VertexId v) const {
-    if (lane_compressed_) {
-      throw Error("ProjTable::group(): table is lane-compressed");
+    if (lane_compressed_ || packed_flat_) {
+      throw Error("ProjTable::group(): rows are in a compressed layout");
     }
     const auto [lo, hi] = group_span(slot, v);
     return {entries_.data() + lo, hi - lo};
@@ -314,6 +379,7 @@ class ProjTableT {
 
   void push_unchecked(const Entry& e) {
     if (lane_compressed_) unpack_lanes();
+    if (packed_flat_) unpack_flat();
     entries_.push_back(e);
     drop_index();
   }
@@ -370,6 +436,32 @@ class ProjTableT {
   /// Entries already sorted for `order_`; (re)build the offset index only.
   void build_index(int slot, VertexId domain);
 
+  /// seal() for the narrow flat layout: partition + sort + dedup on the
+  /// packed 24/40-byte rows, falling back to the dense path when the
+  /// rows resist (no usable domain, out-of-domain keys, or a merged
+  /// count outgrowing u32).
+  void seal_packed_flat(SortOrder order, VertexId domain, LaneSealHint hint);
+
+  /// Layout decision for a sorted, deduped narrow table: stay narrow
+  /// (the hot-path default — consumers read through the
+  /// layout-independent accessors), re-pack to the masked columnar
+  /// layout when storing and it is smaller, or widen to dense when
+  /// neither compressed form pays.
+  void finish_flat_layout(LaneSealHint hint, const FlatStats& st);
+
+  /// Narrow flat rows -> masked columnar layout (ckeys_ + payload_).
+  void pack_lanes_from_flat();
+
+  /// Narrow flat rows -> dense entries (order preserved).
+  void unpack_flat() {
+    const std::size_t n = pflat_.size();
+    entries_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) pflat_.row(i, entries_[i]);
+    pflat_.clear();
+    packed_flat_ = false;
+    layout_.packed = false;
+  }
+
   /// After the counting partition: buckets are independent, sort each by
   /// the remaining key fields. Flat-built tables (duplicates pending) use
   /// an unstable sort — the tail order is a total order over the full
@@ -413,7 +505,7 @@ class ProjTableT {
       Entry acc = entries_[i];
       std::size_t j = i + 1;
       while (j < entries_.size() && entries_[j].key == acc.key) {
-        LaneOps<B>::add(acc.cnt, entries_[j].cnt);
+        LaneSimdT<B>::add(acc.cnt, entries_[j].cnt);
         ++j;
       }
       entries_[w++] = acc;
@@ -486,11 +578,16 @@ class ProjTableT {
 
   // Lane-compressed layout (B > 1, after a kStore seal that packed):
   // unpadded keys in table order plus the columnar packed payload.
-  // Exactly one of entries_ / (ckeys_, payload_) holds the rows.
+  // Exactly one of entries_ / (ckeys_, payload_) / pflat_ holds the rows.
   bool lane_compressed_ = false;
   std::vector<TableKey> ckeys_;
   LanePayloadT<B> payload_;
   LaneLayoutInfo layout_;
+
+  // Narrow flat layout (B > 1, from_packed tables): packed-key rows with
+  // width-adapted count vectors, kept through the sorting seal.
+  bool packed_flat_ = false;
+  FlatRowsT<B> pflat_;
 
   // CSR bucket index over the grouping slot: entries with key slot value v
   // occupy [bucket_off_[v], bucket_off_[v + 1]). Empty when not built.
@@ -505,6 +602,10 @@ void ProjTableT<B>::seal(SortOrder order, VertexId domain,
   if (order == SortOrder::kUnsorted) {
     order_ = order;
     drop_index();
+    return;
+  }
+  if (packed_flat_) {
+    seal_packed_flat(order, domain, hint);
     return;
   }
   const int slot = group_slot(order);
@@ -550,6 +651,113 @@ void ProjTableT<B>::seal(SortOrder order, VertexId domain,
   }
   order_ = order;
   choose_layout(hint);
+}
+
+template <int B>
+void ProjTableT<B>::seal_packed_flat(SortOrder order, VertexId domain,
+                                     LaneSealHint hint) {
+  const int slot = group_slot(order);
+  const bool sorted_already = order_ == order || group_slot(order_) == slot;
+  if (!detail::domain_worthwhile(size(), domain)) {
+    domain = detect_domain(slot);
+  }
+  if (sorted_already && !dedup_pending_) {
+    // Relabel / repeated seal: rows and index are already right; only
+    // the layout decision may change (e.g. a kStore reseal). The last
+    // seal's density scan still describes these rows — rescan only if
+    // the table was never scanned.
+    order_ = order;
+    FlatStats st;
+    if (layout_.rows == pflat_.size() && layout_.rows != 0) {
+      st.rows = layout_.rows;
+      st.lanes_occupied = layout_.lanes_occupied;
+      st.max_count = layout_.max_count;
+    } else {
+      st = pflat_.scan();
+    }
+    finish_flat_layout(hint, st);
+    return;
+  }
+  if (domain == 0 ||
+      size() >= std::numeric_limits<std::uint32_t>::max() ||
+      !pflat_.sort_by_slot(slot, domain)) {
+    // No usable counting-partition domain (or out-of-domain keys): the
+    // dense path also serves the index-less consumers, which need
+    // entries().
+    unpack_flat();
+    seal(order, domain, hint);
+    return;
+  }
+  FlatStats st;
+  if (dedup_pending_) {
+    st = pflat_.merge_duplicates();
+    dedup_pending_ = false;
+  } else {
+    st = pflat_.scan();
+  }
+  order_ = order;
+  if (!pflat_.narrow()) {
+    // A merged count outgrew u32: the rows widened. They are already in
+    // full-key order — adopt them dense and let the dense chooser finish.
+    entries_ = pflat_.take_wide();
+    packed_flat_ = false;
+    drop_index();
+    build_index(slot, domain);
+    choose_layout(hint);
+    return;
+  }
+  drop_index();
+  build_index(slot, domain);
+  finish_flat_layout(hint, st);
+}
+
+template <int B>
+void ProjTableT<B>::finish_flat_layout(LaneSealHint hint,
+                                       const FlatStats& st) {
+  layout_ = LaneLayoutInfo{};
+  layout_.rows = st.rows;
+  layout_.lane_slots = st.rows * static_cast<std::uint64_t>(B);
+  layout_.lanes_occupied = st.lanes_occupied;
+  layout_.max_count = st.max_count;
+  layout_.width = pflat_.width();
+  layout_.dense_bytes = st.rows * sizeof(Entry);
+  layout_.packed_bytes = pflat_.byte_size();
+  layout_.packed = true;
+  if (hint == LaneSealHint::kStore) {
+    // Stored tables are probed repeatedly: take the masked columnar
+    // layout when it beats the narrow rows (sparse lanes), else stay
+    // narrow, else dense.
+    LaneLayoutInfo masked = layout_;
+    masked.width = choose_payload_width(st.max_count);
+    masked.packed_bytes =
+        st.rows * (sizeof(TableKey) + 1 + 4) +
+        st.lanes_occupied *
+            static_cast<std::uint64_t>(payload_width_bytes(masked.width));
+    if (lane_layout_profitable(masked) &&
+        masked.packed_bytes < layout_.packed_bytes) {
+      layout_ = masked;
+      pack_lanes_from_flat();
+      return;
+    }
+  }
+  if (!lane_layout_profitable(layout_)) unpack_flat();
+}
+
+template <int B>
+void ProjTableT<B>::pack_lanes_from_flat() {
+  const std::size_t n = pflat_.size();
+  ckeys_.resize(n);
+  payload_.reset(layout_.width, n, layout_.lanes_occupied);
+  Entry tmp;
+  for (std::size_t i = 0; i < n; ++i) {
+    pflat_.row(i, tmp);
+    ckeys_[i] = tmp.key;
+    payload_.append(tmp.cnt);
+  }
+  pflat_.clear();
+  packed_flat_ = false;
+  lane_compressed_ = true;
+  layout_.packed = true;
 }
 
 template <int B>
