@@ -351,6 +351,7 @@ int main() {
                "  \"geomean_wall_speedup_b8\": %.3f,\n"
                "  \"geomean_wire_ratio_b8\": %.3f,\n"
                "  \"geomean_steps_ratio_b8\": %.3f,\n"
+               "  \"seal_wall_b8_over_b1\": %.3f,\n"
                "  \"wire_b8_beats_b1\": %s,\n"
                "  \"lanes_match\": %s,\n"
                "  \"stage_seconds_b1\": {\"accumulate\": %.6f, "
@@ -359,6 +360,7 @@ int main() {
                "\"seal\": %.6f, \"merge\": %.6f, \"transport\": %.6f},\n"
                "  \"cells\": [\n",
                trials, bench_scale(), gm_wall8, gm_wire8, gm_steps8,
+               stage_b1.seal > 0.0 ? stage_b8.seal / stage_b1.seal : 0.0,
                gm_wire8 > 1.0 ? "true" : "false",
                all_match ? "true" : "false", stage_b1.accumulate,
                stage_b1.seal, stage_b1.merge, stage_b1.transport,

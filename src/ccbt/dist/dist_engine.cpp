@@ -359,8 +359,10 @@ class DistPool {
 
   /// Rebuild the stored tables from `img`, dropping everything newer.
   /// Decoded rows arrive in sealed order with unique keys, so re-sealing
-  /// reproduces the checkpointed shards bit for bit (stable counting
-  /// sort + deterministic layout chooser).
+  /// reproduces the checkpointed shards bit for bit whichever seal sort
+  /// is active: the radix engine's validation pass detects the sorted
+  /// input and leaves it in place, the comparison engine is stable, and
+  /// the layout chooser is deterministic either way.
   void restore(const CheckpointImageT<B>& img, std::uint32_t ranks) {
     std::fill(stored_.begin(), stored_.end(), false);
     std::fill(has_transposed_.begin(), has_transposed_.end(), false);

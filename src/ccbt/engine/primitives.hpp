@@ -27,6 +27,7 @@
 // ccbt/dist run the same kernels, which is what guarantees their exact
 // load-model parity at every batch width.
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <bit>
@@ -534,11 +535,19 @@ ProjTableT<B> extend_with_graph_grouped(const ExecContext& cx,
   {
     ScopedStage timed(cx.stage_slot(&StageWall::seal));
     path.seal(SortOrder::kByV1, n, LaneSealHint::kStream);
+    // DB probes only accept anchors strictly above the new vertex:
+    // rank-partition each frontier bucket (anchor rank descending) so
+    // every neighbor scan below stops at a partition point instead of
+    // testing the whole bucket. Emission sets, charges and sends are
+    // unchanged — only the scan order and its cutoff differ, and the
+    // sink's sorting seal restores a canonical order.
+    if (o.anchor_higher) path.rank_partition_buckets(cx.order.ranks());
   }
   cx.note_lanes(path.layout());
   if (!path.has_bucket_index()) {
     return extend_with_graph_scan<B>(cx, path, o);
   }
+  const bool rank_cut = path.rank_partitioned();
   // All-16-bit streaming path: when the sealed path kept u16 narrow rows
   // and the output key stays packable, each emission is a masked u16 row
   // copy with the packed key rewritten in registers — no dense expansion
@@ -581,11 +590,26 @@ ProjTableT<B> extend_with_graph_grouped(const ExecContext& cx,
           for (VertexId w : g.neighbors(v)) {
             const std::uint64_t cw = cx.chi.colors_word(w);
             const std::uint64_t wrank = cx.order.rank(w);
-            for (std::size_t i = lo; i < hi; ++i) {
+            // Rank-partitioned bucket: the compatible anchors (rank >
+            // rank(w)) are exactly the leading prefix — cut the scan
+            // there and drop the per-row order test.
+            std::size_t end = hi;
+            if (rank_cut) {
+              end = lo + static_cast<std::size_t>(
+                            std::partition_point(
+                                side16.begin(), side16.end(),
+                                [wrank](std::uint64_t s) {
+                                  return (s >> 8) > wrank;
+                                }) -
+                            side16.begin());
+            }
+            for (std::size_t i = lo; i < end; ++i) {
               const std::uint64_t side = side16[i - lo];
               const auto a0 = static_cast<LaneMask>(side & 0xFF);
               if (a0 == 0) continue;
-              if (o.anchor_higher && (side >> 8) <= wrank) continue;
+              if (o.anchor_higher && !rank_cut && (side >> 8) <= wrank) {
+                continue;
+              }
               const auto& r = rows16[i];
               const auto esig = static_cast<Signature>(r.k & 0xFF);
               const std::uint64_t kbase =
@@ -671,10 +695,20 @@ ProjTableT<B> extend_with_graph_grouped(const ExecContext& cx,
         for (VertexId w : g.neighbors(v)) {
           const std::uint64_t cw = cx.chi.colors_word(w);
           const std::uint32_t wrank = cx.order.rank(w);
-          for (std::size_t i = 0; i < bucket.size(); ++i) {
+          // Same partition-point cut as the fast16 path: erank is
+          // descending when the bucket is rank-partitioned.
+          std::size_t end = bucket.size();
+          if (rank_cut) {
+            end = static_cast<std::size_t>(
+                std::partition_point(
+                    erank.begin(), erank.end(),
+                    [wrank](std::uint32_t r) { return r > wrank; }) -
+                erank.begin());
+          }
+          for (std::size_t i = 0; i < end; ++i) {
             if (alive[i] == 0) continue;
             const TableEntryT<B>& e = bucket[i];
-            if (o.anchor_higher && erank[i] <= wrank) continue;
+            if (o.anchor_higher && !rank_cut && erank[i] <= wrank) continue;
             detail::SigGroups<B> groups;
             for (LaneMask a = alive[i]; a != 0; a &= (a - 1)) {
               const int l = std::countr_zero(static_cast<unsigned>(a));
@@ -890,6 +924,113 @@ void merge_bucket(const ExecContext& cx, std::span<const TableEntryT<B>> pu,
   }
 }
 
+/// Packed-row variant of the B > 1 merge_bucket: both bucket ranges stay
+/// in their narrow flat rows (packed u64 key + u16/u32 counts) — the
+/// live-lane prefilter, the pair-compatibility test and the multiply-add
+/// all run on the packed payloads, with no dense expansion of either
+/// bucket. Mixed widths join through the two width template parameters;
+/// only a table that left the narrow layout altogether falls back to the
+/// dense kernel. Narrow lane products always fit u64 exactly (even
+/// u32 x u32 < 2^64), so the emitted counts are bit-identical to
+/// mul_masked over the expanded rows; charges and sends match the dense
+/// kernel row for row.
+template <int B, typename WP, typename WM, typename Sink>
+void merge_bucket_packed(const ExecContext& cx,
+                         std::span<const PackedFlatRowT<B, WP>> pu,
+                         std::span<const PackedFlatRowT<B, WM>> mu,
+                         const MergeSpec& spec, Sink&& emit) {
+  static_assert(B > 1, "packed rows exist only in batched executions");
+  const auto v1_of = [](std::uint64_t k) {
+    return static_cast<VertexId>((k >> 8) & kPacked28NoVertex);
+  };
+  std::size_t pi = 0, mi = 0;
+  while (pi < pu.size() && mi < mu.size()) {
+    const VertexId pv = v1_of(pu[pi].k);
+    const VertexId mv = v1_of(mu[mi].k);
+    if (pv < mv) {
+      ++pi;
+      continue;
+    }
+    if (mv < pv) {
+      ++mi;
+      continue;
+    }
+    // Same (u, v) group in both tables (the ranges are slot-0 buckets,
+    // sorted by raw packed key = (v1, sig) within the bucket).
+    const auto u = static_cast<VertexId>(pu[pi].k >> 36);
+    const VertexId v = pv;
+    std::size_t pj = pi, mj = mi;
+    while (pj < pu.size() && v1_of(pu[pj].k) == v) ++pj;
+    while (mj < mu.size() && v1_of(mu[mj].k) == v) ++mj;
+    cx.charge(v, (pj - pi) * (mj - mi));
+    thread_local std::vector<std::uint8_t> compat;
+    thread_local std::vector<LaneMask> malive;
+    const std::size_t mcount = mj - mi;
+    if (compat.size() < mcount) compat.resize(mcount);
+    if (malive.size() < mcount) malive.resize(mcount);
+    std::uint8_t* const ok = compat.data();
+    LaneMask* const ma = malive.data();
+    const PackedFlatRowT<B, WM>* const mb = mu.data() + mi;
+    for (std::size_t t = 0; t < mcount; ++t) {
+      LaneMask a = 0;
+      CCBT_SIMD
+      for (int l = 0; l < B; ++l) {
+        a |= static_cast<LaneMask>(mb[t].c[l] != 0) << l;
+      }
+      ma[t] = a;
+    }
+    for (std::size_t ai = pi; ai < pj; ++ai) {
+      const PackedFlatRowT<B, WP>& pa = pu[ai];
+      const auto asig = static_cast<Signature>(pa.k & 0xFF);
+      LaneMask palive = 0;
+      CCBT_SIMD
+      for (int l = 0; l < B; ++l) {
+        palive |= static_cast<LaneMask>(pa.c[l] != 0) << l;
+      }
+      if (palive == 0) continue;
+      CCBT_SIMD
+      for (std::size_t t = 0; t < mcount; ++t) {
+        ok[t] = static_cast<std::uint8_t>(
+            (std::popcount(static_cast<Signature>(
+                 asig & static_cast<Signature>(mb[t].k & 0xFF))) == 2) &
+            ((ma[t] & palive) != 0));
+      }
+      const TableKey pk = unpack_key(pa.k);
+      for (std::size_t t = 0; t < mcount; ++t) {
+        if (!ok[t]) continue;
+        const auto msig = static_cast<Signature>(mb[t].k & 0xFF);
+        const Signature inter = asig & msig;
+        // Per-lane half: those colors must be {χ_l(u), χ_l(v)}.
+        const LaneMask m =
+            cx.chi.mask_pair_eq(u, v, inter) & (ma[t] & palive);
+        if (m == 0) continue;
+        // Lanes of m have both factors nonzero by construction, so the
+        // product row is never all-zero (no wrap: narrow x narrow < 2^64).
+        auto cnt = LaneOps<B>::zero();
+        for (LaneMask mm = m; mm != 0; mm &= (mm - 1)) {
+          const int l = std::countr_zero(static_cast<unsigned>(mm));
+          LaneOps<B>::set_lane(cnt, l,
+                               static_cast<Count>(pa.c[l]) *
+                                   static_cast<Count>(mb[t].c[l]));
+        }
+        TableKey key;
+        if (spec.out_arity > 0) {
+          const TableKey mk = unpack_key(mb[t].k);
+          for (int s = 0; s < spec.out_arity; ++s) {
+            const MergeOut& src = spec.out[s];
+            key.v[s] = (src.side == 0 ? pk : mk).v[src.slot];
+          }
+        }
+        key.sig = asig | msig;
+        emit(key, cnt);
+        if (spec.out_arity >= 2) cx.send(v, key.v[1], 1);
+      }
+    }
+    pi = pj;
+    mi = mj;
+  }
+}
+
 /// Join the two half-cycle tables on their shared (anchor, end) pair with
 /// the signature-compatibility test of Fig 6 Procedure 2, accumulating
 /// into `sink` (so the DB solver can sum over all anchor choices, Eq. 1).
@@ -910,9 +1051,52 @@ void merge_halves(const ExecContext& cx, ProjTableT<B>& plus,
   ScopedStage timed_merge(cx.stage_slot(&StageWall::merge));
 
   if (plus.has_bucket_index() && minus.has_bucket_index()) {
-    // Narrow-sealed halves are consumed through group_expanded, which
-    // decodes each slot-0 bucket into a scratch (a raw subspan when
+    // Bucket router shared by the parallel and serial sweeps: when both
+    // sealed halves kept their narrow flat rows, the bucket pair joins
+    // through merge_bucket_packed with no dense expansion (dispatching
+    // on each side's payload width); otherwise each slot-0 bucket is
+    // decoded through group_expanded into a scratch (a raw subspan when
     // dense, so B = 1 and dense tables pay nothing).
+    const FlatRowsT<B>* const pflat =
+        cx.opts.packed_merge ? plus.flat_storage() : nullptr;
+    const FlatRowsT<B>* const mflat =
+        cx.opts.packed_merge ? minus.flat_storage() : nullptr;
+    auto merge_u = [&](VertexId u, auto&& add,
+                       std::vector<TableEntryT<B>>& pscratch,
+                       std::vector<TableEntryT<B>>& mscratch) {
+      if constexpr (B > 1) {
+        if (pflat != nullptr && mflat != nullptr) {
+          const auto [plo, phi] = plus.group_span(0, u);
+          if (plo == phi) return;
+          const auto [mlo, mhi] = minus.group_span(0, u);
+          if (mlo == mhi) return;
+          const auto with_plus = [&](auto pspan) {
+            if (mflat->mode() == FlatRowsT<B>::Mode::kU16) {
+              merge_bucket_packed<B>(
+                  cx, pspan,
+                  std::span(mflat->rows_u16()).subspan(mlo, mhi - mlo),
+                  spec, add);
+            } else {
+              merge_bucket_packed<B>(
+                  cx, pspan,
+                  std::span(mflat->rows_u32()).subspan(mlo, mhi - mlo),
+                  spec, add);
+            }
+          };
+          if (pflat->mode() == FlatRowsT<B>::Mode::kU16) {
+            with_plus(std::span(pflat->rows_u16()).subspan(plo, phi - plo));
+          } else {
+            with_plus(std::span(pflat->rows_u32()).subspan(plo, phi - plo));
+          }
+          return;
+        }
+      }
+      const auto pu = plus.group_expanded(0, u, pscratch);
+      if (pu.empty()) return;
+      const auto mu = minus.group_expanded(0, u, mscratch);
+      if (mu.empty()) return;
+      merge_bucket<B>(cx, pu, mu, spec, add);
+    };
 #ifdef _OPENMP
     if (cx.opts.use_threads && detail::pool_threads() > 1 &&
         plus.size() + minus.size() > 4096) {
@@ -932,13 +1116,9 @@ void merge_halves(const ExecContext& cx, ProjTableT<B>& plus,
         for (VertexId u = 0; u < n; ++u) {
           if (budget_hit.load(std::memory_order_relaxed)) continue;
           thread_local std::vector<TableEntryT<B>> pscratch, mscratch;
-          const auto pu = plus.group_expanded(0, u, pscratch);
-          if (pu.empty()) continue;
-          const auto mu = minus.group_expanded(0, u, mscratch);
-          if (mu.empty()) continue;
-          merge_bucket<B>(
-              cx, pu, mu, spec,
-              [&](const TableKey& k, const Vec& c) { local.add(k, c); });
+          merge_u(
+              u, [&](const TableKey& k, const Vec& c) { local.add(k, c); },
+              pscratch, mscratch);
           if (local.size() > cx.opts.max_table_entries) {
             budget_hit.store(true, std::memory_order_relaxed);
           }
@@ -961,12 +1141,9 @@ void merge_halves(const ExecContext& cx, ProjTableT<B>& plus,
 #endif
     std::vector<TableEntryT<B>> pscratch, mscratch;
     for (VertexId u = 0; u < n; ++u) {
-      const auto pu = plus.group_expanded(0, u, pscratch);
-      if (pu.empty()) continue;
-      const auto mu = minus.group_expanded(0, u, mscratch);
-      if (mu.empty()) continue;
-      merge_bucket<B>(cx, pu, mu, spec,
-                      [&](const TableKey& k, const Vec& c) { sink.add(k, c); });
+      merge_u(
+          u, [&](const TableKey& k, const Vec& c) { sink.add(k, c); },
+          pscratch, mscratch);
       detail::check_budget(cx, sink.size());
     }
     cx.end_phase();

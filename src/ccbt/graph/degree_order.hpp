@@ -6,6 +6,7 @@
 // after v. The DB algorithm anchors every cycle match at its unique
 // highest vertex under this order (the MINBUCKET generalization).
 
+#include <span>
 #include <vector>
 
 #include "ccbt/graph/csr_graph.hpp"
@@ -28,6 +29,11 @@ class DegreeOrder {
 
   /// u ≻ v: u is strictly higher than v.
   bool higher(VertexId u, VertexId v) const { return rank_[u] > rank_[v]; }
+
+  /// The whole rank table (indexed by vertex id; injective). Bulk
+  /// consumers — the rank-partitioned bucket scans — read it as a span
+  /// instead of paying a call per row.
+  std::span<const std::uint32_t> ranks() const { return rank_; }
 
   VertexId size() const { return static_cast<VertexId>(rank_.size()); }
 

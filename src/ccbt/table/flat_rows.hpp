@@ -26,8 +26,13 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
+#include <bit>
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -39,6 +44,41 @@
 #include "ccbt/table/table_key.hpp"
 
 namespace ccbt {
+
+/// Which sort the narrow seal uses. kAuto takes the LSD radix sort once
+/// the row count clears its setup cost and the counting-partition +
+/// per-bucket comparison sort below it; the explicit values pin one path
+/// (the seal-sort property tests drive both and assert bit-identical
+/// sealed tables; CCBT_SEAL_SORT=comparison|radix pins a whole process).
+enum class SealSortAlgo : std::uint8_t { kAuto = 0, kComparison = 1, kRadix = 2 };
+
+namespace detail_seal {
+
+inline SealSortAlgo seal_sort_from_env() {
+  const char* env = std::getenv("CCBT_SEAL_SORT");
+  if (env != nullptr) {
+    if (std::strcmp(env, "comparison") == 0) return SealSortAlgo::kComparison;
+    if (std::strcmp(env, "radix") == 0) return SealSortAlgo::kRadix;
+  }
+  return SealSortAlgo::kAuto;
+}
+
+inline std::atomic<SealSortAlgo>& seal_sort_state() {
+  static std::atomic<SealSortAlgo> state{seal_sort_from_env()};
+  return state;
+}
+
+}  // namespace detail_seal
+
+inline SealSortAlgo seal_sort_algo() {
+  return detail_seal::seal_sort_state().load(std::memory_order_relaxed);
+}
+
+/// Override the seal-sort selection process-wide (tests; kAuto restores
+/// the default policy).
+inline void set_seal_sort_algo(SealSortAlgo a) {
+  detail_seal::seal_sort_state().store(a, std::memory_order_relaxed);
+}
 
 /// One narrow flat row: packed key + all B lane counts at width W.
 template <int B, typename W>
@@ -84,6 +124,12 @@ class FlatRowsT {
   /// sinks without a dense round trip.
   const std::vector<PackedFlatRowT<B, std::uint16_t>>& rows_u16() const {
     return n16_;
+  }
+
+  /// Raw u32 rows (valid only while mode() == kU32) — the packed merge
+  /// joins mixed-width sealed tables without a dense expansion.
+  const std::vector<PackedFlatRowT<B, std::uint32_t>>& rows_u32() const {
+    return n32_;
   }
 
   /// Pre-size the current row buffer (a lower-bound emission estimate
@@ -331,20 +377,45 @@ class FlatRowsT {
 
   // ------------------------------------------------------------- sealing
 
-  /// Stable counting partition by the packed key's `slot` bit field over
-  /// [0, domain), then sort each bucket by the raw packed key — the same
-  /// row order the dense seal's comparators produce. Returns false (rows
-  /// untouched) when a slot value falls outside [0, domain) — including
-  /// kNoVertex, whose packed pattern is the all-ones field — or when the
-  /// rows are wide; the caller falls back to the dense path.
+  /// Sort the narrow rows into the dense seal's order for `slot` (the
+  /// packed key's grouping field first, then the raw packed key — the
+  /// same row order the dense seal's comparators produce). Two engines:
+  /// an LSD radix sort over the slot-permuted packed key (the default
+  /// once the row count clears its setup cost) and the original stable
+  /// counting partition + per-bucket comparison sort; see
+  /// set_seal_sort_algo. Returns false (rows untouched) when a slot
+  /// value falls outside [0, domain) — including kNoVertex, whose packed
+  /// pattern is the all-ones field — or when the rows are wide; the
+  /// caller falls back to the dense path.
   bool sort_by_slot(int slot, VertexId domain) {
     drop_combine();
     switch (mode_) {
-      case Mode::kU16: return sort_impl(n16_, slot, domain);
-      case Mode::kU32: return sort_impl(n32_, slot, domain);
+      case Mode::kU16: return sort_dispatch(n16_, slot, domain);
+      case Mode::kU32: return sort_dispatch(n32_, slot, domain);
       case Mode::kWide: break;
     }
     return false;
+  }
+
+  /// Reorder rows [lo, hi) by DESCENDING rank of the packed key's slot-0
+  /// vertex (ranks indexed by vertex id, injective), breaking the full-key
+  /// order inside the range — ProjTableT::rank_partition_buckets uses this
+  /// on already-deduped buckets so anchor-rank probes can stop at a
+  /// partition point. No-op for wide rows.
+  void sort_range_by_rank_desc(std::size_t lo, std::size_t hi,
+                               std::span<const std::uint32_t> ranks) {
+    auto by_rank = [&](auto& rows) {
+      std::sort(rows.begin() + static_cast<std::ptrdiff_t>(lo),
+                rows.begin() + static_cast<std::ptrdiff_t>(hi),
+                [ranks](const auto& a, const auto& b) {
+                  return ranks[a.k >> 36] > ranks[b.k >> 36];
+                });
+    };
+    switch (mode_) {
+      case Mode::kU16: by_rank(n16_); return;
+      case Mode::kU32: by_rank(n32_); return;
+      case Mode::kWide: break;
+    }
   }
 
   /// Run-merged stats over sorted rows (each equal-key run counted once,
@@ -542,9 +613,191 @@ class FlatRowsT {
            kPacked28NoVertex;
   }
 
+  /// The 64-bit sort key whose ascending order is exactly the dense
+  /// seal's comparator for `slot`: the grouping field in the top 28
+  /// bits, the other vertex field below it, the signature in the low
+  /// byte (narrow keys never use slots 2-3). For slot 0 this IS the raw
+  /// packed key; for slot 1 the two vertex fields swap.
+  static std::uint64_t sort_key(std::uint64_t k, int slot) {
+    if (slot == 0) return k;
+    return ((k << 28) & (std::uint64_t{kPacked28NoVertex} << 36)) |
+           ((k >> 28) & (std::uint64_t{kPacked28NoVertex} << 8)) |
+           (k & 0xFFu);
+  }
+
   template <typename W>
-  static bool sort_impl(std::vector<PackedFlatRowT<B, W>>& rows, int slot,
-                        VertexId domain) {
+  static bool sort_dispatch(std::vector<PackedFlatRowT<B, W>>& rows,
+                            int slot, VertexId domain) {
+    switch (seal_sort_algo()) {
+      case SealSortAlgo::kComparison:
+        return sort_comparison_impl(rows, slot, domain);
+      case SealSortAlgo::kRadix: return sort_radix_impl(rows, slot, domain);
+      case SealSortAlgo::kAuto: break;
+    }
+    // Tiny tables: the per-bucket comparison sort has no per-pass setup
+    // and its buckets fit in cache; everything else goes radix.
+    return rows.size() >= kRadixMinRows
+               ? sort_radix_impl(rows, slot, domain)
+               : sort_comparison_impl(rows, slot, domain);
+  }
+
+  static constexpr std::size_t kRadixMinRows = 4096;
+  static constexpr int kRadixBits = 11;
+  static constexpr std::uint32_t kRadixBuckets = 1u << kRadixBits;
+
+  /// One stable counting-scatter pass of the LSD radix sort: `cur` rows
+  /// move to `buf` ordered by digit(item). Parallel per-chunk histograms
+  /// when OpenMP delivers a team (same chunked layout the dense
+  /// bucket_sort uses, so the scatter stays stable for any team size).
+  template <typename T, typename DigitFn>
+  static void radix_pass(std::vector<T>& cur, std::vector<T>& buf,
+                         DigitFn&& digit) {
+    const std::size_t n = cur.size();
+    buf.resize(n);
+#ifdef _OPENMP
+    const int max_threads = omp_get_max_threads();
+    if (max_threads > 1 && n >= (1u << 16)) {
+      const int nchunks = max_threads;
+      const std::size_t chunk = (n + nchunks - 1) / nchunks;
+      std::vector<std::vector<std::uint32_t>> hist(nchunks);
+#pragma omp parallel for schedule(static, 1)
+      for (int c = 0; c < nchunks; ++c) {
+        const std::size_t lo = std::min(n, c * chunk);
+        const std::size_t hi = std::min(n, lo + chunk);
+        auto& h = hist[c];
+        h.assign(kRadixBuckets, 0);
+        for (std::size_t i = lo; i < hi; ++i) ++h[digit(cur[i])];
+      }
+      std::array<std::uint32_t, kRadixBuckets> off{};
+      for (int c = 0; c < nchunks; ++c) {
+        for (std::uint32_t d = 0; d < kRadixBuckets; ++d) {
+          off[d] += hist[c][d];
+        }
+      }
+      std::uint32_t sum = 0;
+      for (std::uint32_t d = 0; d < kRadixBuckets; ++d) {
+        const std::uint32_t cnt = off[d];
+        off[d] = sum;
+        sum += cnt;
+      }
+      // Rebase each chunk's histogram into its scatter cursor: chunk c's
+      // share of digit d starts after chunks < c (input order = stable).
+      for (std::uint32_t d = 0; d < kRadixBuckets; ++d) {
+        std::uint32_t cursor = off[d];
+        for (int c = 0; c < nchunks; ++c) {
+          const std::uint32_t cnt = hist[c][d];
+          hist[c][d] = cursor;
+          cursor += cnt;
+        }
+      }
+#pragma omp parallel for schedule(static, 1)
+      for (int c = 0; c < nchunks; ++c) {
+        const std::size_t lo = std::min(n, c * chunk);
+        const std::size_t hi = std::min(n, lo + chunk);
+        auto& cursors = hist[c];
+        for (std::size_t i = lo; i < hi; ++i) {
+          buf[cursors[digit(cur[i])]++] = cur[i];
+        }
+      }
+      cur.swap(buf);
+      return;
+    }
+#endif
+    std::array<std::uint32_t, kRadixBuckets> off{};
+    for (const T& t : cur) ++off[digit(t)];
+    std::uint32_t sum = 0;
+    for (std::uint32_t d = 0; d < kRadixBuckets; ++d) {
+      const std::uint32_t cnt = off[d];
+      off[d] = sum;
+      sum += cnt;
+    }
+    for (const T& t : cur) buf[off[digit(t)]++] = t;
+    cur.swap(buf);
+  }
+
+  /// LSD radix seal sort: stable kRadixBits-wide passes over the
+  /// slot-permuted packed key, skipping any pass whose digit is constant
+  /// across the table (the common case — vertex fields only populate
+  /// bit_width(domain) bits, and an all-kNoVertex field contributes no
+  /// varying bit at all). The validation scan doubles as a sorted-input
+  /// detector: rows that arrive already in seal order (combining-cache
+  /// bursts of an ordered producer, checkpoint decode -> reseal) skip
+  /// the sort outright, and u32 rows too wide to haul through every pass
+  /// sort as (key, index) pairs and are gathered once at the end.
+  template <typename W>
+  static bool sort_radix_impl(std::vector<PackedFlatRowT<B, W>>& rows,
+                              int slot, VertexId domain) {
+    using Row = PackedFlatRowT<B, W>;
+    const std::size_t n = rows.size();
+    if (n == 0) return true;
+    std::uint64_t ormask = 0;
+    std::uint64_t andmask = ~std::uint64_t{0};
+    bool sorted = true;
+    std::uint64_t prev = 0;
+    for (const Row& r : rows) {
+      if (slot_bits(r.k, slot) >= domain) return false;
+      const std::uint64_t sk = sort_key(r.k, slot);
+      ormask |= sk;
+      andmask &= sk;
+      sorted = sorted && sk >= prev;
+      prev = sk;
+    }
+    if (sorted) return true;
+    const std::uint64_t varying = ormask ^ andmask;
+
+    // Scatter buffer reused across seals (swapped, not stolen, so both
+    // buffers keep cycling); rows are only ever fully overwritten, so
+    // the growth zero-fill is the one init cost it ever pays.
+    if constexpr (sizeof(Row) <= 24) {
+      thread_local std::vector<Row> swap_buf;
+      if (swap_buf.capacity() > 2 * n + 1024) {
+        swap_buf.clear();
+        swap_buf.shrink_to_fit();
+      }
+      for (int shift = 0; shift < 64; shift += kRadixBits) {
+        if (((varying >> shift) & (kRadixBuckets - 1)) == 0) continue;
+        radix_pass(rows, swap_buf, [slot, shift](const Row& r) {
+          return static_cast<std::uint32_t>(sort_key(r.k, slot) >> shift) &
+                 (kRadixBuckets - 1);
+        });
+      }
+    } else {
+      // Key-index passes: move 16-byte (sort key, row index) pairs
+      // through the passes instead of the wide rows, then gather.
+      struct KeyIdx {
+        std::uint64_t sk;
+        std::uint32_t idx;
+      };
+      thread_local std::vector<KeyIdx> keys, keys_buf;
+      keys.resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        keys[i] = {sort_key(rows[i].k, slot),
+                   static_cast<std::uint32_t>(i)};
+      }
+      for (int shift = 0; shift < 64; shift += kRadixBits) {
+        if (((varying >> shift) & (kRadixBuckets - 1)) == 0) continue;
+        radix_pass(keys, keys_buf, [shift](const KeyIdx& p) {
+          return static_cast<std::uint32_t>(p.sk >> shift) &
+                 (kRadixBuckets - 1);
+        });
+      }
+      thread_local std::vector<Row> swap_buf;
+      if (swap_buf.capacity() > 2 * n + 1024) {
+        swap_buf.clear();
+        swap_buf.shrink_to_fit();
+      }
+      swap_buf.resize(n);
+      for (std::size_t i = 0; i < n; ++i) swap_buf[i] = rows[keys[i].idx];
+      rows.swap(swap_buf);
+      keys.clear();
+      keys_buf.clear();
+    }
+    return true;
+  }
+
+  template <typename W>
+  static bool sort_comparison_impl(std::vector<PackedFlatRowT<B, W>>& rows,
+                                   int slot, VertexId domain) {
     using Row = PackedFlatRowT<B, W>;
     const std::size_t n = rows.size();
     std::vector<std::uint32_t> off(static_cast<std::size_t>(domain) + 1, 0);

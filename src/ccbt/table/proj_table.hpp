@@ -335,6 +335,47 @@ class ProjTableT {
   /// Whether group() resolves through the O(1) bucket index.
   bool has_bucket_index() const { return !bucket_off_.empty(); }
 
+  /// Reorder the rows INSIDE every bucket of the slot-1 index by
+  /// descending rank of the slot-0 (anchor) vertex. With the anchor rank
+  /// monotone across a bucket, a DB probe that requires anchor ≻ w scans
+  /// only the prefix with rank > rank(w) (a partition-point cut) instead
+  /// of testing every row. Buckets themselves do not move, so the index
+  /// stays valid; the full-key order inside buckets is given up, which is
+  /// only legal on a deduped table — the next order-changing seal
+  /// re-sorts from scratch (rank_partitioned() gates the relabel
+  /// shortcut). No-op (flag stays false) unless the table is sealed
+  /// kByV1 with a bucket index and all rows are mergeable-duplicate free.
+  void rank_partition_buckets(std::span<const std::uint32_t> ranks) {
+    rank_partitioned_ = false;
+    if (!has_bucket_index() || index_slot_ != 1 || dedup_pending_ ||
+        lane_compressed_) {
+      return;
+    }
+    const std::size_t nb = bucket_off_.size() - 1;
+    [[maybe_unused]] const std::size_t n = size();
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic, 1024) if (n > (1u << 15))
+#endif
+    for (std::size_t v = 0; v < nb; ++v) {
+      const std::uint32_t lo = bucket_off_[v];
+      const std::uint32_t hi = bucket_off_[v + 1];
+      if (hi - lo < 2) continue;
+      if (packed_flat_) {
+        pflat_.sort_range_by_rank_desc(lo, hi, ranks);
+      } else {
+        std::sort(entries_.begin() + lo, entries_.begin() + hi,
+                  [ranks](const Entry& a, const Entry& b) {
+                    return ranks[a.key.v[0]] > ranks[b.key.v[0]];
+                  });
+      }
+    }
+    rank_partitioned_ = true;
+  }
+
+  /// Whether the buckets are currently rank-partitioned (anchor-rank
+  /// descending inside each bucket rather than full-key sorted).
+  bool rank_partitioned() const { return rank_partitioned_; }
+
   /// Contiguous range of entries whose slot `slot` equals v; requires the
   /// matching seal order (kByV0 for slot 0, kByV1 for slot 1). O(1) when
   /// the bucket index covers `slot`, two binary searches otherwise.
@@ -382,6 +423,7 @@ class ProjTableT {
     if (packed_flat_) unpack_flat();
     entries_.push_back(e);
     drop_index();
+    rank_partitioned_ = false;
   }
 
  private:
@@ -574,6 +616,9 @@ class ProjTableT {
   int arity_ = 0;
   SortOrder order_ = SortOrder::kUnsorted;
   bool dedup_pending_ = false;
+  // Buckets reordered by anchor rank (see rank_partition_buckets): the
+  // intra-bucket key order is gone, so sorted_already shortcuts are off.
+  bool rank_partitioned_ = false;
   std::vector<Entry> entries_;
 
   // Lane-compressed layout (B > 1, after a kStore seal that packed):
@@ -611,8 +656,12 @@ void ProjTableT<B>::seal(SortOrder order, VertexId domain,
   const int slot = group_slot(order);
   // kByV0 sorting is a refinement that also groups by (v0, v1): both
   // orders share one comparator, so converting between them (and staying
-  // put) never re-sorts — at most the index is (re)built.
-  const bool sorted_already = order_ == order || group_slot(order_) == slot;
+  // put) never re-sorts — at most the index is (re)built. A
+  // rank-partitioned table gave up its intra-bucket key order, so the
+  // relabel shortcut is off until a real re-sort restores it.
+  const bool sorted_already =
+      !rank_partitioned_ &&
+      (order_ == order || group_slot(order_) == slot);
   if (!detail::domain_worthwhile(size(), domain)) {
     domain = detect_domain(slot);
   }
@@ -629,6 +678,7 @@ void ProjTableT<B>::seal(SortOrder order, VertexId domain,
   // Re-sorting moves whole rows: work in the dense layout.
   if (lane_compressed_) unpack_lanes();
   drop_index();
+  rank_partitioned_ = false;
   if (domain > 0 &&
       entries_.size() < std::numeric_limits<std::uint32_t>::max()) {
     bucket_sort(slot, domain);
@@ -657,7 +707,9 @@ template <int B>
 void ProjTableT<B>::seal_packed_flat(SortOrder order, VertexId domain,
                                      LaneSealHint hint) {
   const int slot = group_slot(order);
-  const bool sorted_already = order_ == order || group_slot(order_) == slot;
+  const bool sorted_already =
+      !rank_partitioned_ &&
+      (order_ == order || group_slot(order_) == slot);
   if (!detail::domain_worthwhile(size(), domain)) {
     domain = detect_domain(slot);
   }
@@ -688,6 +740,7 @@ void ProjTableT<B>::seal_packed_flat(SortOrder order, VertexId domain,
     seal(order, domain, hint);
     return;
   }
+  rank_partitioned_ = false;
   FlatStats st;
   if (dedup_pending_) {
     st = pflat_.merge_duplicates();

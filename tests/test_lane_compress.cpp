@@ -15,6 +15,7 @@
 #include "ccbt/core/color_coding.hpp"
 #include "ccbt/dist/comm.hpp"
 #include "ccbt/dist/dist_engine.hpp"
+#include "ccbt/engine/primitives.hpp"
 #include "ccbt/graph/generators.hpp"
 #include "ccbt/query/catalog.hpp"
 #include "ccbt/table/flat_rows.hpp"
@@ -525,6 +526,244 @@ TEST(LaneSimd, Avx2KernelsMatchScalarOps) {
   EXPECT_TRUE(detail_simd::is_zero_avx2(zero.data(), 2));
   EXPECT_EQ(detail_simd::nonzero_mask_avx2(zero.data(), 2), 0u);
 #endif
+}
+
+// ------------------------------------------------------- packed merge
+
+/// Shared fixture pieces for the merge parity tests: a B-lane context
+/// whose colorings the pair-compatibility test consults.
+template <int B>
+struct MergeCx {
+  CsrGraph g;
+  std::vector<Coloring> lanes;
+  ColoringBatch chi;
+  DegreeOrder order;
+  ExecOptions opts;
+  ExecContext cx;
+
+  explicit MergeCx(std::uint64_t seed, VertexId n = 64)
+      : g(erdos_renyi(n, 4 * n, seed)),
+        lanes(make_lanes(n, seed)),
+        chi(std::span<const Coloring>(lanes)),
+        order(g),
+        cx{g, chi, order, BlockPartition(n, 2), nullptr, opts} {}
+
+  static std::vector<Coloring> make_lanes(VertexId n, std::uint64_t seed) {
+    std::vector<Coloring> ls;
+    for (int l = 0; l < B; ++l) ls.emplace_back(n, 8, seed * 131 + l);
+    return ls;
+  }
+};
+
+/// One slot-0 bucket of coherent half-path rows keyed (u, v, sig),
+/// sorted in the sealed kByV0V1 order, as both the dense entries and the
+/// equivalent packed narrow rows. Signatures mix lane-consistent pairs
+/// (so emissions actually happen) with random bytes (so the prefilter
+/// rejects), counts live only on `allowed` lanes at `mag` magnitude, and
+/// a few rows are all-zero (the dead-row skip).
+template <int B, typename W>
+std::pair<std::vector<TableEntryT<B>>, std::vector<PackedFlatRowT<B, W>>>
+merge_bucket_rows(const ColoringBatch& chi, VertexId u, Count mag,
+                  LaneMask allowed, Rng& rng) {
+  std::vector<TableEntryT<B>> dense(300);
+  for (auto& e : dense) {
+    e.key.v[0] = u;
+    e.key.v[1] = static_cast<VertexId>(rng.below(20));
+    const int cl = static_cast<int>(rng.below(B));
+    e.key.sig = rng.below(3) == 0
+                    ? static_cast<Signature>(rng.below(256))
+                    : static_cast<Signature>(chi.bit(e.key.v[0], cl) |
+                                             chi.bit(e.key.v[1], cl) |
+                                             (rng.below(2) == 0
+                                                  ? Signature{1}
+                                                        << rng.below(8)
+                                                  : Signature{0}));
+    if (rng.below(10) != 0) {
+      for (int l = 0; l < B; ++l) {
+        if (((allowed >> l) & 1u) != 0 && rng.below(2) == 0) {
+          LaneOps<B>::set_lane(e.cnt, l, 1 + rng.below(mag));
+        }
+      }
+    }
+  }
+  std::sort(dense.begin(), dense.end(), [](const auto& a, const auto& b) {
+    return pack_key(a.key) < pack_key(b.key);
+  });
+  std::vector<PackedFlatRowT<B, W>> packed(dense.size());
+  for (std::size_t i = 0; i < dense.size(); ++i) {
+    packed[i].k = pack_key(dense[i].key);
+    for (int l = 0; l < B; ++l) {
+      packed[i].c[l] = static_cast<W>(LaneOps<B>::lane(dense[i].cnt, l));
+    }
+  }
+  return {std::move(dense), std::move(packed)};
+}
+
+/// merge_bucket_packed against merge_bucket on the same bucket pair:
+/// identical emission sequence (keys, counts, order) for the given width
+/// pairing and live-lane shapes.
+template <int B, typename WP, typename WM>
+void run_packed_merge_parity(std::uint64_t seed, Count pmag, Count mmag,
+                             LaneMask plus_lanes, LaneMask minus_lanes,
+                             bool expect_emissions) {
+  MergeCx<B> f(seed);
+  Rng rng(seed);
+  const VertexId u = 5;
+  auto [pd, pp] = merge_bucket_rows<B, WP>(f.chi, u, pmag, plus_lanes, rng);
+  auto [md, mp] = merge_bucket_rows<B, WM>(f.chi, u, mmag, minus_lanes, rng);
+
+  using Emit = std::pair<TableKey, typename LaneOps<B>::Vec>;
+  for (const int arity : {2, 1, 0}) {
+    MergeSpec spec;
+    spec.out_arity = arity;
+    spec.out[0] = {0, 0};
+    spec.out[1] = {1, 1};
+    std::vector<Emit> dense_out, packed_out;
+    merge_bucket<B>(f.cx, std::span<const TableEntryT<B>>(pd),
+                    std::span<const TableEntryT<B>>(md), spec,
+                    [&](const TableKey& k, const auto& c) {
+                      dense_out.emplace_back(k, c);
+                    });
+    merge_bucket_packed<B>(f.cx, std::span<const PackedFlatRowT<B, WP>>(pp),
+                           std::span<const PackedFlatRowT<B, WM>>(mp), spec,
+                           [&](const TableKey& k, const auto& c) {
+                             packed_out.emplace_back(k, c);
+                           });
+    ASSERT_EQ(dense_out.size(), packed_out.size()) << "arity " << arity;
+    for (std::size_t i = 0; i < dense_out.size(); ++i) {
+      EXPECT_EQ(dense_out[i].first, packed_out[i].first) << "row " << i;
+      EXPECT_EQ(dense_out[i].second, packed_out[i].second) << "row " << i;
+    }
+    if (arity == 2) {
+      EXPECT_EQ(!dense_out.empty(), expect_emissions);
+    }
+  }
+}
+
+TEST(PackedMerge, KernelMatchesDenseU16xU16) {
+  run_packed_merge_parity<8, std::uint16_t, std::uint16_t>(
+      301, 900, 900, 0xFF, 0xFF, true);
+  run_packed_merge_parity<4, std::uint16_t, std::uint16_t>(
+      302, 900, 900, 0xF, 0xF, true);
+  run_packed_merge_parity<2, std::uint16_t, std::uint16_t>(
+      303, 900, 900, 0x3, 0x3, true);
+}
+
+TEST(PackedMerge, KernelMatchesDenseMixedWidths) {
+  // u16 x u32 both ways, and u32 x u32 with near-boundary counts whose
+  // products stress the no-wrap claim (0xFFFFFFFF^2 < 2^64).
+  run_packed_merge_parity<8, std::uint16_t, std::uint32_t>(
+      311, 0xFFFF, 0xFFFFFFFFull, 0xFF, 0xFF, true);
+  run_packed_merge_parity<8, std::uint32_t, std::uint16_t>(
+      312, 0xFFFFFFFFull, 0xFFFF, 0xFF, 0xFF, true);
+  run_packed_merge_parity<8, std::uint32_t, std::uint32_t>(
+      313, 0xFFFFFFFFull, 0xFFFFFFFFull, 0xFF, 0xFF, true);
+}
+
+TEST(PackedMerge, DisjointLiveLanesEmitNothingOnBothPaths) {
+  // Plus rows live only in the low half-lanes, minus rows only in the
+  // high half: every pair fails the live-lane intersection, so both
+  // kernels must emit nothing (and agree on that).
+  run_packed_merge_parity<8, std::uint16_t, std::uint16_t>(
+      321, 900, 900, 0x0F, 0xF0, false);
+  run_packed_merge_parity<4, std::uint16_t, std::uint16_t>(
+      322, 900, 900, 0x3, 0xC, false);
+}
+
+/// merge_halves with packed_merge toggled must reach the same sink —
+/// `wide_escape` poisons the plus half with an unpackable key first, so
+/// the packed run exercises the dense-fallback dispatch instead.
+template <int B>
+void run_merge_halves_parity(std::uint64_t seed, bool wide_escape) {
+  using Vec = typename LaneOps<B>::Vec;
+  std::vector<std::pair<TableKey, Vec>> prows, mrows;
+  {
+    MergeCx<B> f(seed);
+    Rng rng(seed + 1);
+    for (const VertexId u : {3u, 5u, 9u, 11u, 20u}) {
+      auto [pd, pp] =
+          merge_bucket_rows<B, std::uint16_t>(f.chi, u, 900, 0xFF, rng);
+      auto [md, mp] =
+          merge_bucket_rows<B, std::uint16_t>(f.chi, u, 900, 0xFF, rng);
+      for (const auto& e : pd) prows.emplace_back(e.key, e.cnt);
+      for (const auto& e : md) mrows.emplace_back(e.key, e.cnt);
+    }
+    if (wide_escape) {
+      TableKey k;
+      k.v[0] = 3;
+      k.v[1] = 4;
+      k.v[2] = 6;  // unpackable: drives the flat sink wide
+      k.sig = 0x11;
+      Vec c{};
+      LaneOps<B>::set_lane(c, 0, 2);
+      prows.emplace_back(k, c);
+    }
+  }
+  MergeSpec spec;
+  spec.out_arity = 2;
+  spec.out[0] = {0, 0};
+  spec.out[1] = {1, 1};
+  std::array<std::vector<std::pair<std::array<std::uint64_t, 5>,
+                                   std::array<Count, B>>>,
+             2>
+      results;
+  for (const bool packed : {false, true}) {
+    MergeCx<B> f(seed);
+    f.cx.opts.packed_merge = packed;
+    FlatRowsT<B> pf, mf;
+    for (const auto& [k, c] : prows) pf.append(k, c);
+    for (const auto& [k, c] : mrows) mf.append(k, c);
+    ProjTableT<B> plus = ProjTableT<B>::from_packed(2, std::move(pf));
+    ProjTableT<B> minus = ProjTableT<B>::from_packed(2, std::move(mf));
+    AccumMapT<B> sink(16, true);
+    merge_halves<B>(f.cx, plus, minus, spec, sink);
+    auto& out = results[packed ? 1 : 0];
+    sink.for_each([&](const TableKey& k, const Vec& c) {
+      std::array<Count, B> cs{};
+      for (int l = 0; l < B; ++l) cs[l] = LaneOps<B>::lane(c, l);
+      out.emplace_back(
+          std::array<std::uint64_t, 5>{k.v[0], k.v[1], k.v[2], k.v[3],
+                                       k.sig},
+          cs);
+    });
+    std::sort(out.begin(), out.end());
+  }
+  EXPECT_FALSE(results[0].empty());
+  EXPECT_EQ(results[0], results[1]);
+}
+
+TEST(PackedMerge, MergeHalvesPackedMatchesDenseB8) {
+  run_merge_halves_parity<8>(331, /*wide_escape=*/false);
+}
+TEST(PackedMerge, MergeHalvesPackedMatchesDenseB2) {
+  run_merge_halves_parity<2>(332, /*wide_escape=*/false);
+}
+TEST(PackedMerge, MergeHalvesWideEscapeFallsBackIdentically) {
+  run_merge_halves_parity<8>(333, /*wide_escape=*/true);
+}
+
+TEST(PackedMergeEngine, SessionAgreesWithDenseMergeLaneForLane) {
+  // Whole-pipeline cross-check on merge-heavy (cycle) queries: per-lane
+  // colorful counts cannot depend on the merge path taken.
+  const CsrGraph g = erdos_renyi(60, 260, 35);
+  std::vector<std::uint64_t> seeds{7300, 7301, 7302, 7303,
+                                   7304, 7305, 7306, 7307};
+  for (const QueryGraph& q : {q_cycle(5), q_cycle(6), q_dros()}) {
+    ExecOptions on;
+    on.packed_merge = true;
+    ExecOptions off;
+    off.packed_merge = false;
+    CountingSession son(g, q, make_plan(q), on);
+    CountingSession soff(g, q, make_plan(q), off);
+    const ExecStats a = son.count_colorful_seeded(
+        std::span<const std::uint64_t>(seeds.data(), 8));
+    const ExecStats b = soff.count_colorful_seeded(
+        std::span<const std::uint64_t>(seeds.data(), 8));
+    for (int l = 0; l < 8; ++l) {
+      EXPECT_EQ(a.colorful_lane[l], b.colorful_lane[l])
+          << q.name() << " lane " << l;
+    }
+  }
 }
 
 // -------------------------------------------------------- end to end
