@@ -1,0 +1,222 @@
+// Accumulate-only microbench: the B = 8 emission + seal hot path in
+// isolation, probe vs sharded engine (table/flat_rows.hpp), without the
+// estimator noise of the full batch bench. The workload replays the
+// extend loop's emission shape — same-v1 bursts through the run-bulk
+// API, duplicate keys re-emitted across bursts — at several table
+// sizes, then seals kByV1 exactly as extend_with_graph_grouped does.
+//
+// Writes BENCH_accumulate.json:
+//   cells[]: {rows, dup_factor, engine, accumulate_s, seal_s, total_s}
+//   headline: geomean sharded/probe wall ratios per stage (< 1 means
+//   the sharded engine is faster).
+//
+// Knobs: CCBT_BENCH_TRIALS (default 5 repetitions, best-of).
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "ccbt/table/flat_rows.hpp"
+#include "ccbt/util/rng.hpp"
+#include "ccbt/util/timer.hpp"
+
+namespace ccbt {
+namespace {
+
+constexpr int B = 8;
+using Rows = FlatRowsT<B>;
+using Row16 = PackedFlatRowT<B, std::uint16_t>;
+
+int bench_reps() {
+  if (const char* env = std::getenv("CCBT_BENCH_TRIALS")) {
+    const int t = std::atoi(env);
+    if (t > 0) return t;
+  }
+  return 5;
+}
+
+std::uint64_t pack(std::uint32_t v0, std::uint32_t v1, std::uint8_t sig) {
+  return (std::uint64_t{v0} << 36) | (std::uint64_t{v1} << 8) | sig;
+}
+
+/// One synthetic emission stream: `bursts` same-v1 runs of `burst_len`
+/// rows each over a `domain`-vertex graph, with duplicate keys arriving
+/// both inside a burst and when a later burst revisits the same v1 —
+/// the duplicate structure the combining caches exist for.
+struct Workload {
+  VertexId domain = 0;
+  struct Burst {
+    std::uint32_t v1;
+    std::uint32_t v0_base;
+  };
+  std::vector<Burst> bursts;
+  std::size_t burst_len = 0;
+
+  static Workload make(std::size_t emissions, VertexId domain,
+                       std::size_t burst_len, std::uint64_t seed) {
+    Workload w;
+    w.domain = domain;
+    w.burst_len = burst_len;
+    Rng rng(seed);
+    const std::size_t n_bursts = emissions / burst_len;
+    w.bursts.reserve(n_bursts);
+    for (std::size_t i = 0; i < n_bursts; ++i) {
+      // Bursts revisit a v1 with probability ~1/2 (cross-burst dups).
+      const std::uint32_t v1 =
+          static_cast<std::uint32_t>(rng() % (domain / 2) * 2 % domain);
+      const std::uint32_t v0_base =
+          static_cast<std::uint32_t>(rng() % domain);
+      w.bursts.push_back({v1, v0_base});
+    }
+    return w;
+  }
+};
+
+/// Replay the workload into a fresh sink on `engine`, mimicking the
+/// extend loop: acquire a run handle per burst, run-append when it is
+/// valid (sharded), per-row probe append otherwise. Returns the emit
+/// wall; `seal_s` gets the kByV1 sort + merge wall.
+double replay(const Workload& w, AccumEngine engine, double* seal_s,
+              std::size_t* sealed_rows) {
+  set_accum_engine(engine);
+  Rows t;
+  Row16 src;
+  for (int l = 0; l < B; ++l) src.c[l] = 1;
+  Timer emit_timer;
+  t.prepare_emit(AccumEngine::kAuto, w.domain);
+  for (const Workload::Burst& b : w.bursts) {
+    const auto run = t.run_u16(b.v1, w.burst_len);
+    for (std::size_t i = 0; i < w.burst_len; ++i) {
+      // In-burst duplicates: every 4th row repeats the previous key.
+      const std::uint32_t v0 =
+          (b.v0_base + static_cast<std::uint32_t>(i - (i % 4 == 3))) %
+          w.domain;
+      const std::uint64_t k =
+          pack(v0, b.v1, static_cast<std::uint8_t>(v0 & 0x1F));
+      const LaneMask m =
+          static_cast<LaneMask>(1u << (v0 % B)) | LaneMask{1};
+      if (run.valid()) {
+        t.run_append_u16(run, k, src, m);
+      } else {
+        t.append_masked_u16(k, src, m);
+      }
+    }
+  }
+  const double emit_s = emit_timer.seconds();
+  Timer seal_timer;
+  const bool ok = t.sort_by_slot(1, w.domain);
+  t.merge_duplicates();
+  *seal_s = seal_timer.seconds();
+  *sealed_rows = t.size();
+  if (!ok) std::fprintf(stderr, "seal fell back to dense path!\n");
+  set_accum_engine(AccumEngine::kAuto);
+  return emit_s;
+}
+
+struct Cell {
+  std::size_t emissions;
+  const char* engine;
+  double accumulate_s = 0.0;
+  double seal_s = 0.0;
+  std::size_t rows = 0;
+};
+
+}  // namespace
+}  // namespace ccbt
+
+int main() {
+  using namespace ccbt;
+  const int reps = bench_reps();
+  const std::vector<std::size_t> sizes{200'000, 1'000'000, 4'000'000};
+  const VertexId domain = 60'000;
+  const std::size_t burst_len = 48;
+
+  std::printf(
+      "Accumulate microbench: B=8 same-v1 burst emission + kByV1 seal\n"
+      "%-10s %-8s %12s %12s %12s %10s\n", "emissions", "engine",
+      "accum ms", "seal ms", "total ms", "rows");
+  std::vector<Cell> cells;
+  std::vector<double> accum_ratios, seal_ratios, total_ratios;
+  for (const std::size_t emissions : sizes) {
+    const Workload w = Workload::make(emissions, domain, burst_len, 42);
+    double best[2][2];  // [engine][stage] best-of-reps
+    std::size_t rows[2] = {0, 0};
+    const AccumEngine engines[2] = {AccumEngine::kProbe,
+                                    AccumEngine::kSharded};
+    const char* names[2] = {"probe", "sharded"};
+    for (int e = 0; e < 2; ++e) {
+      best[e][0] = best[e][1] = 1e30;
+      for (int r = 0; r < reps; ++r) {
+        double seal = 0.0;
+        std::size_t sealed = 0;
+        const double emit = replay(w, engines[e], &seal, &sealed);
+        best[e][0] = std::min(best[e][0], emit);
+        best[e][1] = std::min(best[e][1], seal);
+        rows[e] = sealed;
+      }
+      Cell c;
+      c.emissions = emissions;
+      c.engine = names[e];
+      c.accumulate_s = best[e][0];
+      c.seal_s = best[e][1];
+      c.rows = rows[e];
+      cells.push_back(c);
+      std::printf("%-10zu %-8s %12.2f %12.2f %12.2f %10zu\n", emissions,
+                  names[e], 1e3 * c.accumulate_s, 1e3 * c.seal_s,
+                  1e3 * (c.accumulate_s + c.seal_s), c.rows);
+    }
+    if (rows[0] != rows[1]) {
+      std::fprintf(stderr, "sealed row mismatch: probe %zu sharded %zu\n",
+                   rows[0], rows[1]);
+      return 1;
+    }
+    accum_ratios.push_back(best[1][0] / best[0][0]);
+    seal_ratios.push_back(best[1][1] / best[0][1]);
+    total_ratios.push_back((best[1][0] + best[1][1]) /
+                           (best[0][0] + best[0][1]));
+  }
+
+  auto geomean = [](const std::vector<double>& xs) {
+    double s = 0.0;
+    for (double x : xs) s += std::log(x);
+    return std::exp(s / static_cast<double>(xs.size()));
+  };
+  const double gm_accum = geomean(accum_ratios);
+  const double gm_seal = geomean(seal_ratios);
+  const double gm_total = geomean(total_ratios);
+  std::printf(
+      "\nsharded/probe wall ratios (geomean; < 1 = sharded faster):\n"
+      "  accumulate %.3f   seal %.3f   total %.3f\n",
+      gm_accum, gm_seal, gm_total);
+
+  std::FILE* f = std::fopen("BENCH_accumulate.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_accumulate.json\n");
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"accumulate\",\n"
+               "  \"sharded_over_probe_accumulate\": %.3f,\n"
+               "  \"sharded_over_probe_seal\": %.3f,\n"
+               "  \"sharded_over_probe_total\": %.3f,\n"
+               "  \"cells\": [\n",
+               gm_accum, gm_seal, gm_total);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::fprintf(f,
+                 "    {\"emissions\": %zu, \"engine\": \"%s\", "
+                 "\"accumulate_s\": %.6f, \"seal_s\": %.6f, "
+                 "\"rows\": %zu}%s\n",
+                 c.emissions, c.engine, c.accumulate_s, c.seal_s, c.rows,
+                 i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("BENCH_accumulate.json written\n");
+  return 0;
+}

@@ -63,6 +63,13 @@ struct Cell {
   std::array<std::uint64_t, 3> width_hist{};  // packed rows per u16/u32/u64
   // Per-stage wall breakdown summed over the cell's plan executions.
   StageWall stage;
+  // Accumulate-stage wall vs the B = 1 cell of the same (graph, query) —
+  // the stage the sharded engine targets (B > 1 only).
+  double accum_ratio = 0.0;
+  // Accumulation telemetry sampled from the same batched execution as
+  // the lane-layout fields: engine choice, combining-cache folds,
+  // run-bulk usage, shard occupancy (B > 1).
+  AccumTelemetry accum;
 };
 
 struct WireCell {
@@ -123,6 +130,7 @@ int main() {
 
       std::vector<Count> baseline_counts;
       double baseline_per_trial = 0.0;
+      StageWall baseline_stage;
       for (const int width : widths) {
         EstimatorOptions opts = base;
         opts.batch = width;
@@ -152,13 +160,19 @@ int main() {
                     : static_cast<double>(sample.lanes.rows_packed) /
                           static_cast<double>(sample.lanes.rows);
             cell.width_hist = sample.lanes.width_rows;
+            cell.accum = sample.accum;
           }
           if (width == 1) {
             baseline_counts = r.colorful_per_trial;
             baseline_per_trial = cell.per_trial_ms;
+            baseline_stage = cell.stage;
           } else {
             cell.speedup = baseline_per_trial / cell.per_trial_ms;
             cell.lanes_match = (r.colorful_per_trial == baseline_counts);
+            cell.accum_ratio = baseline_stage.accumulate > 0.0
+                                   ? cell.stage.accumulate /
+                                         baseline_stage.accumulate
+                                   : 0.0;
           }
           t.add_row({gname, q.name(), TextTable::num(std::uint64_t(width)),
                      TextTable::num(std::uint64_t(trials)),
@@ -208,6 +222,11 @@ int main() {
     std::printf(
         "  B=%d: accumulate %.3f  seal %.3f  merge %.3f  (staged %.3f)\n",
         width, sum.accumulate, sum.seal, sum.merge, sum.total());
+  }
+  if (stage_b1.accumulate > 0.0 && stage_b1.seal > 0.0) {
+    std::printf("  B=8 over B=1: accumulate %.2fx, seal %.2fx\n",
+                stage_b8.accumulate / stage_b1.accumulate,
+                stage_b8.seal / stage_b1.seal);
   }
 
   // ------------------------------------------------------------- wire
@@ -352,6 +371,7 @@ int main() {
                "  \"geomean_wire_ratio_b8\": %.3f,\n"
                "  \"geomean_steps_ratio_b8\": %.3f,\n"
                "  \"seal_wall_b8_over_b1\": %.3f,\n"
+               "  \"accumulate_wall_b8_over_b1\": %.3f,\n"
                "  \"wire_b8_beats_b1\": %s,\n"
                "  \"lanes_match\": %s,\n"
                "  \"stage_seconds_b1\": {\"accumulate\": %.6f, "
@@ -361,6 +381,9 @@ int main() {
                "  \"cells\": [\n",
                trials, bench_scale(), gm_wall8, gm_wire8, gm_steps8,
                stage_b1.seal > 0.0 ? stage_b8.seal / stage_b1.seal : 0.0,
+               stage_b1.accumulate > 0.0
+                   ? stage_b8.accumulate / stage_b1.accumulate
+                   : 0.0,
                gm_wire8 > 1.0 ? "true" : "false",
                all_match ? "true" : "false", stage_b1.accumulate,
                stage_b1.seal, stage_b1.merge, stage_b1.transport,
@@ -377,14 +400,24 @@ int main() {
         "\"packed_width_hist\": {\"u16\": %llu, \"u32\": %llu, "
         "\"u64\": %llu}, "
         "\"stage\": {\"accumulate\": %.6f, \"seal\": %.6f, "
-        "\"merge\": %.6f}}%s\n",
+        "\"merge\": %.6f}, "
+        "\"accumulate_wall_over_b1\": %.3f, "
+        "\"accum\": {\"phases\": %llu, \"sharded_phases\": %llu, "
+        "\"rows\": %llu, \"combine_folds\": %llu, \"run_emits\": %llu, "
+        "\"shard_occupancy\": %.3f}}%s\n",
         c.graph.c_str(), c.query.c_str(), c.width, c.wall, c.per_trial_ms,
         c.speedup, c.lanes_match ? "true" : "false", c.lane_density,
         c.packed_share,
         static_cast<unsigned long long>(c.width_hist[0]),
         static_cast<unsigned long long>(c.width_hist[1]),
         static_cast<unsigned long long>(c.width_hist[2]),
-        c.stage.accumulate, c.stage.seal, c.stage.merge,
+        c.stage.accumulate, c.stage.seal, c.stage.merge, c.accum_ratio,
+        static_cast<unsigned long long>(c.accum.phases),
+        static_cast<unsigned long long>(c.accum.sharded_phases),
+        static_cast<unsigned long long>(c.accum.rows),
+        static_cast<unsigned long long>(c.accum.combine_folds),
+        static_cast<unsigned long long>(c.accum.run_emits),
+        c.accum.shard_occupancy(),
         i + 1 < cells.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"wire_cells\": [\n");

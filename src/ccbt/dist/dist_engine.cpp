@@ -504,7 +504,8 @@ DistStats run_plan_distributed_impl(const CsrGraph& g, const DecompTree& tree,
                        &load,
                        opts,
                        &stats.lanes,
-                       &stats.stage};
+                       &stats.stage,
+                       &stats.accum};
   VirtualCommT<B> comm(ranks);
   FaultPlan faults(opts.dist.faults);
   FaultPlan* fp = faults.enabled() ? &faults : nullptr;

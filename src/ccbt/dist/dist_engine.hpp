@@ -68,6 +68,12 @@ struct DistStats {
   /// supersteps.
   StageWall stage;
 
+  /// B > 1 accumulation telemetry (see ExecStats::accum). Stays zero as
+  /// long as the distributed supersteps accumulate through hashed
+  /// AccumMap sinks rather than flat rows; present so ExecStats and
+  /// DistStats expose one shape to estimator-level aggregation.
+  AccumTelemetry accum;
+
   /// Fault-tolerance scoreboard: faults injected by the configured
   /// FaultPlan, delivery retries and their modeled backoff, checkpoint
   /// snapshots taken and their byte cost, and rollback replays. All-zero

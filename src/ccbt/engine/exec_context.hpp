@@ -9,6 +9,7 @@
 #include "ccbt/graph/csr_graph.hpp"
 #include "ccbt/graph/degree_order.hpp"
 #include "ccbt/graph/partition.hpp"
+#include "ccbt/table/flat_rows.hpp"
 #include "ccbt/table/lane_payload.hpp"
 #include "ccbt/util/fault.hpp"
 #include "ccbt/util/timer.hpp"
@@ -156,6 +157,12 @@ struct ExecContext {
   /// transport); the engines attach one and surface it through
   /// ExecStats::stage / DistStats::stage.
   StageWall* stage = nullptr;
+
+  /// Optional collector of B > 1 accumulation telemetry (engine used,
+  /// combining-cache folds, shard occupancy); accumulate_flat folds each
+  /// phase's reduced sink into it and the engines surface it through
+  /// ExecStats::accum / DistStats::accum.
+  AccumTelemetry* accum = nullptr;
 
   double* stage_slot(double StageWall::* member) const {
     return stage == nullptr ? nullptr : &(stage->*member);

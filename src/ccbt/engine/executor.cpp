@@ -21,6 +21,7 @@ ExecStats run_plan_impl(const ExecContext& outer_cx, const DecompTree& tree) {
   ExecContext cx = outer_cx;
   cx.lane_telemetry = &stats.lanes;
   cx.stage = &stats.stage;
+  cx.accum = &stats.accum;
   stats.lanes_used = cx.chi.lanes();
   TablePoolT<B> pool(tree.blocks.size(), cx.g.num_vertices(),
                      cx.opts.lane_compress, &stats.stage);

@@ -17,8 +17,7 @@ namespace ccbt {
                                               ProjTableT<B>&,               \
                                               const ProjTableT<B>&,          \
                                               const ExtendOpts&);            \
-  template ProjTableT<B> node_join<B>(const ExecContext&,                    \
-                                      const ProjTableT<B>&,                  \
+  template ProjTableT<B> node_join<B>(const ExecContext&, ProjTableT<B>&,    \
                                       const ProjTableT<B>&, int);            \
   template void merge_halves<B>(const ExecContext&, ProjTableT<B>&,          \
                                 ProjTableT<B>&, const MergeSpec&,            \

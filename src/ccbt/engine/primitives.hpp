@@ -177,6 +177,12 @@ template <int B, typename Emit>
 FlatRowsT<B> accumulate_flat(const ExecContext& cx, std::size_t n,
                              Emit&& emit) {
   ScopedStage timed(cx.stage_slot(&StageWall::accumulate));
+  // Every sink is bound to its accumulation engine up front (the
+  // CCBT_ACCUM-pinnable probe/sharded choice): the per-row appends then
+  // never test or allocate their caches, and the run-bulk extend path
+  // can be entered for the whole phase. The graph's vertex count is the
+  // shard-cut domain — emitted v1 values are vertices or kNoVertex.
+  const VertexId shard_domain = cx.g.num_vertices();
 #ifdef _OPENMP
   if (cx.opts.use_threads && pool_threads() > 1 && n > 4096) {
     const int threads = pool_threads();
@@ -185,6 +191,7 @@ FlatRowsT<B> accumulate_flat(const ExecContext& cx, std::size_t n,
 #pragma omp parallel num_threads(threads)
     {
       FlatRowsT<B>& local = rows[omp_get_thread_num()];
+      local.prepare_emit(AccumEngine::kAuto, shard_domain);
 #pragma omp for schedule(dynamic, 512)
       for (std::size_t i = 0; i < n; ++i) {
         if (budget_hit.load(std::memory_order_relaxed)) continue;
@@ -207,15 +214,18 @@ FlatRowsT<B> accumulate_flat(const ExecContext& cx, std::size_t n,
       if (&r == biggest) continue;
       out.absorb(std::move(r));
     }
+    if (cx.accum != nullptr) out.collect_telemetry(*cx.accum);
     return out;
   }
 #endif
   FlatRowsT<B> out;
+  out.prepare_emit(AccumEngine::kAuto, shard_domain);
   for (std::size_t i = 0; i < n; ++i) {
     emit(i, out);
     if ((i & 0xFFF) == 0) check_budget(cx, out.size());
   }
   check_budget(cx, out.size());
+  if (cx.accum != nullptr) out.collect_telemetry(*cx.accum);
   return out;
 }
 
@@ -587,6 +597,34 @@ ProjTableT<B> extend_with_graph_grouped(const ExecContext& cx,
             side16.push_back((rank << 8) | a);
           }
 
+          // Probe engine: pipeline the combining-cache probes a tile
+          // ahead — prefetch each slot at enqueue, append on flush, so
+          // the dependent slot load is in flight across a tile of
+          // emissions instead of stalling every append. (Emission
+          // order within a sink never changes sealed counts: every
+          // fold is an exact u64 sum.) Idle when the sink is sharded.
+          constexpr int kTile = 16;
+          struct Pending {
+            std::uint64_t k;
+            std::uint32_t row;
+            LaneMask m;
+          };
+          std::array<Pending, kTile> tile;
+          int tn = 0;
+          auto flush_tile = [&] {
+            for (int t = 0; t < tn; ++t) {
+              sink.append_masked_u16(tile[t].k, rows16[tile[t].row],
+                                     tile[t].m);
+            }
+            tn = 0;
+          };
+          auto emit_probe = [&](std::uint64_t k, std::size_t row,
+                                LaneMask m) {
+            sink.prefetch_combine(k);
+            tile[tn++] = {k, static_cast<std::uint32_t>(row), m};
+            if (tn == kTile) flush_tile();
+          };
+
           for (VertexId w : g.neighbors(v)) {
             const std::uint64_t cw = cx.chi.colors_word(w);
             const std::uint64_t wrank = cx.order.rank(w);
@@ -603,6 +641,13 @@ ProjTableT<B> extend_with_graph_grouped(const ExecContext& cx,
                                 }) -
                             side16.begin());
             }
+            // Sharded engine: the whole (v, w) burst shares v1 == w,
+            // so it lands in one shard — resolve the shard and its
+            // cache slice once and emit through the run handle (one
+            // L1 probe + push per row). Invalid on the probe engine,
+            // and re-acquired after any generic fallback, which can
+            // escalate the sink and tear the shards down.
+            auto run = sink.run_u16(w, end - lo);
             for (std::size_t i = lo; i < end; ++i) {
               const std::uint64_t side = side16[i - lo];
               const auto a0 = static_cast<LaneMask>(side & 0xFF);
@@ -624,7 +669,11 @@ ProjTableT<B> extend_with_graph_grouped(const ExecContext& cx,
                 if ((esig & w_bit) != 0) continue;
                 const Signature sig = esig | w_bit;
                 if (sig <= 0xFF) [[likely]] {
-                  sink.append_masked_u16(kbase | sig, r, a0);
+                  if (run.valid()) {
+                    sink.run_append_u16(run, kbase | sig, r, a0);
+                  } else {
+                    emit_probe(kbase | sig, i, a0);
+                  }
                 } else {
                   TableKey key;
                   key.v[0] = static_cast<VertexId>(r.k >> 36);
@@ -632,6 +681,7 @@ ProjTableT<B> extend_with_graph_grouped(const ExecContext& cx,
                   key.sig = sig;
                   sink.append_masked(key, flat->expand(i), a0,
                                      std::uint64_t{0xFFFF});
+                  run = sink.run_u16(w, 0);
                 }
                 cx.send(v, w, 1);
                 continue;
@@ -647,8 +697,12 @@ ProjTableT<B> extend_with_graph_grouped(const ExecContext& cx,
               if (groups.n == 0) continue;
               for (int gi = 0; gi < groups.n; ++gi) {
                 if (groups.sig[gi] <= 0xFF) [[likely]] {
-                  sink.append_masked_u16(kbase | groups.sig[gi], r,
-                                         groups.mask[gi]);
+                  if (run.valid()) {
+                    sink.run_append_u16(run, kbase | groups.sig[gi], r,
+                                        groups.mask[gi]);
+                  } else {
+                    emit_probe(kbase | groups.sig[gi], i, groups.mask[gi]);
+                  }
                 } else {
                   // Color >= 8: the signature no longer fits the packed
                   // key's 8-bit field.
@@ -658,11 +712,13 @@ ProjTableT<B> extend_with_graph_grouped(const ExecContext& cx,
                   key.sig = groups.sig[gi];
                   sink.append_masked(key, flat->expand(i), groups.mask[gi],
                                      std::uint64_t{0xFFFF});
+                  run = sink.run_u16(w, 0);
                 }
               }
               cx.send(v, w, 1);
             }
           }
+          flush_tile();
           return;
         }
         thread_local std::vector<TableEntryT<B>> bscratch;
@@ -784,10 +840,13 @@ ProjTableT<B> extend_with_child(const ExecContext& cx, ProjTableT<B>& path,
 }
 
 /// NodeJoin: multiply in a unary child at key slot `slot` (0 = anchor,
-/// 1 = frontier). `child` must be sealed kByV0.
+/// 1 = frontier). `child` must be sealed kByV0. `path` may be unsealed;
+/// it is consumed row by row (flattened first when its accumulation
+/// left it sharded — the one primitive that indexes an unsealed table).
 template <int B>
-ProjTableT<B> node_join(const ExecContext& cx, const ProjTableT<B>& path,
+ProjTableT<B> node_join(const ExecContext& cx, ProjTableT<B>& path,
                         const ProjTableT<B>& child, int slot) {
+  path.ensure_row_access();
   const detail::ChildProbe<B> probe(child);
   return detail::accumulate_rows<B>(
       cx, path.arity(), path.size(), [&](std::size_t i, auto&& emit) {

@@ -23,6 +23,18 @@
 // the dense seal produces, and equal-k runs are exactly equal-TableKey
 // runs. Run sums during the merge pass are computed in 64-bit, so the
 // deduped counts are bit-identical to the dense path's.
+//
+// Emission itself runs on one of two engines (AccumEngine below; a sink
+// binds one per accumulation phase via prepare_emit). The probe engine
+// probes a global direct-mapped combining cache per append. The sharded
+// engine — the default — lands u16 rows pre-bucketed in 64 shards cut
+// over the high bits of v1, each with its own L1-sized combining cache,
+// and takes whole same-v1 bursts through a run handle (run_u16) that
+// resolves the shard and cache slice once per burst; the cut is
+// monotone in v1, so the shards hand the kByV1 seal its leading radix
+// digits pre-sorted. Escalation out of u16 flattens the shards in place
+// and continues on the probe path — engine choice is a pure performance
+// knob, sealed tables are bit-identical (tests/test_accum_sharded.cpp).
 
 #include <algorithm>
 #include <array>
@@ -80,6 +92,75 @@ inline void set_seal_sort_algo(SealSortAlgo a) {
   detail_seal::seal_sort_state().store(a, std::memory_order_relaxed);
 }
 
+/// Which accumulation engine the B > 1 sinks run. kProbe is the
+/// original per-emission combining-cache probe into one flat buffer —
+/// kept as the differential oracle. kSharded routes u16 emissions into
+/// 1 << kShardBits shards cut by the high bits of the packed v1 field:
+/// duplicate bursts collapse inside a cache-resident shard, and the
+/// slot-1 seal sorts each shard independently (its leading radix
+/// passes are pre-satisfied by the shard order). kAuto resolves to
+/// kSharded whenever the producer supplies a vertex domain. Both
+/// engines feed the same sort-merge seal, and every count is an exact
+/// u64 sum, so sealed tables are bit-identical either way (the parity
+/// tests assert it). CCBT_ACCUM=probe|sharded pins a whole process.
+enum class AccumEngine : std::uint8_t { kAuto = 0, kProbe = 1, kSharded = 2 };
+
+namespace detail_accum {
+
+inline AccumEngine accum_from_env() {
+  const char* env = std::getenv("CCBT_ACCUM");
+  if (env != nullptr) {
+    if (std::strcmp(env, "probe") == 0) return AccumEngine::kProbe;
+    if (std::strcmp(env, "sharded") == 0) return AccumEngine::kSharded;
+  }
+  return AccumEngine::kAuto;
+}
+
+inline std::atomic<AccumEngine>& accum_state() {
+  static std::atomic<AccumEngine> state{accum_from_env()};
+  return state;
+}
+
+}  // namespace detail_accum
+
+inline AccumEngine accum_engine() {
+  return detail_accum::accum_state().load(std::memory_order_relaxed);
+}
+
+/// Override the accumulation-engine selection process-wide (tests;
+/// kAuto restores the default policy).
+inline void set_accum_engine(AccumEngine e) {
+  detail_accum::accum_state().store(e, std::memory_order_relaxed);
+}
+
+/// Accumulation-stage telemetry, collected per phase from the reduced
+/// sink before it seals (ExecStats::accum). The fold counters say how
+/// much sort input the combining caches removed; the occupancy pair
+/// says how evenly the shard cut spread the key space.
+struct AccumTelemetry {
+  std::uint64_t phases = 0;           // accumulation phases observed
+  std::uint64_t sharded_phases = 0;   // phases run on the sharded engine
+  std::uint64_t rows = 0;             // rows handed to the seal
+  std::uint64_t combine_folds = 0;    // emissions folded into a live row
+  std::uint64_t run_emits = 0;        // emissions via the run-bulk API
+  std::uint64_t shards_occupied = 0;  // shards holding >= 1 row
+  std::uint64_t shard_slots = 0;      // shards available (sharded phases)
+  void add(const AccumTelemetry& o) {
+    phases += o.phases;
+    sharded_phases += o.sharded_phases;
+    rows += o.rows;
+    combine_folds += o.combine_folds;
+    run_emits += o.run_emits;
+    shards_occupied += o.shards_occupied;
+    shard_slots += o.shard_slots;
+  }
+  double shard_occupancy() const {
+    return shard_slots == 0 ? 0.0
+                            : static_cast<double>(shards_occupied) /
+                                  static_cast<double>(shard_slots);
+  }
+};
+
 /// One narrow flat row: packed key + all B lane counts at width W.
 template <int B, typename W>
 struct PackedFlatRowT {
@@ -105,9 +186,21 @@ class FlatRowsT {
   /// Active row representation; ordered so std::max picks the wider one.
   enum class Mode : std::uint8_t { kU16 = 0, kU32 = 1, kWide = 2 };
 
+  using Row16 = PackedFlatRowT<B, std::uint16_t>;
+
+  /// Direct-mapped combining cache slot: packed key -> row index of its
+  /// last appearance. A slot is only ever a hint — it is checked against
+  /// the row it points at before any fold, so a stale, colliding or
+  /// zero-filled slot is at worst a missed merge, never a wrong one.
+  struct CombineSlot {
+    std::uint64_t k = ~std::uint64_t{0};
+    std::uint32_t idx = 0;
+  };
+
   FlatRowsT() = default;
 
   std::size_t size() const {
+    if (sharded_) return shard_rows_;
     switch (mode_) {
       case Mode::kU16: return n16_.size();
       case Mode::kU32: return n32_.size();
@@ -135,6 +228,15 @@ class FlatRowsT {
   /// Pre-size the current row buffer (a lower-bound emission estimate
   /// from the producer saves the doubling-growth copies).
   void reserve_hint(std::size_t n) {
+    if (sharded_) {
+      // Spread the estimate across the shards; skip when the per-shard
+      // share is too small to beat the doubling growth anyway.
+      const std::size_t per = n >> kShardBits;
+      if (per >= 64) {
+        for (auto& shard : shard16_) shard.reserve(per);
+      }
+      return;
+    }
     switch (mode_) {
       case Mode::kU16: n16_.reserve(n); return;
       case Mode::kU32: n32_.reserve(n); return;
@@ -155,6 +257,7 @@ class FlatRowsT {
 
   /// Bytes the rows occupy in the current representation.
   std::uint64_t byte_size() const {
+    if (sharded_) return shard_rows_ * sizeof(Row16);
     switch (mode_) {
       case Mode::kU16: return n16_.size() * sizeof(n16_[0]);
       case Mode::kU32: return n32_.size() * sizeof(n32_[0]);
@@ -174,13 +277,20 @@ class FlatRowsT {
   /// the measured duplicate factor of the Fig 15 workload is 1.3-1.8x.
   /// Sums are exact u64 adds, so seal-time counts are unchanged.
   void append(const TableKey& key, const Vec& cnt) {
+    if (!prepared_) [[unlikely]] prepare_emit(AccumEngine::kAuto, 0);
     if (mode_ != Mode::kWide && packable_key(key)) {
       // OR of the lanes bounds the max: any count above the width has a
       // high bit the OR keeps.
       Count hi = 0;
       for (int l = 0; l < B; ++l) hi |= LaneOps<B>::lane(cnt, l);
       const std::uint64_t k = pack_key(key);
-      if (combine_.empty()) combine_.resize(kCombineSlots);
+      if (sharded_) {
+        if (hi <= 0xFFFFull) {
+          shard_emit_vec(k, cnt, ~LaneMask{0});
+          return;
+        }
+        unshard();  // oversized count: continue on the probe path below
+      }
       CombineSlot& slot = combine_[combine_hash(k)];
       if (mode_ == Mode::kU16) {
         if (slot.k == k && slot.idx < n16_.size() && n16_[slot.idx].k == k &&
@@ -222,6 +332,7 @@ class FlatRowsT {
   /// never escalates the buffer).
   void append_masked(const TableKey& key, const Vec& src, LaneMask m,
                      Count src_hi) {
+    if (!prepared_) [[unlikely]] prepare_emit(AccumEngine::kAuto, 0);
     if (mode_ != Mode::kWide && packable_key(key)) {
       Count hi = src_hi;
       if ((mode_ == Mode::kU16 && hi > 0xFFFFull) ||
@@ -229,7 +340,13 @@ class FlatRowsT {
         hi = masked_or(src, m);
       }
       const std::uint64_t k = pack_key(key);
-      if (combine_.empty()) combine_.resize(kCombineSlots);
+      if (sharded_) {
+        if (hi <= 0xFFFFull) {
+          shard_emit_vec(k, src, m);
+          return;
+        }
+        unshard();  // oversized count: continue on the probe path below
+      }
       CombineSlot& slot = combine_[combine_hash(k)];
       if (mode_ == Mode::kU16) {
         if (slot.k == k && slot.idx < n16_.size() && n16_[slot.idx].k == k &&
@@ -271,7 +388,12 @@ class FlatRowsT {
                          const PackedFlatRowT<B, std::uint16_t>& src,
                          LaneMask m) {
     if (mode_ == Mode::kU16) [[likely]] {
-      if (combine_.empty()) combine_.resize(kCombineSlots);
+      if (!prepared_) [[unlikely]] prepare_emit(AccumEngine::kAuto, 0);
+      if (sharded_) {
+        const std::size_t s = shard_of(k);
+        fold_or_push(shard16_[s], shard_slot(s, k), k, src, m);
+        return;
+      }
       CombineSlot& slot = combine_[combine_hash(k)];
       if (slot.k == k && slot.idx < n16_.size() && n16_[slot.idx].k == k) {
         std::array<std::uint32_t, B> sum;
@@ -305,6 +427,188 @@ class FlatRowsT {
     // source row and take the generic path.
     append_masked(unpack_key(k), expand_counts(src), m,
                   std::uint64_t{0xFFFF});
+  }
+
+  // --------------------------------------------- accumulation phases
+
+  /// Bind this sink to an accumulation engine for the coming phase.
+  /// accumulate_flat calls this once per sink before its emission loop,
+  /// which is what lets the per-row appends skip the old lazy
+  /// combining-cache resize; a stray direct append still self-prepares
+  /// through an [[unlikely]] guard, landing on the probe engine.
+  ///
+  /// `want` == kAuto defers to the process-wide pin (CCBT_ACCUM /
+  /// set_accum_engine), which itself defaults to the sharded engine.
+  /// The sharded engine needs the producer's vertex domain to place the
+  /// shard cut over v1 (and a fresh u16 sink to shard into); without
+  /// either it degrades to the probe engine. Idempotent until clear().
+  void prepare_emit(AccumEngine want, VertexId domain) {
+    if (prepared_) return;
+    prepared_ = true;
+    if (sharded_) {
+      // Still holding sharded rows from a phase whose caches were
+      // dropped: keep the cut, just stand the shard caches back up.
+      engine_ = AccumEngine::kSharded;
+      if (shard_combine_.empty()) {
+        shard_combine_.assign(kShardCount << kShardCombineBits,
+                              CombineSlot{});
+      }
+      return;
+    }
+    AccumEngine eng = want != AccumEngine::kAuto ? want : accum_engine();
+    if (eng == AccumEngine::kAuto) eng = AccumEngine::kSharded;
+    if (eng == AccumEngine::kSharded && mode_ == Mode::kU16 && empty() &&
+        domain > 0 && domain < kPacked28NoVertex) {
+      engine_ = AccumEngine::kSharded;
+      sharded_ = true;
+      // Cut the top kShardBits of the domain's occupied bit range, so
+      // the shards split any domain evenly and the shard index is
+      // monotone in v1 (shard concatenation = ascending-v1 blocks).
+      shard_shift_ = std::max(
+          0, static_cast<int>(std::bit_width(
+                 static_cast<std::uint32_t>(domain - 1))) -
+                 kShardBits);
+      shard16_.resize(kShardCount);
+      shard_combine_.assign(kShardCount << kShardCombineBits,
+                            CombineSlot{});
+      return;
+    }
+    engine_ = AccumEngine::kProbe;
+    if (combine_.empty()) combine_.resize(kCombineSlots);
+  }
+
+  /// Engine this sink was prepared with (kProbe until prepared).
+  AccumEngine engine() const { return engine_; }
+
+  /// True while emissions are landing in v1-cut shards (u16 only; any
+  /// escalation or wide absorb flattens and clears this).
+  bool sharded() const { return sharded_; }
+
+  /// A run handle for the run-bulk emission path: one shard's row
+  /// vector plus its combining-cache slice, resolved once for a whole
+  /// same-v1 emission run (the extend loop's per-neighbor burst) so the
+  /// per-row cost is one L1-resident probe and a push — no mode test,
+  /// no shard select, no prepare guard. Invalid (null rows) when the
+  /// sink is not sharded; any generic append that escalates the sink
+  /// invalidates outstanding handles, so callers re-acquire after one.
+  struct RunU16 {
+    std::vector<Row16>* rows = nullptr;
+    CombineSlot* slots = nullptr;
+    bool valid() const { return rows != nullptr; }
+  };
+
+  /// Begin a same-v1 run of up to `hint` emissions. Reserves once for
+  /// the whole run, keeping geometric growth (never a creeping
+  /// exact-fit reserve that would degrade pushes to O(n^2) copying).
+  RunU16 run_u16(VertexId v1, std::size_t hint) {
+    if (!prepared_) [[unlikely]] prepare_emit(AccumEngine::kAuto, 0);
+    if (!sharded_) return {};
+    const std::size_t s =
+        std::min<std::size_t>(std::size_t{v1} >> shard_shift_,
+                              kShardCount - 1);
+    auto& rows = shard16_[s];
+    if (rows.capacity() - rows.size() < hint) {
+      rows.reserve(std::max(rows.size() + hint, 2 * rows.capacity()));
+    }
+    return {&rows, shard_combine_.data() + (s << kShardCombineBits)};
+  }
+
+  /// Emit one masked u16 row through a valid run handle. All emissions
+  /// of the run must share the v1 the handle was acquired for.
+  void run_append_u16(const RunU16& run, std::uint64_t k, const Row16& src,
+                      LaneMask m) {
+    ++run_emits_;
+    fold_or_push(*run.rows, run.slots[shard_combine_hash(k)], k, src, m);
+  }
+
+  /// Prefetch the combining-cache slot `k` will probe. The probe-engine
+  /// extend loop queues a small tile of emissions and prefetches each
+  /// slot at enqueue time, so the dependent slot load in
+  /// append_masked_u16 is in flight a tile ahead of its use.
+  void prefetch_combine(std::uint64_t k) const {
+    if (!combine_.empty()) {
+      __builtin_prefetch(&combine_[combine_hash(k)], 1, 1);
+    }
+  }
+
+  /// Flatten mid-accumulation sharded storage in place (shard order, no
+  /// sort, rows stay unsealed) so the indexed row accessors work — the
+  /// per-row join primitives consume some tables without ever sealing
+  /// them. Drops the shard caches; the next append re-prepares the sink.
+  /// No-op when not sharded.
+  void ensure_flat() {
+    if (!sharded_) return;
+    flatten_shards();
+    prepared_ = false;
+  }
+
+  /// Fold this sink's accumulation counters (and shard occupancy) into
+  /// `t` — once per phase, after the per-thread reduction and before
+  /// the seal flattens the shards.
+  void collect_telemetry(AccumTelemetry& t) const {
+    ++t.phases;
+    t.rows += size();
+    t.combine_folds += combine_folds_;
+    t.run_emits += run_emits_;
+    if (sharded_) {
+      ++t.sharded_phases;
+      t.shard_slots += kShardCount;
+      for (const auto& shard : shard16_) {
+        t.shards_occupied += static_cast<std::uint64_t>(!shard.empty());
+      }
+    }
+  }
+
+  /// Visit every row as a dense entry, in storage order. Works in every
+  /// representation including mid-accumulation sharded storage, where
+  /// the indexed accessors below are unavailable (an unsealed root
+  /// table's lane totals read through this).
+  template <typename F>
+  void for_each_dense(F&& f) const {
+    Entry tmp;
+    if (sharded_) {
+      for (const auto& shard : shard16_) {
+        for (const Row16& r : shard) {
+          tmp.key = unpack_key(r.k);
+          tmp.cnt = expand_counts(r);
+          f(tmp);
+        }
+      }
+      return;
+    }
+    const std::size_t n = size();
+    for (std::size_t i = 0; i < n; ++i) {
+      row(i, tmp);
+      f(tmp);
+    }
+  }
+
+  /// Largest value of the packed key's `slot` field over all rows,
+  /// unpacked (the all-ones field reads back as kNoVertex) — domain
+  /// detection; shard-aware, unlike key_at.
+  VertexId max_slot_value(int slot) const {
+    VertexId mx = 0;
+    auto fold = [&](std::uint64_t k) {
+      const std::uint32_t b = slot_bits(k, slot);
+      mx = std::max(mx, b == kPacked28NoVertex ? kNoVertex : b);
+    };
+    if (sharded_) {
+      for (const auto& shard : shard16_) {
+        for (const Row16& r : shard) fold(r.k);
+      }
+      return mx;
+    }
+    switch (mode_) {
+      case Mode::kU16:
+        for (const Row16& r : n16_) fold(r.k);
+        return mx;
+      case Mode::kU32:
+        for (const auto& r : n32_) fold(r.k);
+        return mx;
+      case Mode::kWide: break;
+    }
+    for (const Entry& e : wide_) mx = std::max(mx, e.key.v[slot]);
+    return mx;
   }
 
   TableKey key_at(std::size_t i) const {
@@ -341,14 +645,36 @@ class FlatRowsT {
     out = wide_[i];
   }
 
-  /// Merge another sink's rows (the per-thread reduction): both are
-  /// raised to the wider representation, then concatenated.
+  /// Merge another sink's rows (the per-thread reduction): same-cut
+  /// sharded sinks concatenate shard-wise (keeping the sharded seal);
+  /// everything else is raised to the wider flat representation, then
+  /// concatenated. Accumulation counters always carry over.
   void absorb(FlatRowsT&& o) {
+    combine_folds_ += o.combine_folds_;
+    run_emits_ += o.run_emits_;
+    o.combine_folds_ = 0;
+    o.run_emits_ = 0;
     if (o.empty()) return;
     if (empty()) {
+      const std::uint64_t folds = combine_folds_;
+      const std::uint64_t runs = run_emits_;
       *this = std::move(o);
+      combine_folds_ = folds;
+      run_emits_ = runs;
       return;
     }
+    if (sharded_ && o.sharded_ && shard_shift_ == o.shard_shift_) {
+      for (std::size_t s = 0; s < kShardCount; ++s) {
+        auto& dst = shard16_[s];
+        auto& src = o.shard16_[s];
+        dst.insert(dst.end(), src.begin(), src.end());
+      }
+      shard_rows_ += o.shard_rows_;
+      o.clear();
+      return;
+    }
+    if (sharded_) unshard();
+    if (o.sharded_) o.unshard();
     const Mode m = std::max(mode_, o.mode_);
     raise_to(m);
     o.raise_to(m);
@@ -386,9 +712,17 @@ class FlatRowsT {
   /// set_seal_sort_algo. Returns false (rows untouched) when a slot
   /// value falls outside [0, domain) — including kNoVertex, whose packed
   /// pattern is the all-ones field — or when the rows are wide; the
-  /// caller falls back to the dense path.
+  /// caller falls back to the dense path. A sharded sink always leaves
+  /// this flattened: the slot-1 seal sorts shard by shard (the shard
+  /// blocks are already ascending-v1, so concatenating the per-shard
+  /// sorts IS the global order and the radix passes above shard_shift_
+  /// never run); any other slot flattens first and sorts globally.
   bool sort_by_slot(int slot, VertexId domain) {
     drop_combine();
+    if (sharded_) {
+      if (slot == 1) return sort_sharded_by_v1(domain);
+      flatten_shards();
+    }
     switch (mode_) {
       case Mode::kU16: return sort_dispatch(n16_, slot, domain);
       case Mode::kU32: return sort_dispatch(n32_, slot, domain);
@@ -463,31 +797,207 @@ class FlatRowsT {
     n32_.shrink_to_fit();
     wide_.clear();
     wide_.shrink_to_fit();
+    shard16_.clear();
+    shard16_.shrink_to_fit();
+    shard_rows_ = 0;
+    sharded_ = false;
+    shard_shift_ = 0;
     drop_combine();
+    engine_ = AccumEngine::kProbe;
+    combine_folds_ = 0;
+    run_emits_ = 0;
     mode_ = Mode::kU16;
   }
 
-  /// Release the combining cache (sealed tables must not carry it).
+  /// Release the combining caches (sealed tables must not carry them).
+  /// Also un-prepares the sink: the next phase re-binds an engine.
   void drop_combine() {
     combine_.clear();
     combine_.shrink_to_fit();
+    shard_combine_.clear();
+    shard_combine_.shrink_to_fit();
+    prepared_ = false;
   }
 
  private:
-  /// Direct-mapped combining cache: packed key -> row index of its last
-  /// appearance. 32K slots (384 KiB) — bigger than the emission bursts
-  /// that produce duplicates, small enough to stay L2-resident. Dropped
-  /// at seal time; a stale or colliding slot is only ever a missed merge.
-  struct CombineSlot {
-    std::uint64_t k = ~std::uint64_t{0};
-    std::uint32_t idx = 0;
-  };
+  // Global combining cache: 32K slots (384 KiB) — bigger than the
+  // emission bursts that produce duplicates, small enough to stay
+  // L2-resident. Dropped at seal time.
   static constexpr int kCombineBits = 15;
   static constexpr std::size_t kCombineSlots = std::size_t{1}
                                                << kCombineBits;
 
   static std::size_t combine_hash(std::uint64_t k) {
     return (k * 0x9E3779B97F4A7C15ull) >> (64 - kCombineBits);
+  }
+
+  // Sharded engine: 64 shards cut over the packed v1 field, each with
+  // its own 512-slot combining-cache slice (6 KiB — L1-resident for
+  // the duration of a same-v1 burst; 64 x 6 KiB = the same 384 KiB
+  // footprint as the global cache, but only one slice is hot at a
+  // time). v1 is the cut because the extend loop emits per-neighbor
+  // bursts that share v1 exactly, and slot-1 is the most common first
+  // seal order.
+  static constexpr int kShardBits = 6;
+  static constexpr std::size_t kShardCount = std::size_t{1} << kShardBits;
+  static constexpr int kShardCombineBits = 9;
+
+  static std::size_t shard_combine_hash(std::uint64_t k) {
+    return (k * 0x9E3779B97F4A7C15ull) >> (64 - kShardCombineBits);
+  }
+
+  std::size_t shard_of(std::uint64_t k) const {
+    const std::uint32_t v1 =
+        static_cast<std::uint32_t>(k >> 8) & kPacked28NoVertex;
+    // Out-of-domain v1 (kNoVertex's all-ones field) clamps to the last
+    // shard; the seal's validation rejects it there, exactly as the
+    // global sort would.
+    return std::min<std::size_t>(std::size_t{v1} >> shard_shift_,
+                                 kShardCount - 1);
+  }
+
+  CombineSlot& shard_slot(std::size_t s, std::uint64_t k) {
+    return shard_combine_[(s << kShardCombineBits) | shard_combine_hash(k)];
+  }
+
+  /// Shard-side fold-or-push of a masked u16 source row: sum into the
+  /// slot-hinted row while it stays u16, else push a duplicate (merged
+  /// at seal) and move the hint.
+  void fold_or_push(std::vector<Row16>& rows, CombineSlot& slot,
+                    std::uint64_t k, const Row16& src, LaneMask m) {
+    if (slot.k == k && slot.idx < rows.size() && rows[slot.idx].k == k) {
+      std::array<std::uint32_t, B> sum;
+      std::uint32_t hi = 0;
+      CCBT_SIMD
+      for (int l = 0; l < B; ++l) {
+        sum[l] = static_cast<std::uint32_t>(rows[slot.idx].c[l]) +
+                 (((m >> l) & 1) != 0 ? src.c[l] : std::uint16_t{0});
+        hi |= sum[l];
+      }
+      if (hi <= 0xFFFFu) {
+        CCBT_SIMD
+        for (int l = 0; l < B; ++l) {
+          rows[slot.idx].c[l] = static_cast<std::uint16_t>(sum[l]);
+        }
+        ++combine_folds_;
+        return;
+      }
+    }
+    slot.k = k;
+    slot.idx = static_cast<std::uint32_t>(rows.size());
+    Row16 r;
+    r.k = k;
+    CCBT_SIMD
+    for (int l = 0; l < B; ++l) {
+      r.c[l] = ((m >> l) & 1) != 0 ? src.c[l] : std::uint16_t{0};
+    }
+    rows.push_back(r);
+    ++shard_rows_;
+  }
+
+  /// Shard-side emission of a masked dense vector already known to fit
+  /// u16 (the generic appends' sharded branch).
+  void shard_emit_vec(std::uint64_t k, const Vec& src, LaneMask m) {
+    const std::size_t s = shard_of(k);
+    auto& rows = shard16_[s];
+    CombineSlot& slot = shard_slot(s, k);
+    if (slot.k == k && slot.idx < rows.size() && rows[slot.idx].k == k &&
+        combine_masked(rows[slot.idx], src, m, std::uint64_t{0xFFFF})) {
+      ++combine_folds_;
+      return;
+    }
+    slot.k = k;
+    slot.idx = static_cast<std::uint32_t>(rows.size());
+    push_masked(rows, k, src, m);
+    ++shard_rows_;
+  }
+
+  /// Concatenate the shards into n16_ in shard order (ascending-v1
+  /// blocks) and leave sharded mode, dropping the shard caches.
+  void flatten_shards() {
+    if (!sharded_) return;
+    n16_.reserve(n16_.size() + shard_rows_);
+    for (auto& shard : shard16_) {
+      n16_.insert(n16_.end(), shard.begin(), shard.end());
+      shard.clear();
+      shard.shrink_to_fit();
+    }
+    shard16_.clear();
+    shard16_.shrink_to_fit();
+    shard_combine_.clear();
+    shard_combine_.shrink_to_fit();
+    shard_rows_ = 0;
+    sharded_ = false;
+  }
+
+  /// Leave sharded mode mid-accumulation (a width escalation or a
+  /// mixed absorb): flatten and stand up the global combining cache so
+  /// the probe path can continue the phase.
+  void unshard() {
+    flatten_shards();
+    if (combine_.empty()) combine_.resize(kCombineSlots);
+  }
+
+  /// The sharded slot-1 seal: shard blocks are ascending in v1, so
+  /// each shard sorts independently — radix with every pass above
+  /// shard_shift_ pre-satisfied, or a plain comparison sort for small
+  /// shards — and lands at its prefix offset of the flattened buffer;
+  /// the concatenation is exactly the global order the dense seal's
+  /// comparator produces. The copy doubles as the flatten, so a failed
+  /// validation (a v1 outside [0, domain), e.g. kNoVertex) still
+  /// leaves the rows flattened for the caller's dense fallback.
+  bool sort_sharded_by_v1(VertexId domain) {
+    // Small and mid-size tables: the per-shard sorts cannot amortize
+    // their fixed costs (a histogram + prefix scan per radix pass per
+    // shard), so the pre-satisfied leading passes are a net loss —
+    // flatten and sort globally, exactly like the probe engine's seal.
+    // Measured crossover (bench_accumulate, 1 pinned core) is around
+    // 16k rows per shard; below it the global radix wins or ties.
+    if (shard_rows_ < kShardCount * 4 * kRadixMinRows) {
+      flatten_shards();
+      return sort_dispatch(n16_, 1, domain);
+    }
+    std::array<std::size_t, kShardCount + 1> off{};
+    for (std::size_t s = 0; s < kShardCount; ++s) {
+      off[s + 1] = off[s] + shard16_[s].size();
+    }
+    n16_.resize(off[kShardCount]);
+    bool ok = true;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic, 1) reduction(&& : ok) \
+    if (off[kShardCount] > (1u << 15))
+#endif
+    for (int s = 0; s < static_cast<int>(kShardCount); ++s) {
+      auto& rows = shard16_[s];
+      if (rows.empty()) continue;
+      ok = sort_shard_v1(rows, domain) && ok;
+      std::memcpy(n16_.data() + off[s], rows.data(),
+                  rows.size() * sizeof(rows[0]));
+    }
+    shard16_.clear();
+    shard16_.shrink_to_fit();
+    shard_rows_ = 0;
+    sharded_ = false;
+    return ok;
+  }
+
+  static bool sort_shard_v1(std::vector<Row16>& rows, VertexId domain) {
+    // A shard is ~1/64 of the table, so the global radix threshold would
+    // send nearly every shard to the comparison sort; per-shard radix
+    // pays off much earlier because the passes above shard_shift_ are
+    // pre-satisfied by the shard cut and skipped outright.
+    if (rows.size() >= kRadixMinRows / 8) {
+      return sort_radix_impl(rows, 1, domain);
+    }
+    for (const Row16& r : rows) {
+      if (slot_bits(r.k, 1) >= domain) return false;
+    }
+    // Equal keys are about to be merged; an unstable sort suffices.
+    std::sort(rows.begin(), rows.end(),
+              [](const Row16& a, const Row16& b) {
+                return sort_key(a.k, 1) < sort_key(b.k, 1);
+              });
+    return true;
   }
 
   /// OR of the lanes of `src` selected by `m` (bounds their max).
@@ -573,6 +1083,7 @@ class FlatRowsT {
   }
 
   void to_u32() {
+    if (sharded_) flatten_shards();
     n32_.resize(n16_.size());
     for (std::size_t i = 0; i < n16_.size(); ++i) {
       n32_[i].k = n16_[i].k;
@@ -585,6 +1096,7 @@ class FlatRowsT {
   }
 
   void to_wide() {
+    if (sharded_) flatten_shards();
     if (mode_ == Mode::kWide) return;
     const std::size_t n = size();
     const std::size_t at = wide_.size();
@@ -924,6 +1436,17 @@ class FlatRowsT {
   std::vector<PackedFlatRowT<B, std::uint32_t>> n32_;
   std::vector<Entry> wide_;
   std::vector<CombineSlot> combine_;
+
+  // Accumulation-phase state (engine binding + sharded storage).
+  bool prepared_ = false;
+  bool sharded_ = false;
+  AccumEngine engine_ = AccumEngine::kProbe;
+  int shard_shift_ = 0;
+  std::size_t shard_rows_ = 0;
+  std::uint64_t combine_folds_ = 0;
+  std::uint64_t run_emits_ = 0;
+  std::vector<std::vector<Row16>> shard16_;
+  std::vector<CombineSlot> shard_combine_;
 };
 
 }  // namespace ccbt

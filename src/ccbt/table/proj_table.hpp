@@ -217,6 +217,13 @@ class ProjTableT {
     return lane_compressed_ ? ckeys_[i] : entries_[i].key;
   }
 
+  /// Make the indexed row accessors usable on an unsealed table:
+  /// mid-accumulation sharded rows (see FlatRowsT::prepare_emit) carry
+  /// no row index until flattened. No-op on sealed or dense tables.
+  void ensure_row_access() {
+    if (packed_flat_) pflat_.ensure_flat();
+  }
+
   /// Row i as a dense entry: a reference into the table when dense, a
   /// reference to `tmp` (filled by expanding the packed row) when
   /// compressed or narrow.
@@ -236,15 +243,13 @@ class ProjTableT {
     return payload_.view(i, ckeys_[i]);
   }
 
-  /// Visit every row as a dense entry, in table order.
+  /// Visit every row as a dense entry, in table order. Works on an
+  /// unsealed from_packed table too, even while its rows still sit in
+  /// accumulation shards (the root table's lane totals read it there).
   template <typename F>
   void for_each_entry(F&& f) const {
     if (packed_flat_) {
-      Entry tmp;
-      for (std::size_t i = 0; i < pflat_.size(); ++i) {
-        pflat_.row(i, tmp);
-        f(tmp);
-      }
+      pflat_.for_each_dense(f);
       return;
     }
     if (!lane_compressed_) {
@@ -460,8 +465,14 @@ class ProjTableT {
   VertexId detect_domain(int slot) const {
     VertexId max_v = 0;
     const std::size_t n = size();
-    for (std::size_t i = 0; i < n; ++i) {
-      max_v = std::max(max_v, key_at(i).v[slot]);
+    if (packed_flat_) {
+      // Shard-aware (and skips the per-row key unpack): indexed key
+      // access is unavailable while the rows sit in shards.
+      max_v = pflat_.max_slot_value(slot);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        max_v = std::max(max_v, key_at(i).v[slot]);
+      }
     }
     if (max_v == std::numeric_limits<VertexId>::max()) return 0;  // kNoVertex
     const std::uint64_t domain = std::uint64_t{max_v} + 1;
@@ -494,11 +505,11 @@ class ProjTableT {
   /// Narrow flat rows -> masked columnar layout (ckeys_ + payload_).
   void pack_lanes_from_flat();
 
-  /// Narrow flat rows -> dense entries (order preserved).
+  /// Narrow flat rows -> dense entries (order preserved; shard-aware).
   void unpack_flat() {
-    const std::size_t n = pflat_.size();
-    entries_.resize(n);
-    for (std::size_t i = 0; i < n; ++i) pflat_.row(i, entries_[i]);
+    entries_.clear();
+    entries_.reserve(pflat_.size());
+    pflat_.for_each_dense([&](const Entry& e) { entries_.push_back(e); });
     pflat_.clear();
     packed_flat_ = false;
     layout_.packed = false;

@@ -1,0 +1,423 @@
+// The two accumulation engines — the probe engine's global
+// combining-cache appends and the sharded engine's v1-cut bulk emission
+// (table/flat_rows.hpp) — must be interchangeable: identical sealed
+// rows bit for bit across every batch width and payload width, through
+// mid-phase u16 -> u32 -> wide escalation, through the run-bulk API and
+// its post-escalation fallback, and lane for lane over whole counting
+// runs. The probe engine is the oracle; these tests are what lets the
+// sharded engine stay the default.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "ccbt/core/color_coding.hpp"
+#include "ccbt/dist/dist_engine.hpp"
+#include "ccbt/graph/generators.hpp"
+#include "ccbt/query/catalog.hpp"
+#include "ccbt/table/flat_rows.hpp"
+#include "ccbt/table/table_key.hpp"
+#include "ccbt/util/rng.hpp"
+
+namespace ccbt {
+namespace {
+
+/// Restore the process-wide engine pin however a test exits.
+struct AccumEngineGuard {
+  ~AccumEngineGuard() { set_accum_engine(AccumEngine::kAuto); }
+};
+
+template <int B>
+using RowSpec = std::pair<TableKey, typename LaneOps<B>::Vec>;
+
+/// Append `rows` round-robin across `parts` sinks prepared on `eng`,
+/// then absorb into one — the per-thread reduction shape. On the
+/// sharded engine the absorb takes the shard-wise concatenation path.
+template <int B>
+FlatRowsT<B> build_sink(const std::vector<RowSpec<B>>& rows, int parts,
+                        AccumEngine eng, VertexId domain) {
+  std::vector<FlatRowsT<B>> sinks(parts);
+  for (auto& s : sinks) s.prepare_emit(eng, domain);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    sinks[i % parts].append(rows[i].first, rows[i].second);
+  }
+  FlatRowsT<B> out = std::move(sinks[0]);
+  for (int p = 1; p < parts; ++p) out.absorb(std::move(sinks[p]));
+  return out;
+}
+
+template <int B, typename W>
+void expect_same_rows(const std::vector<PackedFlatRowT<B, W>>& a,
+                      const std::vector<PackedFlatRowT<B, W>>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].k, b[i].k) << "row " << i;
+    ASSERT_EQ(a[i].c, b[i].c) << "row " << i;
+  }
+}
+
+/// Whole-sink equality in whatever mode both ended up in.
+template <int B>
+void expect_same_sink(FlatRowsT<B>& a, FlatRowsT<B>& b) {
+  ASSERT_EQ(a.mode(), b.mode());
+  switch (a.mode()) {
+    case FlatRowsT<B>::Mode::kU16:
+      expect_same_rows<B>(a.rows_u16(), b.rows_u16());
+      return;
+    case FlatRowsT<B>::Mode::kU32:
+      expect_same_rows<B>(a.rows_u32(), b.rows_u32());
+      return;
+    case FlatRowsT<B>::Mode::kWide: break;
+  }
+  const auto wa = a.take_wide();
+  const auto wb = b.take_wide();
+  ASSERT_EQ(wa.size(), wb.size());
+  for (std::size_t i = 0; i < wa.size(); ++i) {
+    ASSERT_EQ(wa[i].key, wb[i].key) << "row " << i;
+    ASSERT_EQ(wa[i].cnt, wb[i].cnt) << "row " << i;
+  }
+}
+
+/// The core property: both engines, fed the same emission stream and
+/// sealed the same way, hold the same deduped rows, escalation mode and
+/// scan stats bit for bit. Pre-sort row order may differ (shard blocks
+/// vs first-emission order) — the seal's sort + dedup erases exactly
+/// that freedom and nothing else.
+template <int B>
+void expect_engine_parity(const std::vector<RowSpec<B>>& rows, int slot,
+                          VertexId domain, int parts = 4) {
+  FlatRowsT<B> probe =
+      build_sink<B>(rows, parts, AccumEngine::kProbe, domain);
+  FlatRowsT<B> shard =
+      build_sink<B>(rows, parts, AccumEngine::kSharded, domain);
+  const bool p_ok = probe.sort_by_slot(slot, domain);
+  const bool s_ok = shard.sort_by_slot(slot, domain);
+  ASSERT_EQ(p_ok, s_ok);
+  if (!p_ok) return;
+  const FlatStats sp = probe.merge_duplicates();
+  const FlatStats ss = shard.merge_duplicates();
+  EXPECT_EQ(sp.rows, ss.rows);
+  EXPECT_EQ(sp.lanes_occupied, ss.lanes_occupied);
+  EXPECT_EQ(sp.max_count, ss.max_count);
+  expect_same_sink(probe, shard);
+}
+
+/// Same-v1 burst stream with in-burst and cross-burst duplicates — the
+/// extend loop's emission shape, the one the shard caches are cut for.
+template <int B>
+std::vector<RowSpec<B>> burst_stream(Rng& rng, int bursts, int burst_len,
+                                     VertexId domain, Count max_count) {
+  std::vector<RowSpec<B>> rows;
+  rows.reserve(static_cast<std::size_t>(bursts) * burst_len);
+  for (int b = 0; b < bursts; ++b) {
+    // Revisit a v1 with probability ~1/2 so later bursts fold into
+    // rows another burst (possibly in another part) already emitted.
+    const auto v1 = static_cast<VertexId>(rng.below(domain / 2) * 2 %
+                                          domain);
+    for (int i = 0; i < burst_len; ++i) {
+      TableKey k;
+      k.v[0] = static_cast<VertexId>(rng.below(domain));
+      k.v[1] = v1;
+      k.sig = static_cast<Signature>(rng.below(32));
+      auto c = LaneOps<B>::zero();
+      LaneOps<B>::set_lane(c, static_cast<int>(rng.below(B)),
+                           1 + rng.below(max_count));
+      rows.push_back({k, c});
+      if (i % 4 == 3) rows.push_back(rows.back());  // in-burst dup
+    }
+  }
+  return rows;
+}
+
+template <int B>
+void run_parity_suite(Count max_count) {
+  const VertexId domain = 50'000;
+  for (const int slot : {0, 1}) {
+    Rng rng(900 + slot);
+    expect_engine_parity<B>(
+        burst_stream<B>(rng, 400, 24, domain, max_count), slot, domain);
+    // Tiny table: the sharded seal's hybrid cutover flattens and sorts
+    // globally here; parity must not depend on that choice.
+    expect_engine_parity<B>(burst_stream<B>(rng, 8, 6, domain, max_count),
+                            slot, domain);
+    // Dup-heavy 24-key universe: every shard but one empty, long
+    // combining-cache hit chains in the occupied one.
+    expect_engine_parity<B>(burst_stream<B>(rng, 300, 20, 24, max_count),
+                            slot, 24);
+  }
+}
+
+TEST(AccumSharded, ParityU16B2) { run_parity_suite<2>(9); }
+TEST(AccumSharded, ParityU16B4) { run_parity_suite<4>(9); }
+TEST(AccumSharded, ParityU16B8) { run_parity_suite<8>(9); }
+// Counts near the u16 folding edge: cache sums overflow into duplicate
+// pushes on the probe engine and per-shard pushes on the sharded one.
+TEST(AccumSharded, ParityFoldOverflowB8) { run_parity_suite<8>(60'000); }
+
+template <int B>
+void run_escalation_suite(Count big) {
+  // A u16 burst stream with occasional oversized counts spliced in:
+  // the sharded sink must unshard mid-phase, carry every shard row
+  // into the escalated buffer, and keep folding — ending bit-identical
+  // to the probe engine which escalated at the same emission.
+  const VertexId domain = 50'000;
+  Rng rng(4242);
+  std::vector<RowSpec<B>> rows =
+      burst_stream<B>(rng, 300, 24, domain, 9);
+  for (std::size_t i = rows.size() / 3; i < rows.size();
+       i += rows.size() / 5) {
+    auto c = LaneOps<B>::zero();
+    LaneOps<B>::set_lane(c, static_cast<int>(i % B), big);
+    rows[i].second = c;
+  }
+  for (const int slot : {0, 1}) {
+    expect_engine_parity<B>(rows, slot, domain);
+  }
+}
+
+TEST(AccumSharded, MidPhaseEscalateToU32B8) {
+  run_escalation_suite<8>(Count{1} << 20);
+}
+TEST(AccumSharded, MidPhaseEscalateToWideB8) {
+  run_escalation_suite<8>(Count{1} << 40);
+}
+TEST(AccumSharded, MidPhaseEscalateToU32B2) {
+  run_escalation_suite<2>(Count{1} << 20);
+}
+
+TEST(AccumSharded, EscalationUnshards) {
+  constexpr int B = 8;
+  const VertexId domain = 10'000;
+  FlatRowsT<B> t;
+  t.prepare_emit(AccumEngine::kSharded, domain);
+  ASSERT_TRUE(t.sharded());
+  TableKey k;
+  k.v[0] = 7;
+  k.v[1] = 9;
+  k.sig = 3;
+  auto c = LaneOps<B>::zero();
+  LaneOps<B>::set_lane(c, 0, 5);
+  t.append(k, c);
+  EXPECT_TRUE(t.sharded());
+  LaneOps<B>::set_lane(c, 0, Count{1} << 20);
+  t.append(k, c);
+  EXPECT_FALSE(t.sharded());
+  EXPECT_EQ(t.mode(), FlatRowsT<B>::Mode::kU32);
+  ASSERT_TRUE(t.sort_by_slot(1, domain));
+  t.merge_duplicates();
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.rows_u32()[0].c[0], (Count{1} << 20) + 5);
+}
+
+constexpr std::uint64_t pack28(std::uint32_t v0, std::uint32_t v1,
+                               std::uint8_t sig) {
+  return (std::uint64_t{v0} << 36) | (std::uint64_t{v1} << 8) | sig;
+}
+
+/// Replay one burst through the run-bulk API when the handle is valid
+/// (sharded sink) and through per-row probe appends when it is not —
+/// exactly the extend loop's emission switch.
+template <int B>
+void emit_burst(FlatRowsT<B>& t, VertexId v1, Rng& rng, int len,
+                VertexId domain) {
+  const auto run = t.run_u16(v1, static_cast<std::size_t>(len));
+  PackedFlatRowT<B, std::uint16_t> src;
+  for (int l = 0; l < B; ++l) {
+    src.c[l] = static_cast<std::uint16_t>(1 + rng.below(7));
+  }
+  for (int i = 0; i < len; ++i) {
+    const auto v0 = static_cast<std::uint32_t>(rng.below(domain));
+    const std::uint64_t k =
+        pack28(v0, v1, static_cast<std::uint8_t>(v0 & 0x1F));
+    const auto m = static_cast<LaneMask>(1 + rng.below((1u << B) - 1));
+    if (run.valid()) {
+      t.run_append_u16(run, k, src, m);
+    } else {
+      t.append_masked_u16(k, src, m);
+    }
+  }
+}
+
+TEST(AccumSharded, RunBulkMatchesPerRow) {
+  constexpr int B = 8;
+  const VertexId domain = 50'000;
+  FlatRowsT<B> probe;
+  FlatRowsT<B> shard;
+  probe.prepare_emit(AccumEngine::kProbe, domain);
+  shard.prepare_emit(AccumEngine::kSharded, domain);
+  ASSERT_FALSE(probe.run_u16(1, 8).valid());
+  for (FlatRowsT<B>* t : {&probe, &shard}) {
+    Rng rng(777);  // same stream into both sinks
+    for (int b = 0; b < 500; ++b) {
+      const auto v1 = static_cast<VertexId>(rng.below(domain));
+      emit_burst(*t, v1, rng, 32, domain);
+    }
+  }
+  ASSERT_TRUE(probe.sort_by_slot(1, domain));
+  ASSERT_TRUE(shard.sort_by_slot(1, domain));
+  probe.merge_duplicates();
+  shard.merge_duplicates();
+  expect_same_sink(probe, shard);
+}
+
+TEST(AccumSharded, RunHandleInvalidAfterEscalation) {
+  // A generic append that escalates the sink invalidates run handles:
+  // run_u16 must come back invalid afterwards and the per-row fallback
+  // must land every later emission, with exact totals.
+  constexpr int B = 8;
+  const VertexId domain = 50'000;
+  FlatRowsT<B> probe;
+  FlatRowsT<B> shard;
+  probe.prepare_emit(AccumEngine::kProbe, domain);
+  shard.prepare_emit(AccumEngine::kSharded, domain);
+  for (FlatRowsT<B>* t : {&probe, &shard}) {
+    Rng rng(778);
+    for (int b = 0; b < 200; ++b) {
+      emit_burst(*t, static_cast<VertexId>(rng.below(domain)), rng, 32,
+                 domain);
+    }
+    TableKey k;  // oversized count: escalates (and unshards) the sink
+    k.v[0] = 11;
+    k.v[1] = 13;
+    k.sig = 1;
+    auto c = LaneOps<B>::zero();
+    LaneOps<B>::set_lane(c, 2, Count{1} << 20);
+    t->append(k, c);
+    ASSERT_FALSE(t->sharded());
+    ASSERT_FALSE(t->run_u16(13, 8).valid());
+    for (int b = 0; b < 200; ++b) {  // post-escalation fallback path
+      emit_burst(*t, static_cast<VertexId>(rng.below(domain)), rng, 32,
+                 domain);
+    }
+  }
+  ASSERT_TRUE(probe.sort_by_slot(1, domain));
+  ASSERT_TRUE(shard.sort_by_slot(1, domain));
+  probe.merge_duplicates();
+  shard.merge_duplicates();
+  expect_same_sink(probe, shard);
+}
+
+TEST(AccumSharded, EnsureFlatPreservesRowsUnsealed) {
+  // node_join consumes unsealed tables by index; ensure_flat must hand
+  // it every sharded row (order free) without touching the counts.
+  constexpr int B = 8;
+  const VertexId domain = 50'000;
+  FlatRowsT<B> t;
+  t.prepare_emit(AccumEngine::kSharded, domain);
+  Rng rng(55);
+  const auto rows = burst_stream<B>(rng, 200, 16, domain, 9);
+  for (const auto& r : rows) t.append(r.first, r.second);
+  const std::size_t n = t.size();
+  ASSERT_TRUE(t.sharded());
+  t.ensure_flat();
+  EXPECT_FALSE(t.sharded());
+  EXPECT_EQ(t.size(), n);
+  ASSERT_EQ(t.mode(), FlatRowsT<B>::Mode::kU16);
+  EXPECT_EQ(t.rows_u16().size(), n);
+  // Still sealable afterwards, to the same table the probe engine ends
+  // at (ensure_flat dropped the caches; seal re-sorts from scratch).
+  FlatRowsT<B> probe;
+  probe.prepare_emit(AccumEngine::kProbe, domain);
+  for (const auto& r : rows) probe.append(r.first, r.second);
+  ASSERT_TRUE(t.sort_by_slot(1, domain));
+  ASSERT_TRUE(probe.sort_by_slot(1, domain));
+  t.merge_duplicates();
+  probe.merge_duplicates();
+  expect_same_sink(probe, t);
+}
+
+TEST(AccumSharded, EnginePinning) {
+  AccumEngineGuard guard;
+  const VertexId domain = 10'000;
+  // kAuto defers to the process pin; the pin's own default is sharded.
+  // A CCBT_ACCUM env pin seeds the process state before any test runs
+  // (CI sweeps the suite under each pin), so resolve through it.
+  {
+    const char* env = std::getenv("CCBT_ACCUM");
+    const AccumEngine want = (env != nullptr && std::strcmp(env, "probe") == 0)
+                                 ? AccumEngine::kProbe
+                                 : AccumEngine::kSharded;
+    FlatRowsT<8> t;
+    t.prepare_emit(AccumEngine::kAuto, domain);
+    EXPECT_EQ(t.engine(), want);
+    EXPECT_EQ(t.sharded(), want == AccumEngine::kSharded);
+  }
+  set_accum_engine(AccumEngine::kProbe);
+  {
+    FlatRowsT<8> t;
+    t.prepare_emit(AccumEngine::kAuto, domain);
+    EXPECT_EQ(t.engine(), AccumEngine::kProbe);
+    EXPECT_FALSE(t.sharded());
+  }
+  // An explicit want overrides the pin.
+  {
+    FlatRowsT<8> t;
+    t.prepare_emit(AccumEngine::kSharded, domain);
+    EXPECT_EQ(t.engine(), AccumEngine::kSharded);
+  }
+  set_accum_engine(AccumEngine::kAuto);
+  // No usable domain: the sharded engine has nowhere to cut, degrade
+  // to probe rather than guessing a shard shift.
+  {
+    FlatRowsT<8> t;
+    t.prepare_emit(AccumEngine::kSharded, 0);
+    EXPECT_EQ(t.engine(), AccumEngine::kProbe);
+    EXPECT_FALSE(t.sharded());
+  }
+}
+
+TEST(AccumSharded, TelemetryCountsShardedPhase) {
+  constexpr int B = 8;
+  const VertexId domain = 50'000;
+  FlatRowsT<B> t;
+  t.prepare_emit(AccumEngine::kSharded, domain);
+  Rng rng(99);
+  for (int b = 0; b < 100; ++b) {
+    emit_burst(t, static_cast<VertexId>(rng.below(domain)), rng, 32,
+               domain);
+  }
+  AccumTelemetry tel;
+  t.collect_telemetry(tel);
+  EXPECT_EQ(tel.phases, 1u);
+  EXPECT_EQ(tel.sharded_phases, 1u);
+  EXPECT_EQ(tel.rows, t.size());
+  EXPECT_GT(tel.run_emits, 0u);
+  ASSERT_GT(tel.shard_slots, 0u);
+  EXPECT_LE(tel.shards_occupied, tel.shard_slots);
+  EXPECT_GT(tel.shard_occupancy(), 0.0);
+  EXPECT_LE(tel.shard_occupancy(), 1.0);
+}
+
+TEST(AccumSharded, EnginePinnedRunsAgreeLaneForLane) {
+  // Whole-pipeline cross-check on a real workload: per-lane colorful
+  // counts can't depend on which accumulation engine the run used.
+  AccumEngineGuard guard;
+  const CsrGraph g = erdos_renyi(60, 260, 21);
+  std::vector<std::uint64_t> seeds{8300, 8301, 8302, 8303,
+                                   8304, 8305, 8306, 8307};
+  for (const QueryGraph& q : {q_glet2(), q_youtube(), q_cycle(5)}) {
+    const Plan plan = make_plan(q);
+    set_accum_engine(AccumEngine::kProbe);
+    CountingSession sp(g, q, plan, ExecOptions{});
+    const ExecStats a = sp.count_colorful_seeded(
+        std::span<const std::uint64_t>(seeds.data(), 8));
+    set_accum_engine(AccumEngine::kSharded);
+    CountingSession ss(g, q, plan, ExecOptions{});
+    const ExecStats b = ss.count_colorful_seeded(
+        std::span<const std::uint64_t>(seeds.data(), 8));
+    for (int l = 0; l < 8; ++l) {
+      EXPECT_EQ(a.colorful_lane[l], b.colorful_lane[l])
+          << q.name() << " lane " << l;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ccbt

@@ -85,7 +85,7 @@ TEST_F(PrimitivesTest, NodeJoinMultipliesCompatibleCounts) {
   child.seal(SortOrder::kByV0);
 
   // Path entries ending at vertex 1: (0,1) and (2,1).
-  const ProjTable edges = init_path_from_graph(cx_, ExtendOpts{});
+  ProjTable edges = init_path_from_graph(cx_, ExtendOpts{});
   const ProjTable joined = node_join(cx_, edges, child, /*slot=*/1);
   // (0,1): sig {0,1} ∩ child {1,3} == {1} ✓ -> cnt 5.
   // (2,1): sig {2,1} ∩ {1,3} == {1} ✓ -> cnt 5.
@@ -110,7 +110,7 @@ TEST_F(PrimitivesTest, NodeJoinRejectsOverlappingColors) {
   child_map.add(ck, 7);
   ProjTable child = ProjTable::from_map(1, std::move(child_map));
   child.seal(SortOrder::kByV0);
-  const ProjTable edges = init_path_from_graph(cx_, ExtendOpts{});
+  ProjTable edges = init_path_from_graph(cx_, ExtendOpts{});
   const ProjTable joined = node_join(cx_, edges, child, 1);
   // Only (2,1) qualifies: sig {2,1} ∩ {0,1} == {1}. (0,1) overlaps on 0.
   ASSERT_EQ(joined.size(), 1u);
