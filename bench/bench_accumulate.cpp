@@ -1,14 +1,23 @@
 // Accumulate-only microbench: the B = 8 emission + seal hot path in
-// isolation, probe vs sharded engine (table/flat_rows.hpp), without the
-// estimator noise of the full batch bench. The workload replays the
-// extend loop's emission shape — same-v1 bursts through the run-bulk
-// API, duplicate keys re-emitted across bursts — at several table
-// sizes, then seals kByV1 exactly as extend_with_graph_grouped does.
+// isolation, probe vs sharded engine × dense vs sparse emission format
+// (table/flat_rows.hpp), without the estimator noise of the full batch
+// bench. The workload replays the extend loop's emission shape —
+// same-v1 bursts through the run-bulk API, duplicate keys re-emitted
+// across bursts, the frontier pending-register dedup when the sink is
+// sparse — at several table sizes and lane densities, then seals kByV1
+// exactly as extend_with_graph_grouped does.
+//
+// Two sweeps share the grid: table size {200k, 1M, 4M} at the Fig 15
+// density (~0.15), and lane density {0.05, 0.15, 0.5, 1.0} at 1M
+// emissions — the axis the sparse record format trades on (bytes/row
+// ~ 9 + 2·occupied vs a fixed 24).
 //
 // Writes BENCH_accumulate.json:
-//   cells[]: {rows, dup_factor, engine, accumulate_s, seal_s, total_s}
-//   headline: geomean sharded/probe wall ratios per stage (< 1 means
-//   the sharded engine is faster).
+//   cells[]: {emissions, density, engine, format, accumulate_s, seal_s,
+//             rows, bytes_per_row, frontier_folds}
+//   headlines: geomean sharded/probe wall ratios per stage (dense, the
+//   PR 9 comparison) and geomean sparse/dense wall + bytes-per-row
+//   ratios (< 1 means sparse is smaller/faster).
 //
 // Knobs: CCBT_BENCH_TRIALS (default 5 repetitions, best-of).
 
@@ -46,7 +55,9 @@ std::uint64_t pack(std::uint32_t v0, std::uint32_t v1, std::uint8_t sig) {
 /// One synthetic emission stream: `bursts` same-v1 runs of `burst_len`
 /// rows each over a `domain`-vertex graph, with duplicate keys arriving
 /// both inside a burst and when a later burst revisits the same v1 —
-/// the duplicate structure the combining caches exist for.
+/// the duplicate structure the combining caches exist for. `density`
+/// sets the live lanes per emission (max(1, ceil(density · B)),
+/// key-anchored so same-key emissions overlap and fold).
 struct Workload {
   VertexId domain = 0;
   struct Burst {
@@ -55,12 +66,19 @@ struct Workload {
   };
   std::vector<Burst> bursts;
   std::size_t burst_len = 0;
+  LaneMask lane_window = 1;
+  double density = 0.0;
 
   static Workload make(std::size_t emissions, VertexId domain,
-                       std::size_t burst_len, std::uint64_t seed) {
+                       std::size_t burst_len, double density,
+                       std::uint64_t seed) {
     Workload w;
     w.domain = domain;
     w.burst_len = burst_len;
+    w.density = density;
+    const int lanes = std::clamp(
+        static_cast<int>(std::ceil(density * B - 1e-9)), 1, B);
+    w.lane_window = static_cast<LaneMask>((1u << lanes) - 1u);
     Rng rng(seed);
     const std::size_t n_bursts = emissions / burst_len;
     w.bursts.reserve(n_bursts);
@@ -74,22 +92,49 @@ struct Workload {
     }
     return w;
   }
+
+  /// Key-anchored lane mask: the window rotated by the key's lane seed,
+  /// so every emission of one key occupies the same lanes.
+  LaneMask mask_for(std::uint32_t v0) const {
+    const unsigned s = v0 % B;
+    const unsigned wnd = lane_window;
+    return static_cast<LaneMask>(((wnd << s) | (wnd >> (B - s))) & 0xFFu);
+  }
 };
 
-/// Replay the workload into a fresh sink on `engine`, mimicking the
-/// extend loop: acquire a run handle per burst, run-append when it is
-/// valid (sharded), per-row probe append otherwise. Returns the emit
-/// wall; `seal_s` gets the kByV1 sort + merge wall.
-double replay(const Workload& w, AccumEngine engine, double* seal_s,
-              std::size_t* sealed_rows) {
+/// Replay the workload into a fresh sink on `engine` under `format`,
+/// mimicking the extend loop: acquire a run handle per burst,
+/// run-append when it is valid (sharded), per-row probe append
+/// otherwise — and, when the sink is sparse, fold consecutive same-key
+/// emissions in a pending register first, exactly as the frontier dedup
+/// in extend_with_graph_grouped does. Returns the emit wall; `seal_s`
+/// gets the kByV1 sort + merge wall, `tel` the pre-seal telemetry.
+double replay(const Workload& w, AccumEngine engine, EmitFormat format,
+              double* seal_s, std::size_t* sealed_rows,
+              AccumTelemetry* tel) {
   set_accum_engine(engine);
+  set_emit_format(format);
   Rows t;
   Row16 src;
   for (int l = 0; l < B; ++l) src.c[l] = 1;
   Timer emit_timer;
   t.prepare_emit(AccumEngine::kAuto, w.domain);
+  const bool dedup = t.sparse();
+  std::uint64_t folds = 0;
   for (const Workload::Burst& b : w.bursts) {
     const auto run = t.run_u16(b.v1, w.burst_len);
+    std::uint64_t pend_k = ~std::uint64_t{0};
+    Row16 pend;
+    LaneMask pend_m = 0;
+    auto flush_pend = [&] {
+      if (pend_k == ~std::uint64_t{0}) return;
+      if (run.valid()) {
+        t.run_append_u16(run, pend_k, pend, pend_m);
+      } else {
+        t.append_masked_u16(pend_k, pend, pend_m);
+      }
+      pend_k = ~std::uint64_t{0};
+    };
     for (std::size_t i = 0; i < w.burst_len; ++i) {
       // In-burst duplicates: every 4th row repeats the previous key.
       const std::uint32_t v0 =
@@ -97,16 +142,43 @@ double replay(const Workload& w, AccumEngine engine, double* seal_s,
           w.domain;
       const std::uint64_t k =
           pack(v0, b.v1, static_cast<std::uint8_t>(v0 & 0x1F));
-      const LaneMask m =
-          static_cast<LaneMask>(1u << (v0 % B)) | LaneMask{1};
-      if (run.valid()) {
+      const LaneMask m = w.mask_for(v0);
+      if (dedup) {
+        if (k == pend_k) {
+          bool ok = true;
+          for (int l = 0; l < B && ok; ++l) {
+            ok = std::uint32_t{pend.c[l]} +
+                     (((m >> l) & 1) != 0 ? src.c[l] : 0) <=
+                 0xFFFFu;
+          }
+          if (ok) {
+            for (int l = 0; l < B; ++l) {
+              pend.c[l] = static_cast<std::uint16_t>(
+                  pend.c[l] + (((m >> l) & 1) != 0 ? src.c[l] : 0));
+            }
+            pend_m |= m;
+            ++folds;
+            continue;
+          }
+        }
+        flush_pend();
+        pend_k = k;
+        pend.k = k;
+        pend_m = m;
+        for (int l = 0; l < B; ++l) {
+          pend.c[l] = ((m >> l) & 1) != 0 ? src.c[l] : std::uint16_t{0};
+        }
+      } else if (run.valid()) {
         t.run_append_u16(run, k, src, m);
       } else {
         t.append_masked_u16(k, src, m);
       }
     }
+    flush_pend();
   }
+  if (folds != 0) t.note_frontier_folds(folds);
   const double emit_s = emit_timer.seconds();
+  t.collect_telemetry(*tel);
   Timer seal_timer;
   const bool ok = t.sort_by_slot(1, w.domain);
   t.merge_duplicates();
@@ -114,16 +186,27 @@ double replay(const Workload& w, AccumEngine engine, double* seal_s,
   *sealed_rows = t.size();
   if (!ok) std::fprintf(stderr, "seal fell back to dense path!\n");
   set_accum_engine(AccumEngine::kAuto);
+  set_emit_format(EmitFormat::kAuto);
   return emit_s;
 }
 
 struct Cell {
   std::size_t emissions;
+  double density;
   const char* engine;
+  const char* format;
   double accumulate_s = 0.0;
   double seal_s = 0.0;
   std::size_t rows = 0;
+  double bytes_per_row = 0.0;
+  std::uint64_t frontier_folds = 0;
 };
+
+double geomean(const std::vector<double>& xs) {
+  double s = 0.0;
+  for (double x : xs) s += std::log(x);
+  return std::exp(s / static_cast<double>(xs.size()));
+}
 
 }  // namespace
 }  // namespace ccbt
@@ -131,67 +214,116 @@ struct Cell {
 int main() {
   using namespace ccbt;
   const int reps = bench_reps();
-  const std::vector<std::size_t> sizes{200'000, 1'000'000, 4'000'000};
+  const double kFig15Density = 0.15;
+  // Shared grid: the size sweep runs at the Fig 15 density, the density
+  // sweep at the middle size.
+  struct Point {
+    std::size_t emissions;
+    double density;
+  };
+  std::vector<Point> points;
+  for (const std::size_t e : {200'000u, 1'000'000u, 4'000'000u}) {
+    points.push_back({e, kFig15Density});
+  }
+  for (const double d : {0.05, 0.5, 1.0}) points.push_back({1'000'000, d});
   const VertexId domain = 60'000;
   const std::size_t burst_len = 48;
 
   std::printf(
       "Accumulate microbench: B=8 same-v1 burst emission + kByV1 seal\n"
-      "%-10s %-8s %12s %12s %12s %10s\n", "emissions", "engine",
-      "accum ms", "seal ms", "total ms", "rows");
+      "%-10s %-8s %-8s %-7s %10s %10s %10s %9s %7s %9s\n", "emissions",
+      "density", "engine", "format", "accum ms", "seal ms", "total ms",
+      "rows", "B/row", "folds");
   std::vector<Cell> cells;
   std::vector<double> accum_ratios, seal_ratios, total_ratios;
-  for (const std::size_t emissions : sizes) {
-    const Workload w = Workload::make(emissions, domain, burst_len, 42);
-    double best[2][2];  // [engine][stage] best-of-reps
-    std::size_t rows[2] = {0, 0};
-    const AccumEngine engines[2] = {AccumEngine::kProbe,
-                                    AccumEngine::kSharded};
-    const char* names[2] = {"probe", "sharded"};
+  std::vector<double> sp_accum_ratios, sp_seal_ratios, sp_total_ratios;
+  std::vector<double> sp_bytes_ratios;
+  const AccumEngine engines[2] = {AccumEngine::kProbe,
+                                  AccumEngine::kSharded};
+  const char* engine_names[2] = {"probe", "sharded"};
+  const EmitFormat formats[2] = {EmitFormat::kDense, EmitFormat::kSparse};
+  const char* format_names[2] = {"dense", "sparse"};
+  for (const Point& pt : points) {
+    const Workload w =
+        Workload::make(pt.emissions, domain, burst_len, pt.density, 42);
+    double best[2][2][2];  // [engine][format][stage] best-of-reps
+    std::size_t rows[2][2] = {{0, 0}, {0, 0}};
+    double bpr[2][2] = {{0.0, 0.0}, {0.0, 0.0}};
+    std::uint64_t folds[2][2] = {{0, 0}, {0, 0}};
     for (int e = 0; e < 2; ++e) {
-      best[e][0] = best[e][1] = 1e30;
-      for (int r = 0; r < reps; ++r) {
-        double seal = 0.0;
-        std::size_t sealed = 0;
-        const double emit = replay(w, engines[e], &seal, &sealed);
-        best[e][0] = std::min(best[e][0], emit);
-        best[e][1] = std::min(best[e][1], seal);
-        rows[e] = sealed;
+      for (int fm = 0; fm < 2; ++fm) {
+        best[e][fm][0] = best[e][fm][1] = 1e30;
+        for (int r = 0; r < reps; ++r) {
+          double seal = 0.0;
+          std::size_t sealed = 0;
+          AccumTelemetry tel;
+          const double emit =
+              replay(w, engines[e], formats[fm], &seal, &sealed, &tel);
+          best[e][fm][0] = std::min(best[e][fm][0], emit);
+          best[e][fm][1] = std::min(best[e][fm][1], seal);
+          rows[e][fm] = sealed;
+          bpr[e][fm] = tel.bytes_per_row();
+          folds[e][fm] = tel.frontier_folds;
+        }
+        Cell c;
+        c.emissions = pt.emissions;
+        c.density = pt.density;
+        c.engine = engine_names[e];
+        c.format = format_names[fm];
+        c.accumulate_s = best[e][fm][0];
+        c.seal_s = best[e][fm][1];
+        c.rows = rows[e][fm];
+        c.bytes_per_row = bpr[e][fm];
+        c.frontier_folds = folds[e][fm];
+        cells.push_back(c);
+        std::printf(
+            "%-10zu %-8.2f %-8s %-7s %10.2f %10.2f %10.2f %9zu %7.1f "
+            "%9" PRIu64 "\n",
+            pt.emissions, pt.density, engine_names[e], format_names[fm],
+            1e3 * c.accumulate_s, 1e3 * c.seal_s,
+            1e3 * (c.accumulate_s + c.seal_s), c.rows, c.bytes_per_row,
+            c.frontier_folds);
       }
-      Cell c;
-      c.emissions = emissions;
-      c.engine = names[e];
-      c.accumulate_s = best[e][0];
-      c.seal_s = best[e][1];
-      c.rows = rows[e];
-      cells.push_back(c);
-      std::printf("%-10zu %-8s %12.2f %12.2f %12.2f %10zu\n", emissions,
-                  names[e], 1e3 * c.accumulate_s, 1e3 * c.seal_s,
-                  1e3 * (c.accumulate_s + c.seal_s), c.rows);
+      if (rows[e][0] != rows[e][1]) {
+        std::fprintf(stderr,
+                     "sealed row mismatch: %s dense %zu sparse %zu\n",
+                     engine_names[e], rows[e][0], rows[e][1]);
+        return 1;
+      }
+      // Sparse/dense per engine.
+      sp_accum_ratios.push_back(best[e][1][0] / best[e][0][0]);
+      sp_seal_ratios.push_back(best[e][1][1] / best[e][0][1]);
+      sp_total_ratios.push_back((best[e][1][0] + best[e][1][1]) /
+                                (best[e][0][0] + best[e][0][1]));
+      sp_bytes_ratios.push_back(bpr[e][1] / bpr[e][0]);
     }
-    if (rows[0] != rows[1]) {
+    if (rows[0][0] != rows[1][0]) {
       std::fprintf(stderr, "sealed row mismatch: probe %zu sharded %zu\n",
-                   rows[0], rows[1]);
+                   rows[0][0], rows[1][0]);
       return 1;
     }
-    accum_ratios.push_back(best[1][0] / best[0][0]);
-    seal_ratios.push_back(best[1][1] / best[0][1]);
-    total_ratios.push_back((best[1][0] + best[1][1]) /
-                           (best[0][0] + best[0][1]));
+    // Sharded/probe on the dense format (the PR 9 comparison).
+    accum_ratios.push_back(best[1][0][0] / best[0][0][0]);
+    seal_ratios.push_back(best[1][0][1] / best[0][0][1]);
+    total_ratios.push_back((best[1][0][0] + best[1][0][1]) /
+                           (best[0][0][0] + best[0][0][1]));
   }
 
-  auto geomean = [](const std::vector<double>& xs) {
-    double s = 0.0;
-    for (double x : xs) s += std::log(x);
-    return std::exp(s / static_cast<double>(xs.size()));
-  };
   const double gm_accum = geomean(accum_ratios);
   const double gm_seal = geomean(seal_ratios);
   const double gm_total = geomean(total_ratios);
+  const double gm_sp_accum = geomean(sp_accum_ratios);
+  const double gm_sp_seal = geomean(sp_seal_ratios);
+  const double gm_sp_total = geomean(sp_total_ratios);
+  const double gm_sp_bytes = geomean(sp_bytes_ratios);
   std::printf(
-      "\nsharded/probe wall ratios (geomean; < 1 = sharded faster):\n"
-      "  accumulate %.3f   seal %.3f   total %.3f\n",
-      gm_accum, gm_seal, gm_total);
+      "\nsharded/probe wall ratios, dense (geomean; < 1 = sharded "
+      "faster):\n"
+      "  accumulate %.3f   seal %.3f   total %.3f\n"
+      "sparse/dense ratios (geomean; < 1 = sparse smaller/faster):\n"
+      "  accumulate %.3f   seal %.3f   total %.3f   bytes/row %.3f\n",
+      gm_accum, gm_seal, gm_total, gm_sp_accum, gm_sp_seal, gm_sp_total,
+      gm_sp_bytes);
 
   std::FILE* f = std::fopen("BENCH_accumulate.json", "w");
   if (f == nullptr) {
@@ -204,16 +336,24 @@ int main() {
                "  \"sharded_over_probe_accumulate\": %.3f,\n"
                "  \"sharded_over_probe_seal\": %.3f,\n"
                "  \"sharded_over_probe_total\": %.3f,\n"
+               "  \"sparse_over_dense_accumulate\": %.3f,\n"
+               "  \"sparse_over_dense_seal\": %.3f,\n"
+               "  \"sparse_over_dense_total\": %.3f,\n"
+               "  \"sparse_over_dense_bytes_per_row\": %.3f,\n"
                "  \"cells\": [\n",
-               gm_accum, gm_seal, gm_total);
+               gm_accum, gm_seal, gm_total, gm_sp_accum, gm_sp_seal,
+               gm_sp_total, gm_sp_bytes);
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const Cell& c = cells[i];
     std::fprintf(f,
-                 "    {\"emissions\": %zu, \"engine\": \"%s\", "
+                 "    {\"emissions\": %zu, \"density\": %.2f, "
+                 "\"engine\": \"%s\", \"format\": \"%s\", "
                  "\"accumulate_s\": %.6f, \"seal_s\": %.6f, "
-                 "\"rows\": %zu}%s\n",
-                 c.emissions, c.engine, c.accumulate_s, c.seal_s, c.rows,
-                 i + 1 < cells.size() ? "," : "");
+                 "\"rows\": %zu, \"bytes_per_row\": %.2f, "
+                 "\"frontier_folds\": %" PRIu64 "}%s\n",
+                 c.emissions, c.density, c.engine, c.format,
+                 c.accumulate_s, c.seal_s, c.rows, c.bytes_per_row,
+                 c.frontier_folds, i + 1 < cells.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

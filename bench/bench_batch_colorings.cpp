@@ -145,22 +145,26 @@ int main() {
           cell.wall = timer.seconds();
           cell.per_trial_ms = 1e3 * cell.wall / trials;
           cell.stage = r.stage;
-          if (width > 1) {
-            // One extra batched execution to sample the layout chooser's
-            // observations (untimed; the estimator API reports counts,
-            // not telemetry).
+          {
+            // One extra execution to sample the layout chooser's
+            // observations and the accumulation telemetry (untimed; the
+            // estimator API reports counts, not telemetry). B = 1 too:
+            // its hash-map accumulation reports emit_bytes, the
+            // denominator of the emission byte-traffic headline.
             std::vector<std::uint64_t> seeds;
             for (int l = 0; l < width; ++l) seeds.push_back(1000 + l);
             const ExecStats sample = session.count_colorful_seeded(
                 std::span<const std::uint64_t>(seeds.data(), seeds.size()));
-            cell.lane_density = sample.lanes.density();
-            cell.packed_share =
-                sample.lanes.rows == 0
-                    ? 0.0
-                    : static_cast<double>(sample.lanes.rows_packed) /
-                          static_cast<double>(sample.lanes.rows);
-            cell.width_hist = sample.lanes.width_rows;
             cell.accum = sample.accum;
+            if (width > 1) {
+              cell.lane_density = sample.lanes.density();
+              cell.packed_share =
+                  sample.lanes.rows == 0
+                      ? 0.0
+                      : static_cast<double>(sample.lanes.rows_packed) /
+                            static_cast<double>(sample.lanes.rows);
+              cell.width_hist = sample.lanes.width_rows;
+            }
           }
           if (width == 1) {
             baseline_counts = r.colorful_per_trial;
@@ -228,6 +232,28 @@ int main() {
                 stage_b8.accumulate / stage_b1.accumulate,
                 stage_b8.seal / stage_b1.seal);
   }
+
+  // Emission byte traffic per trial, B = 8 vs 8 × B = 1: what the
+  // accumulation phases materialize before sealing (telemetry sampled
+  // one execution per cell; an execution carries `width` trials).
+  double emit_b1 = 0.0, emit_b8 = 0.0;
+  std::uint64_t folds_b8 = 0, sparse_phases_b8 = 0;
+  for (const Cell& c : cells) {
+    const double per_trial = static_cast<double>(c.accum.emit_bytes) /
+                             static_cast<double>(c.width);
+    if (c.width == 1) emit_b1 += per_trial;
+    if (c.width == 8) {
+      emit_b8 += per_trial;
+      folds_b8 += c.accum.frontier_folds;
+      sparse_phases_b8 += c.accum.sparse_phases;
+    }
+  }
+  const double emit_ratio = emit_b1 > 0.0 ? emit_b8 / emit_b1 : 0.0;
+  std::printf(
+      "  emission bytes/trial B=8 over B=1: %.2fx (sparse phases %llu, "
+      "frontier folds %llu)\n",
+      emit_ratio, static_cast<unsigned long long>(sparse_phases_b8),
+      static_cast<unsigned long long>(folds_b8));
 
   // ------------------------------------------------------------- wire
   // The virtual-MPI engine, same trials: every signature-blocked row
@@ -372,6 +398,7 @@ int main() {
                "  \"geomean_steps_ratio_b8\": %.3f,\n"
                "  \"seal_wall_b8_over_b1\": %.3f,\n"
                "  \"accumulate_wall_b8_over_b1\": %.3f,\n"
+               "  \"emit_bytes_per_trial_b8_over_b1\": %.3f,\n"
                "  \"wire_b8_beats_b1\": %s,\n"
                "  \"lanes_match\": %s,\n"
                "  \"stage_seconds_b1\": {\"accumulate\": %.6f, "
@@ -384,6 +411,7 @@ int main() {
                stage_b1.accumulate > 0.0
                    ? stage_b8.accumulate / stage_b1.accumulate
                    : 0.0,
+               emit_ratio,
                gm_wire8 > 1.0 ? "true" : "false",
                all_match ? "true" : "false", stage_b1.accumulate,
                stage_b1.seal, stage_b1.merge, stage_b1.transport,
@@ -403,7 +431,9 @@ int main() {
         "\"merge\": %.6f}, "
         "\"accumulate_wall_over_b1\": %.3f, "
         "\"accum\": {\"phases\": %llu, \"sharded_phases\": %llu, "
-        "\"rows\": %llu, \"combine_folds\": %llu, \"run_emits\": %llu, "
+        "\"sparse_phases\": %llu, \"rows\": %llu, \"emit_bytes\": %llu, "
+        "\"bytes_per_row\": %.2f, \"combine_folds\": %llu, "
+        "\"frontier_folds\": %llu, \"run_emits\": %llu, "
         "\"shard_occupancy\": %.3f}}%s\n",
         c.graph.c_str(), c.query.c_str(), c.width, c.wall, c.per_trial_ms,
         c.speedup, c.lanes_match ? "true" : "false", c.lane_density,
@@ -414,8 +444,12 @@ int main() {
         c.stage.accumulate, c.stage.seal, c.stage.merge, c.accum_ratio,
         static_cast<unsigned long long>(c.accum.phases),
         static_cast<unsigned long long>(c.accum.sharded_phases),
+        static_cast<unsigned long long>(c.accum.sparse_phases),
         static_cast<unsigned long long>(c.accum.rows),
+        static_cast<unsigned long long>(c.accum.emit_bytes),
+        c.accum.bytes_per_row(),
         static_cast<unsigned long long>(c.accum.combine_folds),
+        static_cast<unsigned long long>(c.accum.frontier_folds),
         static_cast<unsigned long long>(c.accum.run_emits),
         c.accum.shard_occupancy(),
         i + 1 < cells.size() ? "," : "");

@@ -395,6 +395,330 @@ TEST(AccumSharded, TelemetryCountsShardedPhase) {
   EXPECT_LE(tel.shard_occupancy(), 1.0);
 }
 
+// ---------------------------------------------------------------------
+// Sparse emission format (CCBT_EMIT): variable-length records — packed
+// key + occupancy byte + occupied u16 counts only — must seal to tables
+// bit-identical to the dense fixed-stride format, on both accumulation
+// engines, across batch widths, through escalation, absorb, run-bulk,
+// and the unsealed-access routes node_join takes. The dense format is
+// the oracle.
+// ---------------------------------------------------------------------
+
+/// Restore the process-wide emission-format pin however a test exits.
+struct EmitFormatGuard {
+  EmitFormat saved = emit_format();
+  ~EmitFormatGuard() { set_emit_format(saved); }
+};
+
+/// Dense-vs-sparse twin sinks fed the same stream on the same engine,
+/// sealed the same way, must agree bit for bit — mode, stats and rows.
+template <int B>
+void expect_format_parity(const std::vector<RowSpec<B>>& rows, int slot,
+                          VertexId domain, AccumEngine eng,
+                          int parts = 4) {
+  EmitFormatGuard guard;
+  set_emit_format(EmitFormat::kDense);
+  FlatRowsT<B> dense = build_sink<B>(rows, parts, eng, domain);
+  set_emit_format(EmitFormat::kSparse);
+  FlatRowsT<B> sparse = build_sink<B>(rows, parts, eng, domain);
+  const bool d_ok = dense.sort_by_slot(slot, domain);
+  const bool s_ok = sparse.sort_by_slot(slot, domain);
+  ASSERT_EQ(d_ok, s_ok);
+  if (!d_ok) return;
+  const FlatStats sd = dense.merge_duplicates();
+  const FlatStats ss = sparse.merge_duplicates();
+  EXPECT_EQ(sd.rows, ss.rows);
+  EXPECT_EQ(sd.lanes_occupied, ss.lanes_occupied);
+  EXPECT_EQ(sd.max_count, ss.max_count);
+  expect_same_sink(dense, sparse);
+}
+
+template <int B>
+void run_format_parity_suite(Count max_count) {
+  const VertexId domain = 50'000;
+  for (const auto eng : {AccumEngine::kProbe, AccumEngine::kSharded}) {
+    for (const int slot : {0, 1}) {
+      Rng rng(1700 + slot);
+      expect_format_parity<B>(
+          burst_stream<B>(rng, 400, 24, domain, max_count), slot, domain,
+          eng);
+      // Tiny table: the sparse seal stays on the comparison sort below
+      // the radix threshold; parity must not depend on that choice.
+      expect_format_parity<B>(
+          burst_stream<B>(rng, 8, 6, domain, max_count), slot, domain,
+          eng);
+      // Dup-heavy 24-key universe: nearly every emission folds in a
+      // combining cache, sparse record reuse at its hottest.
+      expect_format_parity<B>(
+          burst_stream<B>(rng, 300, 20, 24, max_count), slot, 24, eng);
+    }
+  }
+}
+
+TEST(AccumSharded, SparseFormatParityU16B2) {
+  run_format_parity_suite<2>(9);
+}
+TEST(AccumSharded, SparseFormatParityU16B4) {
+  run_format_parity_suite<4>(9);
+}
+TEST(AccumSharded, SparseFormatParityU16B8) {
+  run_format_parity_suite<8>(9);
+}
+// Counts near the u16 folding edge: cache sums overflow into duplicate
+// sparse records, merged only at the seal.
+TEST(AccumSharded, SparseFormatParityFoldOverflowB8) {
+  run_format_parity_suite<8>(60'000);
+}
+
+template <int B>
+void run_sparse_escalation_suite(Count big) {
+  // Oversized counts spliced into a u16 burst stream: the sparse sink
+  // must decode itself back to flat rows mid-phase (unsparse), escalate
+  // with the dense machinery, and end bit-identical to the dense twin
+  // that escalated at the same emission.
+  const VertexId domain = 50'000;
+  Rng rng(6161);
+  std::vector<RowSpec<B>> rows = burst_stream<B>(rng, 300, 24, domain, 9);
+  for (std::size_t i = rows.size() / 3; i < rows.size();
+       i += rows.size() / 5) {
+    auto c = LaneOps<B>::zero();
+    LaneOps<B>::set_lane(c, static_cast<int>(i % B), big);
+    rows[i].second = c;
+  }
+  for (const auto eng : {AccumEngine::kProbe, AccumEngine::kSharded}) {
+    for (const int slot : {0, 1}) {
+      expect_format_parity<B>(rows, slot, domain, eng);
+    }
+  }
+}
+
+TEST(AccumSharded, SparseEscalateToU32B8) {
+  run_sparse_escalation_suite<8>(Count{1} << 20);
+}
+TEST(AccumSharded, SparseEscalateToWideB8) {
+  run_sparse_escalation_suite<8>(Count{1} << 40);
+}
+TEST(AccumSharded, SparseEscalateToU32B2) {
+  run_sparse_escalation_suite<2>(Count{1} << 20);
+}
+
+TEST(AccumSharded, SparseRunBulkMatchesDense) {
+  // The extend loop's emission switch over run handles, sparse vs
+  // dense: same records after the seal on both engines.
+  constexpr int B = 8;
+  const VertexId domain = 50'000;
+  EmitFormatGuard guard;
+  for (const auto eng : {AccumEngine::kProbe, AccumEngine::kSharded}) {
+    FlatRowsT<B> dense;
+    FlatRowsT<B> sparse;
+    set_emit_format(EmitFormat::kDense);
+    dense.prepare_emit(eng, domain);
+    set_emit_format(EmitFormat::kSparse);
+    sparse.prepare_emit(eng, domain);
+    EXPECT_FALSE(dense.sparse());
+    EXPECT_TRUE(sparse.sparse());
+    for (FlatRowsT<B>* t : {&dense, &sparse}) {
+      Rng rng(787);  // same stream into both sinks
+      for (int b = 0; b < 500; ++b) {
+        emit_burst(*t, static_cast<VertexId>(rng.below(domain)), rng, 32,
+                   domain);
+      }
+    }
+    ASSERT_TRUE(dense.sort_by_slot(1, domain));
+    ASSERT_TRUE(sparse.sort_by_slot(1, domain));
+    dense.merge_duplicates();
+    sparse.merge_duplicates();
+    expect_same_sink(dense, sparse);
+  }
+}
+
+TEST(AccumSharded, SparseAbsorbMixedFormats) {
+  // Per-thread sinks may disagree on format (a re-prepared non-empty
+  // sink stays dense): absorb must reconcile and seal to the all-dense
+  // result, in every pairing, on both engines.
+  constexpr int B = 8;
+  const VertexId domain = 50'000;
+  EmitFormatGuard guard;
+  Rng rng0(321);
+  const auto rows = burst_stream<B>(rng0, 300, 16, domain, 9);
+  auto build_pair = [&](EmitFormat fa, EmitFormat fb, AccumEngine eng) {
+    std::array<FlatRowsT<B>, 2> s;
+    set_emit_format(fa);
+    s[0].prepare_emit(eng, domain);
+    set_emit_format(fb);
+    s[1].prepare_emit(eng, domain);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      s[i % 2].append(rows[i].first, rows[i].second);
+    }
+    s[0].absorb(std::move(s[1]));
+    return std::move(s[0]);
+  };
+  for (const auto eng : {AccumEngine::kProbe, AccumEngine::kSharded}) {
+    FlatRowsT<B> oracle =
+        build_pair(EmitFormat::kDense, EmitFormat::kDense, eng);
+    ASSERT_TRUE(oracle.sort_by_slot(1, domain));
+    oracle.merge_duplicates();
+    for (const auto [fa, fb] :
+         {std::pair{EmitFormat::kSparse, EmitFormat::kSparse},
+          std::pair{EmitFormat::kSparse, EmitFormat::kDense},
+          std::pair{EmitFormat::kDense, EmitFormat::kSparse}}) {
+      FlatRowsT<B> t = build_pair(fa, fb, eng);
+      ASSERT_TRUE(t.sort_by_slot(1, domain));
+      t.merge_duplicates();
+      expect_same_sink(oracle, t);
+    }
+  }
+}
+
+TEST(AccumSharded, SparseEnsureFlatRoutes) {
+  // Regression for the four unsealed-access SEGFAULT routes PR 9 fixed
+  // via ensure_flat/ensure_row_access: node_join consumes unsealed
+  // tables by index, so a sparse sink must decode to flat rows on
+  // demand — size preserved, counts untouched, still sealable — on
+  // both engines and after absorb.
+  constexpr int B = 8;
+  const VertexId domain = 50'000;
+  EmitFormatGuard guard;
+  for (const auto eng : {AccumEngine::kProbe, AccumEngine::kSharded}) {
+    set_emit_format(EmitFormat::kSparse);
+    FlatRowsT<B> t;
+    t.prepare_emit(eng, domain);
+    Rng rng(56);
+    const auto rows = burst_stream<B>(rng, 200, 16, domain, 9);
+    for (const auto& r : rows) t.append(r.first, r.second);
+    const std::size_t n = t.size();
+    ASSERT_TRUE(t.sparse());
+    t.ensure_flat();
+    EXPECT_FALSE(t.sparse());
+    EXPECT_FALSE(t.sharded());
+    EXPECT_EQ(t.size(), n);
+    ASSERT_EQ(t.mode(), FlatRowsT<B>::Mode::kU16);
+    // The route that crashed: indexed row access while unsealed.
+    ASSERT_EQ(t.rows_u16().size(), n);
+    std::uint64_t sum = 0;
+    for (const auto& r : t.rows_u16()) sum += r.c[0];
+    (void)sum;
+    // Still sealable afterwards, to the same table a dense sink ends
+    // at (ensure_flat dropped the caches; seal re-sorts from scratch).
+    set_emit_format(EmitFormat::kDense);
+    FlatRowsT<B> dense;
+    dense.prepare_emit(eng, domain);
+    for (const auto& r : rows) dense.append(r.first, r.second);
+    ASSERT_TRUE(t.sort_by_slot(1, domain));
+    ASSERT_TRUE(dense.sort_by_slot(1, domain));
+    t.merge_duplicates();
+    dense.merge_duplicates();
+    expect_same_sink(dense, t);
+  }
+}
+
+TEST(AccumSharded, EmitFormatPinning) {
+  EmitFormatGuard guard;
+  const VertexId domain = 10'000;
+  // kAuto defers to the process pin; the pin's own default is the
+  // adaptive policy — start dense, flip to sparse records only once the
+  // phase outgrows sparse_flip_rows(). A CCBT_EMIT env pin seeds the
+  // process state before any test runs (CI sweeps the suite under each
+  // pin), so resolve through it.
+  {
+    const char* env = std::getenv("CCBT_EMIT");
+    const bool want_sparse =
+        env != nullptr && std::strcmp(env, "sparse") == 0;
+    FlatRowsT<8> t;
+    t.prepare_emit(AccumEngine::kSharded, domain);
+    EXPECT_EQ(t.sparse(), want_sparse);
+  }
+  set_emit_format(EmitFormat::kDense);
+  {
+    FlatRowsT<8> t;
+    t.prepare_emit(AccumEngine::kSharded, domain);
+    EXPECT_FALSE(t.sparse());
+  }
+  set_emit_format(EmitFormat::kSparse);
+  {
+    FlatRowsT<8> t;
+    t.prepare_emit(AccumEngine::kProbe, domain);
+    EXPECT_TRUE(t.sparse());
+  }
+  // A sink already holding non-u16 rows can't take sparse records.
+  {
+    FlatRowsT<8> t;
+    TableKey k;
+    k.v[0] = 1;
+    k.v[1] = 2;
+    k.sig = 1;
+    auto c = LaneOps<8>::zero();
+    LaneOps<8>::set_lane(c, 0, Count{1} << 20);
+    t.append(k, c);
+    ASSERT_EQ(t.mode(), FlatRowsT<8>::Mode::kU32);
+    t.prepare_emit(AccumEngine::kProbe, domain);
+    EXPECT_FALSE(t.sparse());
+  }
+}
+
+TEST(AccumSharded, AdaptiveFlipMatchesDense) {
+  // kAuto's mid-phase dense-to-sparse flip: arm a tiny threshold, feed
+  // a sharded sink past it, and the table — rows re-encoded at the flip
+  // plus records emitted after it — must seal bit-identical to a
+  // dense-pinned twin (and the sink must actually have flipped).
+  EmitFormatGuard guard;
+  const std::size_t saved = sparse_flip_rows();
+  const VertexId domain = 50'000;
+  Rng rng(4242);
+  const auto rows = burst_stream<8>(rng, 400, 24, domain, 9);
+  set_emit_format(EmitFormat::kDense);
+  FlatRowsT<8> dense =
+      build_sink<8>(rows, 1, AccumEngine::kSharded, domain);
+  set_emit_format(EmitFormat::kAuto);
+  set_sparse_flip_rows(512);
+  FlatRowsT<8> flipped =
+      build_sink<8>(rows, 1, AccumEngine::kSharded, domain);
+  set_sparse_flip_rows(saved);
+  EXPECT_TRUE(flipped.sparse());
+  ASSERT_TRUE(dense.sort_by_slot(1, domain));
+  ASSERT_TRUE(flipped.sort_by_slot(1, domain));
+  dense.merge_duplicates();
+  flipped.merge_duplicates();
+  expect_same_sink(dense, flipped);
+
+  // Below the threshold the phase must stay dense end to end.
+  set_sparse_flip_rows(std::size_t{1} << 30);
+  FlatRowsT<8> small =
+      build_sink<8>(rows, 1, AccumEngine::kSharded, domain);
+  set_sparse_flip_rows(saved);
+  EXPECT_FALSE(small.sparse());
+  ASSERT_TRUE(small.sort_by_slot(1, domain));
+  small.merge_duplicates();
+  expect_same_sink(dense, small);
+}
+
+TEST(AccumSharded, EmitFormatRunsAgreeLaneForLane) {
+  // Whole-pipeline cross-check: per-lane colorful counts can't depend
+  // on the emission format, and the sparse run must actually exercise
+  // the sparse path (sparse phases + frontier folds in telemetry).
+  EmitFormatGuard guard;
+  const CsrGraph g = erdos_renyi(60, 260, 22);
+  std::vector<std::uint64_t> seeds{8400, 8401, 8402, 8403,
+                                   8404, 8405, 8406, 8407};
+  for (const QueryGraph& q : {q_glet2(), q_youtube(), q_cycle(5)}) {
+    const Plan plan = make_plan(q);
+    set_emit_format(EmitFormat::kDense);
+    CountingSession sd(g, q, plan, ExecOptions{});
+    const ExecStats a = sd.count_colorful_seeded(
+        std::span<const std::uint64_t>(seeds.data(), 8));
+    set_emit_format(EmitFormat::kSparse);
+    CountingSession ss(g, q, plan, ExecOptions{});
+    const ExecStats b = ss.count_colorful_seeded(
+        std::span<const std::uint64_t>(seeds.data(), 8));
+    for (int l = 0; l < 8; ++l) {
+      EXPECT_EQ(a.colorful_lane[l], b.colorful_lane[l])
+          << q.name() << " lane " << l;
+    }
+    EXPECT_EQ(a.accum.sparse_phases, 0u) << q.name();
+    EXPECT_GT(b.accum.sparse_phases, 0u) << q.name();
+  }
+}
+
 TEST(AccumSharded, EnginePinnedRunsAgreeLaneForLane) {
   // Whole-pipeline cross-check on a real workload: per-lane colorful
   // counts can't depend on which accumulation engine the run used.

@@ -43,6 +43,15 @@ const char* accum_name(AccumEngine e) {
   return "auto";
 }
 
+const char* emit_name(EmitFormat f) {
+  switch (f) {
+    case EmitFormat::kDense: return "dense";
+    case EmitFormat::kSparse: return "sparse";
+    case EmitFormat::kAuto: break;
+  }
+  return "auto";
+}
+
 QueryGraph pick_query(std::uint64_t die) {
   switch (die % 8) {
     case 0: return q_glet1();
@@ -64,6 +73,7 @@ struct DiffConfig {
   std::uint32_t ranks = 0;
   bool faulty = false;
   AccumEngine accum = AccumEngine::kAuto;
+  EmitFormat emit = EmitFormat::kAuto;
   ExecOptions opts;
 
   std::string describe() const {
@@ -74,6 +84,7 @@ struct DiffConfig {
            " lane_compress=" + std::to_string(opts.lane_compress) +
            " packed_merge=" + std::to_string(opts.packed_merge) +
            " accum=" + accum_name(accum) +
+           " emit=" + emit_name(emit) +
            " faulty=" + std::to_string(faulty);
   }
 };
@@ -97,6 +108,13 @@ DiffConfig draw_config(std::uint64_t seed) {
                                    AccumEngine::kSharded};
     c.accum = engines[rng.below(3)];
   }
+  // Emission-format axis, same pattern: sparse records vs the dense
+  // fixed-stride oracle, crossed with everything above.
+  if (std::getenv("CCBT_EMIT") == nullptr) {
+    const EmitFormat formats[] = {EmitFormat::kAuto, EmitFormat::kDense,
+                                  EmitFormat::kSparse};
+    c.emit = formats[rng.below(3)];
+  }
   c.faulty = rng.below(2) == 0;
   if (c.faulty) {
     c.opts.dist.faults.seed = seed * 31 + 7;
@@ -118,6 +136,9 @@ struct AccumPinGuard {
     if (std::getenv("CCBT_ACCUM") == nullptr) {
       set_accum_engine(AccumEngine::kAuto);
     }
+    if (std::getenv("CCBT_EMIT") == nullptr) {
+      set_emit_format(EmitFormat::kAuto);
+    }
   }
 };
 
@@ -129,6 +150,7 @@ TEST(DifferentialEngines, RandomConfigsAgreeAcrossEnginesAndWidths) {
     const DiffConfig c = draw_config(base * 1000 + it);
     SCOPED_TRACE(c.describe());
     if (std::getenv("CCBT_ACCUM") == nullptr) set_accum_engine(c.accum);
+    if (std::getenv("CCBT_EMIT") == nullptr) set_emit_format(c.emit);
     const CsrGraph g = erdos_renyi(c.n, c.m, c.seed * 13 + 5);
     Rng qrng(c.seed * 17 + 3);
     const QueryGraph q = pick_query(qrng.below(24));

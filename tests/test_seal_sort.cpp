@@ -257,6 +257,7 @@ TEST(SealSort, RadixIsStable) {
     }
     FlatRowsT<8> f = build_sink<8>(rows, 8);
     ASSERT_EQ(f.mode(), FlatRowsT<8>::Mode::kU16);
+    f.ensure_flat();  // sparse emission keeps unsealed rows as records
     auto ref = f.rows_u16();  // copy of the appended order
     std::stable_sort(ref.begin(), ref.end(),
                      [slot](const auto& a, const auto& b) {
